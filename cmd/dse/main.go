@@ -1,0 +1,127 @@
+// Command dse runs the paper's design-space explorations from the command
+// line: the Fig. 9-a temperature sweep, the Fig. 9-b/10 heater
+// exploration, the feasibility frontier under the 1 °C gradient
+// constraint, and the per-activity optimal heater ratio.
+//
+// Usage:
+//
+//	dse [-res fast] [-chip 25] [-activity uniform] [-seed 1]
+//	    [-mode all|temps|heater|feasible]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"vcselnoc/internal/activity"
+	"vcselnoc/internal/core"
+	"vcselnoc/internal/dse"
+	"vcselnoc/internal/snr"
+	"vcselnoc/internal/thermal"
+)
+
+func main() {
+	res := flag.String("res", "fast", "mesh resolution: coarse, fast or paper")
+	chip := flag.Float64("chip", 25, "total chip power in watts")
+	act := flag.String("activity", "uniform", "chip activity scenario")
+	seed := flag.Int64("seed", 1, "seed for the random activity")
+	mode := flag.String("mode", "all", "exploration: all, temps, heater, feasible")
+	flag.Parse()
+
+	log.SetFlags(0)
+	log.SetPrefix("dse: ")
+
+	spec, err := thermal.PaperSpec()
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch *res {
+	case "coarse":
+		spec.Res = thermal.CoarseResolution()
+	case "fast":
+		spec.Res = thermal.FastResolution()
+	case "paper":
+		spec.Res = thermal.PaperResolution()
+	default:
+		log.Fatalf("unknown resolution %q", *res)
+	}
+	scenario, err := activity.ByName(*act, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m, err := core.NewWithSpec(spec, snr.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model: %d cells; building %s basis...\n", m.Model().NumCells(), scenario.Name())
+	ex, err := m.Explorer(scenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	all := *mode == "all"
+	if all || *mode == "temps" {
+		temps(ex, *chip)
+	}
+	if all || *mode == "heater" {
+		heater(ex, *chip)
+	}
+	if all || *mode == "feasible" {
+		feasible(ex, *chip)
+	}
+}
+
+func temps(ex *dse.Explorer, chip float64) {
+	chips := []float64{chip * 0.5, chip * 0.75, chip, chip * 1.25}
+	lasers := []float64{0, 2e-3, 4e-3, 6e-3}
+	table, err := ex.SweepAvgTemp(chips, lasers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmean ONI temperature (°C):")
+	fmt.Println("  Pchip\\Pv(mW):      0      2      4      6")
+	for i, row := range table {
+		fmt.Printf("  %6.2f W    ", chips[i])
+		for _, pt := range row {
+			fmt.Printf(" %6.2f", pt.MeanONITemp)
+		}
+		fmt.Println()
+	}
+}
+
+func heater(ex *dse.Explorer, chip float64) {
+	fmt.Println("\noptimal heater power per laser power:")
+	for _, pv := range []float64{1e-3, 2e-3, 3e-3, 4e-3, 5e-3, 6e-3} {
+		opt, err := ex.OptimalHeater(chip, pv, pv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  Pv=%3.0f mW: Ph*=%.2f mW (ratio %.2f), gradient %.2f → %.2f °C\n",
+			pv*1e3, opt.PHeater*1e3, opt.Ratio, opt.GradientNoHeater, opt.MeanGradient)
+	}
+}
+
+func feasible(ex *dse.Explorer, chip float64) {
+	fmt.Printf("\nfeasibility under the %.1f °C gradient constraint (heater ratio 0.3):\n", dse.GradientLimit)
+	pvMax, err := ex.MaxFeasibleLaserPower(chip, 0.3, 10e-3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  max feasible P_VCSEL: %.2f mW\n", pvMax*1e3)
+	for _, pv := range []float64{1e-3, 2e-3, 4e-3, 6e-3} {
+		f, err := ex.CheckFeasibility(thermal.Powers{
+			Chip: chip, VCSEL: pv, Driver: pv, Heater: 0.3 * pv,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "violates"
+		if f.Feasible {
+			verdict = "satisfies"
+		}
+		fmt.Printf("  Pv=%3.0f mW: max gradient %.2f °C — %s the constraint\n",
+			pv*1e3, f.MaxGradient, verdict)
+	}
+}

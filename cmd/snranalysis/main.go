@@ -1,0 +1,109 @@
+// Command snranalysis evaluates the worst-case SNR of the ORNoC for one
+// scenario (placement case, activity, laser/heater powers) and prints the
+// per-communication breakdown, including BER estimates.
+//
+// Usage:
+//
+//	snranalysis [-case 1|2|3] [-activity uniform] [-seed 1]
+//	            [-chip 24] [-pvcsel 3.6e-3] [-pheater 1.08e-3]
+//	            [-pattern neighbour|paired] [-res fast]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"vcselnoc/internal/activity"
+	"vcselnoc/internal/core"
+	"vcselnoc/internal/ornoc"
+	"vcselnoc/internal/photodiode"
+	"vcselnoc/internal/snr"
+	"vcselnoc/internal/thermal"
+)
+
+func main() {
+	caseNum := flag.Int("case", 3, "placement case: 1 (18mm), 2 (32mm), 3 (47mm)")
+	act := flag.String("activity", "uniform", "chip activity scenario")
+	seed := flag.Int64("seed", 1, "seed for the random activity")
+	chip := flag.Float64("chip", 24, "total chip power in watts")
+	pv := flag.Float64("pvcsel", 3.6e-3, "per-VCSEL dissipated power in watts")
+	ph := flag.Float64("pheater", 1.08e-3, "per-MR heater power in watts")
+	pattern := flag.String("pattern", "neighbour", "communication pattern: neighbour or paired")
+	res := flag.String("res", "fast", "mesh resolution: coarse, fast or paper")
+	flag.Parse()
+
+	log.SetFlags(0)
+	log.SetPrefix("snranalysis: ")
+
+	var cs ornoc.CaseStudy
+	switch *caseNum {
+	case 1:
+		cs = ornoc.Case18mm
+	case 2:
+		cs = ornoc.Case32mm
+	case 3:
+		cs = ornoc.Case47mm
+	default:
+		log.Fatalf("unknown case %d", *caseNum)
+	}
+	var pat core.CommPattern
+	switch *pattern {
+	case "neighbour":
+		pat = core.Neighbour
+	case "paired":
+		pat = core.Paired
+	default:
+		log.Fatalf("unknown pattern %q", *pattern)
+	}
+
+	spec, err := thermal.PaperSpec()
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch *res {
+	case "coarse":
+		spec.Res = thermal.CoarseResolution()
+	case "fast":
+		spec.Res = thermal.FastResolution()
+	case "paper":
+		spec.Res = thermal.PaperResolution()
+	default:
+		log.Fatalf("unknown resolution %q", *res)
+	}
+	scenario, err := activity.ByName(*act, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m, err := core.NewWithSpec(spec, snr.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("solving thermal model (%d cells)...\n", m.Model().NumCells())
+	r, err := m.SNRAnalysis(core.SNRScenario{
+		Case: cs, Activity: scenario, ChipPower: *chip,
+		PVCSEL: *pv, PHeater: *ph, Pattern: pat,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\ncase %v: %d ONIs, loop %.1f mm, activity %s\n",
+		cs, r.Ring.N(), r.RingLengthM*1e3, scenario.Name())
+	fmt.Printf("ONI temperatures on the ring: %.2f … %.2f °C (spread %.2f °C)\n",
+		r.NodeTempMin, r.NodeTempMax, r.NodeTempMax-r.NodeTempMin)
+	fmt.Printf("worst-case SNR: %.1f dB; mean signal %.3f mW, mean crosstalk %.4f mW\n\n",
+		r.Report.WorstSNRdB, r.Report.MeanSignalW*1e3, r.Report.MeanCrosstalkW*1e3)
+
+	fmt.Println("  comm        λ(nm)     path(mm)  signal(mW)  xtalk(mW)   SNR(dB)   BER        detected")
+	for _, cr := range r.Report.PerComm {
+		ber, err := photodiode.BERFromSNRDB(cr.SNRdB)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %2d → %-2d   %9.3f   %7.2f   %9.4f   %9.5f   %7.1f   %.2e   %v\n",
+			cr.Comm.Src, cr.Comm.Dst, cr.SignalLambdaNM, cr.PathLengthM*1e3,
+			cr.SignalW*1e3, cr.CrosstalkW*1e3, cr.SNRdB, ber, cr.Detected)
+	}
+}

@@ -1,0 +1,33 @@
+// Command vcselcal reports the calibration of the default VCSEL parameters
+// against the anchor points quoted in the paper (Fig. 8-b/8-c).
+package main
+
+import (
+	"fmt"
+	"vcselnoc/internal/vcsel"
+)
+
+func main() {
+	d, err := vcsel.New(vcsel.DefaultParams())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("peak wall-plug efficiency vs base temperature:")
+	var i40 float64
+	for _, T := range []float64{10, 20, 30, 40, 50, 60, 70} {
+		peak, ipk, _ := d.PeakEfficiency(T)
+		fmt.Printf("  T=%2.0f°C  peak η=%5.1f%% @ %.1f mA\n", T, peak*100, ipk*1e3)
+		if T == 40 {
+			i40 = ipk
+		}
+	}
+	pt40, _ := d.Operate(i40, 40)
+	pt60, _ := d.Operate(i40, 60)
+	fmt.Printf("\nanchors at I*=%.1f mA: η(40°C)=%.1f%% (paper ~15%%), η(60°C)=%.1f%% (paper ~4%%)\n",
+		i40*1e3, pt40.Efficiency*100, pt60.Efficiency*100)
+	fmt.Println("\nOP vs Pdiss at T=40°C (Fig. 8-c shape):")
+	for _, i := range []float64{2e-3, 4e-3, 6e-3, 8e-3, 10e-3, 12e-3, 15e-3} {
+		pt, _ := d.Operate(i, 40)
+		fmt.Printf("  I=%4.1fmA Pdiss=%6.2fmW OP=%.3fmW Tj=%.1f\n", i*1e3, pt.DissipatedPower*1e3, pt.OpticalPower*1e3, pt.JunctionTemp)
+	}
+}

@@ -1,0 +1,82 @@
+// Heatersweep: reproduce the Fig. 9-b exploration for a custom design —
+// sweep the MR heater power at several laser powers, plot the V-shaped
+// gradient curves as ASCII, and report each optimum.
+//
+//	go run ./examples/heatersweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"vcselnoc"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	spec, err := vcselnoc.PaperSpec()
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec.Res = vcselnoc.CoarseResolution()
+	m, err := vcselnoc.NewWithSpec(spec, vcselnoc.DefaultSNRConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ex, err := m.Explorer(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const chip = 25.0
+	lasers := []float64{2e-3, 4e-3, 6e-3}
+	heaters := make([]float64, 25)
+	for i := range heaters {
+		heaters[i] = float64(i) * 0.125e-3
+	}
+	table, err := ex.SweepGradient(chip, lasers, heaters)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ASCII plot: one row per heater step, one column block per laser power.
+	fmt.Println("mean intra-ONI gradient (°C) vs heater power — the V-shape of Fig. 9-b")
+	fmt.Println("Ph(mW)   Pv=2mW              Pv=4mW              Pv=6mW")
+	maxG := 0.0
+	for _, row := range table {
+		for _, p := range row {
+			if p.MeanGradient > maxG {
+				maxG = p.MeanGradient
+			}
+		}
+	}
+	for j := range heaters {
+		fmt.Printf("%5.2f  ", heaters[j]*1e3)
+		for i := range lasers {
+			g := table[i][j].MeanGradient
+			bar := int(g / maxG * 16)
+			fmt.Printf(" %5.2f %-12s", g, strings.Repeat("▇", bar))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\noptima (golden-section search):")
+	for _, pv := range lasers {
+		opt, err := ex.OptimalHeater(chip, pv, pv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  Pv=%.0f mW: Ph*=%.2f mW, ratio %.2f (paper: 0.30), gradient %.2f → %.2f °C\n",
+			pv*1e3, opt.PHeater*1e3, opt.Ratio, opt.GradientNoHeater, opt.MeanGradient)
+	}
+
+	// How far can the laser power go before violating the 1 °C rule?
+	pvMax, err := ex.MaxFeasibleLaserPower(chip, 0.3, 10e-3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwith the 0.3 heater ratio, the %g °C gradient constraint allows P_VCSEL ≤ %.2f mW\n",
+		vcselnoc.GradientLimit, pvMax*1e3)
+}

@@ -1,0 +1,69 @@
+// Quickstart: build the paper's SCC + ONoC system, run the complete
+// thermal-aware design flow at one operating point, and print the verdict.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vcselnoc"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The paper's system with a quick mesh so the example runs in seconds.
+	spec, err := vcselnoc.PaperSpec()
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec.Res = vcselnoc.CoarseResolution()
+	m, err := vcselnoc.NewWithSpec(spec, vcselnoc.DefaultSNRConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("system: %d mesh cells, %d ONIs on the optical layer\n",
+		m.Model().NumCells(), len(m.Model().ONIs()))
+
+	// Step 1 — thermal analysis at the paper's SNR operating point:
+	// 24 W chip, 3.6 mW per laser (driver matched), 1.08 mW per heater.
+	res, err := m.ThermalAnalysis(vcselnoc.Powers{
+		Chip:   24,
+		VCSEL:  3.6e-3,
+		Driver: 3.6e-3,
+		Heater: 1.08e-3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	min, max := res.ONITempRange()
+	fmt.Printf("thermal: ONIs average %.1f °C (spread %.1f–%.1f), worst intra-ONI gradient %.2f °C\n",
+		res.MeanONITemp(), min, max, res.MaxONIGradient())
+
+	// Step 2 — the paper's headline exploration: the heater power that
+	// minimises the intra-ONI gradient.
+	opt, err := m.OptimalHeaterRatio(nil, 24, 3.6e-3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exploration: optimal P_heater = %.2f mW = %.2f × P_VCSEL (paper: 0.3), gradient %.2f → %.2f °C\n",
+		opt.PHeater*1e3, opt.Ratio, opt.GradientNoHeater, opt.MeanGradient)
+
+	// Step 3 — SNR analysis of the full 4×4 ONI ring.
+	ev, err := m.EvaluateDesign(vcselnoc.SNRScenario{
+		Case:      vcselnoc.Case47mm,
+		ChipPower: 24,
+		PVCSEL:    3.6e-3,
+		PHeater:   opt.PHeater,
+		Pattern:   vcselnoc.Neighbour,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: worst-case SNR %.1f dB over a %.1f mm ring, mean signal %.3f mW\n",
+		ev.SNR.Report.WorstSNRdB, ev.SNR.RingLengthM*1e3, ev.SNR.Report.MeanSignalW*1e3)
+	fmt.Printf("verdict: ONoC power %.2f W, gradient constraint satisfied: %v, reliable: %v\n",
+		ev.ONoCPower, ev.Feasibility.Feasible, ev.Reliable)
+}

@@ -1,0 +1,318 @@
+// Package dse implements the design-space exploration at the heart of the
+// paper's methodology: sweeping the VCSEL dissipated power (set by the
+// modulation current) and the MR heater power over steady-state thermal
+// evaluations, locating the heater power that minimises the intra-ONI
+// gradient, and checking the 1 °C gradient constraint that makes run-time
+// MR calibration practical.
+//
+// All sweeps run on a thermal.Basis (superposition of unit-power solves),
+// so exploring hundreds of operating points costs microseconds each
+// instead of full finite-volume solves.
+package dse
+
+import (
+	"fmt"
+	"math"
+
+	"vcselnoc/internal/thermal"
+)
+
+// GradientLimit is the paper's intra-ONI gradient constraint (°C): with
+// 1.55 nm-BW rings and 0.1 nm/°C drift, 1 °C keeps the transmission
+// penalty below ~7 %.
+const GradientLimit = 1.0
+
+// Explorer runs sweeps over a prepared thermal basis.
+type Explorer struct {
+	basis *thermal.Basis
+}
+
+// NewExplorer wraps a thermal basis.
+func NewExplorer(b *thermal.Basis) (*Explorer, error) {
+	if b == nil {
+		return nil, fmt.Errorf("dse: nil basis")
+	}
+	return &Explorer{basis: b}, nil
+}
+
+// AvgTempPoint is one cell of the Fig. 9-a sweep.
+type AvgTempPoint struct {
+	ChipPower float64 // W
+	PVCSEL    float64 // W per laser (driver matched)
+	// MeanONITemp averages the per-ONI average temperatures (°C).
+	MeanONITemp float64
+}
+
+// SweepAvgTemp reproduces Fig. 9-a: mean ONI temperature across a
+// chip-power × laser-power grid (P_driver = P_VCSEL, the paper's worst
+// case). Rows iterate chip powers, columns laser powers.
+func (e *Explorer) SweepAvgTemp(chipPowers, laserPowers []float64) ([][]AvgTempPoint, error) {
+	if len(chipPowers) == 0 || len(laserPowers) == 0 {
+		return nil, fmt.Errorf("dse: empty sweep axes")
+	}
+	out := make([][]AvgTempPoint, len(chipPowers))
+	for i, chip := range chipPowers {
+		out[i] = make([]AvgTempPoint, len(laserPowers))
+		for j, pv := range laserPowers {
+			res, err := e.basis.Evaluate(thermal.Powers{Chip: chip, VCSEL: pv, Driver: pv})
+			if err != nil {
+				return nil, err
+			}
+			out[i][j] = AvgTempPoint{ChipPower: chip, PVCSEL: pv, MeanONITemp: res.MeanONITemp()}
+		}
+	}
+	return out, nil
+}
+
+// GradientPoint is one cell of the Fig. 9-b sweep.
+type GradientPoint struct {
+	PVCSEL  float64
+	PHeater float64
+	// MeanGradient averages the per-ONI gradient temperatures (°C).
+	MeanGradient float64
+	// MaxGradient is the worst ONI's gradient (°C).
+	MaxGradient float64
+}
+
+// SweepGradient reproduces Fig. 9-b: intra-ONI gradient across a laser ×
+// heater power grid at fixed chip power.
+func (e *Explorer) SweepGradient(chip float64, laserPowers, heaterPowers []float64) ([][]GradientPoint, error) {
+	if len(laserPowers) == 0 || len(heaterPowers) == 0 {
+		return nil, fmt.Errorf("dse: empty sweep axes")
+	}
+	out := make([][]GradientPoint, len(laserPowers))
+	for i, pv := range laserPowers {
+		out[i] = make([]GradientPoint, len(heaterPowers))
+		for j, ph := range heaterPowers {
+			gp, err := e.gradientAt(chip, pv, ph)
+			if err != nil {
+				return nil, err
+			}
+			out[i][j] = gp
+		}
+	}
+	return out, nil
+}
+
+func (e *Explorer) gradientAt(chip, pv, ph float64) (GradientPoint, error) {
+	res, err := e.basis.Evaluate(thermal.Powers{Chip: chip, VCSEL: pv, Driver: pv, Heater: ph})
+	if err != nil {
+		return GradientPoint{}, err
+	}
+	var mean float64
+	for _, o := range res.ONIs {
+		mean += o.Gradient
+	}
+	mean /= float64(len(res.ONIs))
+	return GradientPoint{
+		PVCSEL:       pv,
+		PHeater:      ph,
+		MeanGradient: mean,
+		MaxGradient:  res.MaxONIGradient(),
+	}, nil
+}
+
+// HeaterOptimum is the result of the heater-power search.
+type HeaterOptimum struct {
+	PVCSEL  float64
+	PHeater float64
+	// Ratio is PHeater/PVCSEL — the paper's headline is ≈0.3.
+	Ratio float64
+	// MeanGradient is the gradient at the optimum.
+	MeanGradient float64
+	// GradientNoHeater is the gradient with the heater off.
+	GradientNoHeater float64
+}
+
+// OptimalHeater finds the heater power in [0, maxHeater] minimising the
+// mean intra-ONI gradient at the given chip and laser power, by golden
+// -section search (the gradient is unimodal in the heater power: heating
+// first closes the VCSEL–MR gap, then overshoots).
+func (e *Explorer) OptimalHeater(chip, pv, maxHeater float64) (HeaterOptimum, error) {
+	if pv <= 0 {
+		return HeaterOptimum{}, fmt.Errorf("dse: laser power %g must be > 0", pv)
+	}
+	if maxHeater <= 0 {
+		return HeaterOptimum{}, fmt.Errorf("dse: heater bound %g must be > 0", maxHeater)
+	}
+	f := func(ph float64) (float64, error) {
+		gp, err := e.gradientAt(chip, pv, ph)
+		if err != nil {
+			return 0, err
+		}
+		return gp.MeanGradient, nil
+	}
+	base, err := f(0)
+	if err != nil {
+		return HeaterOptimum{}, err
+	}
+
+	const phi = 0.6180339887498949
+	lo, hi := 0.0, maxHeater
+	x1 := hi - phi*(hi-lo)
+	x2 := lo + phi*(hi-lo)
+	f1, err := f(x1)
+	if err != nil {
+		return HeaterOptimum{}, err
+	}
+	f2, err := f(x2)
+	if err != nil {
+		return HeaterOptimum{}, err
+	}
+	for iter := 0; iter < 60 && hi-lo > maxHeater*1e-4; iter++ {
+		if f1 < f2 {
+			hi, x2, f2 = x2, x1, f1
+			x1 = hi - phi*(hi-lo)
+			if f1, err = f(x1); err != nil {
+				return HeaterOptimum{}, err
+			}
+		} else {
+			lo, x1, f1 = x1, x2, f2
+			x2 = lo + phi*(hi-lo)
+			if f2, err = f(x2); err != nil {
+				return HeaterOptimum{}, err
+			}
+		}
+	}
+	best := (lo + hi) / 2
+	bestG, err := f(best)
+	if err != nil {
+		return HeaterOptimum{}, err
+	}
+	// The heater never helps? Then 0 is optimal.
+	if base <= bestG {
+		best, bestG = 0, base
+	}
+	return HeaterOptimum{
+		PVCSEL:           pv,
+		PHeater:          best,
+		Ratio:            best / pv,
+		MeanGradient:     bestG,
+		GradientNoHeater: base,
+	}, nil
+}
+
+// ComparisonRow is one Fig. 10 row: gradient and average temperature with
+// and without the MR heater at P_heater = ratio × P_VCSEL.
+type ComparisonRow struct {
+	PVCSEL                      float64
+	GradientWithout             float64
+	GradientWith                float64
+	AvgTempWithout, AvgTempWith float64
+}
+
+// HeaterComparison reproduces Fig. 10 for the given heater ratio
+// (the paper's optimum is 0.3).
+func (e *Explorer) HeaterComparison(chip float64, laserPowers []float64, ratio float64) ([]ComparisonRow, error) {
+	if ratio < 0 {
+		return nil, fmt.Errorf("dse: negative heater ratio %g", ratio)
+	}
+	rows := make([]ComparisonRow, 0, len(laserPowers))
+	for _, pv := range laserPowers {
+		off, err := e.basis.Evaluate(thermal.Powers{Chip: chip, VCSEL: pv, Driver: pv})
+		if err != nil {
+			return nil, err
+		}
+		on, err := e.basis.Evaluate(thermal.Powers{Chip: chip, VCSEL: pv, Driver: pv, Heater: ratio * pv})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ComparisonRow{
+			PVCSEL:          pv,
+			GradientWithout: meanGradient(off),
+			GradientWith:    meanGradient(on),
+			AvgTempWithout:  off.MeanONITemp(),
+			AvgTempWith:     on.MeanONITemp(),
+		})
+	}
+	return rows, nil
+}
+
+func meanGradient(r *thermal.Result) float64 {
+	var s float64
+	for _, o := range r.ONIs {
+		s += o.Gradient
+	}
+	return s / float64(len(r.ONIs))
+}
+
+// Feasibility reports whether an operating point satisfies the 1 °C
+// intra-ONI gradient constraint and records the margins.
+type Feasibility struct {
+	Powers       thermal.Powers
+	MeanGradient float64
+	MaxGradient  float64
+	// Feasible means every ONI satisfies the GradientLimit.
+	Feasible bool
+}
+
+// CheckFeasibility evaluates the gradient constraint at one point.
+func (e *Explorer) CheckFeasibility(p thermal.Powers) (Feasibility, error) {
+	res, err := e.basis.Evaluate(p)
+	if err != nil {
+		return Feasibility{}, err
+	}
+	f := Feasibility{
+		Powers:       p,
+		MeanGradient: meanGradient(res),
+		MaxGradient:  res.MaxONIGradient(),
+	}
+	f.Feasible = f.MaxGradient <= GradientLimit
+	return f, nil
+}
+
+// MaxFeasibleLaserPower finds (by bisection) the largest P_VCSEL whose
+// optimal-heater configuration still satisfies the gradient constraint.
+// Returns 0 if even the smallest probe violates it.
+func (e *Explorer) MaxFeasibleLaserPower(chip, ratio, bound float64) (float64, error) {
+	if bound <= 0 {
+		return 0, fmt.Errorf("dse: bound %g must be > 0", bound)
+	}
+	feasible := func(pv float64) (bool, error) {
+		res, err := e.basis.Evaluate(thermal.Powers{Chip: chip, VCSEL: pv, Driver: pv, Heater: ratio * pv})
+		if err != nil {
+			return false, err
+		}
+		return res.MaxONIGradient() <= GradientLimit, nil
+	}
+	ok, err := feasible(bound)
+	if err != nil {
+		return 0, err
+	}
+	if ok {
+		return bound, nil
+	}
+	lo, hi := 0.0, bound
+	for iter := 0; iter < 50; iter++ {
+		mid := (lo + hi) / 2
+		ok, err := feasible(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// GradientCurveMinimum scans a gradient row (fixed PVCSEL, swept heater)
+// and returns the index of its minimum — a helper for verifying the
+// V-shape in tests and benches.
+func GradientCurveMinimum(row []GradientPoint) (int, error) {
+	if len(row) == 0 {
+		return 0, fmt.Errorf("dse: empty row")
+	}
+	min := 0
+	for i, p := range row {
+		if math.IsNaN(p.MeanGradient) {
+			return 0, fmt.Errorf("dse: NaN gradient at index %d", i)
+		}
+		if p.MeanGradient < row[min].MeanGradient {
+			min = i
+		}
+	}
+	return min, nil
+}

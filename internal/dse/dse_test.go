@@ -1,0 +1,250 @@
+package dse
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"vcselnoc/internal/thermal"
+)
+
+var (
+	once      sync.Once
+	sharedEx  *Explorer
+	sharedErr error
+)
+
+func explorer(t *testing.T) *Explorer {
+	t.Helper()
+	once.Do(func() {
+		spec, err := thermal.PaperSpec()
+		if err != nil {
+			sharedErr = err
+			return
+		}
+		spec.Res = thermal.CoarseResolution()
+		spec.SolverTol = 1e-7
+		model, err := thermal.NewModel(spec)
+		if err != nil {
+			sharedErr = err
+			return
+		}
+		basis, err := model.BuildBasis(nil)
+		if err != nil {
+			sharedErr = err
+			return
+		}
+		sharedEx, sharedErr = NewExplorer(basis)
+	})
+	if sharedErr != nil {
+		t.Fatal(sharedErr)
+	}
+	return sharedEx
+}
+
+func TestNewExplorerNil(t *testing.T) {
+	if _, err := NewExplorer(nil); err == nil {
+		t.Error("nil basis should error")
+	}
+}
+
+func TestSweepAvgTempShape(t *testing.T) {
+	ex := explorer(t)
+	chips := []float64{12.5, 18.75, 25, 31.25}
+	lasers := []float64{0, 2e-3, 4e-3, 6e-3}
+	table, err := ex.SweepAvgTemp(chips, lasers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) != 4 || len(table[0]) != 4 {
+		t.Fatalf("table shape %dx%d", len(table), len(table[0]))
+	}
+	// Fig. 9-a invariants: temperature increases along both axes.
+	for i := range table {
+		for j := range table[i] {
+			if i > 0 && table[i][j].MeanONITemp <= table[i-1][j].MeanONITemp {
+				t.Errorf("temp not increasing with chip power at (%d,%d)", i, j)
+			}
+			if j > 0 && table[i][j].MeanONITemp <= table[i][j-1].MeanONITemp {
+				t.Errorf("temp not increasing with laser power at (%d,%d)", i, j)
+			}
+		}
+	}
+	// The paper's slopes: ~+3.3 °C per +6.25 W chip power and ~+11 °C per
+	// +6 mW laser power. Accept the right order of magnitude.
+	chipSlope := table[3][0].MeanONITemp - table[0][0].MeanONITemp // over 18.75 W
+	if chipSlope < 5 || chipSlope > 30 {
+		t.Errorf("chip-power response %.1f °C over 18.75 W outside [5, 30]", chipSlope)
+	}
+	laserSlope := table[2][3].MeanONITemp - table[2][0].MeanONITemp // over 6 mW
+	if laserSlope < 3 || laserSlope > 20 {
+		t.Errorf("laser-power response %.1f °C over 6 mW outside [3, 20]", laserSlope)
+	}
+}
+
+func TestSweepAvgTempErrors(t *testing.T) {
+	ex := explorer(t)
+	if _, err := ex.SweepAvgTemp(nil, []float64{1e-3}); err == nil {
+		t.Error("empty chip axis should error")
+	}
+	if _, err := ex.SweepAvgTemp([]float64{25}, nil); err == nil {
+		t.Error("empty laser axis should error")
+	}
+	if _, err := ex.SweepAvgTemp([]float64{-1}, []float64{1e-3}); err == nil {
+		t.Error("negative chip power should error")
+	}
+}
+
+func TestSweepGradientVShape(t *testing.T) {
+	ex := explorer(t)
+	lasers := []float64{2e-3, 4e-3, 6e-3}
+	heaters := []float64{0, 0.4e-3, 0.8e-3, 1.2e-3, 1.6e-3, 2.0e-3, 2.8e-3, 3.6e-3}
+	table, err := ex.SweepGradient(25, lasers, heaters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range table {
+		minIdx, err := GradientCurveMinimum(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if minIdx == 0 || minIdx == len(row)-1 {
+			t.Errorf("laser %g: V-minimum at boundary (idx %d)", lasers[i], minIdx)
+		}
+		// Gradient grows with laser power at zero heater (Fig. 9-b).
+		if i > 0 && row[0].MeanGradient <= table[i-1][0].MeanGradient {
+			t.Errorf("no-heater gradient not increasing with laser power at row %d", i)
+		}
+	}
+}
+
+func TestOptimalHeater(t *testing.T) {
+	ex := explorer(t)
+	opt, err := ex.OptimalHeater(25, 4e-3, 4e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper's headline: optimum near 0.3 × P_VCSEL. Coarse meshes shift
+	// it; accept an interior fraction.
+	if opt.Ratio <= 0.05 || opt.Ratio >= 0.8 {
+		t.Errorf("optimal ratio %.2f outside (0.05, 0.8)", opt.Ratio)
+	}
+	if opt.MeanGradient >= opt.GradientNoHeater {
+		t.Errorf("optimum gradient %.2f not below no-heater %.2f",
+			opt.MeanGradient, opt.GradientNoHeater)
+	}
+	if opt.PVCSEL != 4e-3 {
+		t.Errorf("echoed laser power %g", opt.PVCSEL)
+	}
+}
+
+func TestOptimalHeaterErrors(t *testing.T) {
+	ex := explorer(t)
+	if _, err := ex.OptimalHeater(25, 0, 1e-3); err == nil {
+		t.Error("zero laser power should error")
+	}
+	if _, err := ex.OptimalHeater(25, 1e-3, 0); err == nil {
+		t.Error("zero bound should error")
+	}
+}
+
+func TestHeaterComparison(t *testing.T) {
+	ex := explorer(t)
+	lasers := []float64{1e-3, 2e-3, 4e-3, 6e-3}
+	rows, err := ex.HeaterComparison(25, lasers, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i, r := range rows {
+		// Fig. 10: the heater reduces the gradient at every laser power...
+		if r.GradientWith >= r.GradientWithout {
+			t.Errorf("pv=%g: heater did not reduce gradient (%.2f vs %.2f)",
+				r.PVCSEL, r.GradientWith, r.GradientWithout)
+		}
+		// ... at a small average-temperature cost.
+		dAvg := r.AvgTempWith - r.AvgTempWithout
+		if dAvg <= 0 || dAvg > 3 {
+			t.Errorf("pv=%g: average-temp cost %.2f °C outside (0, 3]", r.PVCSEL, dAvg)
+		}
+		// Gradients grow with laser power.
+		if i > 0 && r.GradientWithout <= rows[i-1].GradientWithout {
+			t.Error("no-heater gradient not increasing")
+		}
+	}
+	if _, err := ex.HeaterComparison(25, lasers, -0.1); err == nil {
+		t.Error("negative ratio should error")
+	}
+}
+
+func TestCheckFeasibility(t *testing.T) {
+	ex := explorer(t)
+	// Tiny laser power: gradient well under 1 °C.
+	low, err := ex.CheckFeasibility(thermal.Powers{Chip: 25, VCSEL: 0.2e-3, Driver: 0.2e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !low.Feasible {
+		t.Errorf("0.2 mW should be feasible (max gradient %.2f)", low.MaxGradient)
+	}
+	// Large laser power without heater: infeasible.
+	high, err := ex.CheckFeasibility(thermal.Powers{Chip: 25, VCSEL: 6e-3, Driver: 6e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.Feasible {
+		t.Errorf("6 mW without heater should violate the 1 °C constraint (max %.2f)", high.MaxGradient)
+	}
+	if high.MaxGradient < high.MeanGradient {
+		t.Error("max gradient below mean")
+	}
+}
+
+func TestMaxFeasibleLaserPower(t *testing.T) {
+	ex := explorer(t)
+	pv, err := ex.MaxFeasibleLaserPower(25, 0.3, 8e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv <= 0 || pv >= 8e-3 {
+		t.Fatalf("max feasible laser power %g outside (0, 8 mW)", pv)
+	}
+	// The returned point must indeed be feasible...
+	f, err := ex.CheckFeasibility(thermal.Powers{Chip: 25, VCSEL: pv, Driver: pv, Heater: 0.3 * pv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Feasible {
+		t.Errorf("returned power %g infeasible (max gradient %.3f)", pv, f.MaxGradient)
+	}
+	// ... and slightly above it must not be.
+	f2, err := ex.CheckFeasibility(thermal.Powers{Chip: 25, VCSEL: pv * 1.1, Driver: pv * 1.1, Heater: 0.3 * pv * 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Feasible {
+		t.Errorf("10%% above the maximum should be infeasible")
+	}
+	if _, err := ex.MaxFeasibleLaserPower(25, 0.3, 0); err == nil {
+		t.Error("zero bound should error")
+	}
+}
+
+func TestGradientCurveMinimum(t *testing.T) {
+	row := []GradientPoint{
+		{MeanGradient: 3}, {MeanGradient: 1}, {MeanGradient: 2},
+	}
+	idx, err := GradientCurveMinimum(row)
+	if err != nil || idx != 1 {
+		t.Errorf("minimum idx = %d, %v", idx, err)
+	}
+	if _, err := GradientCurveMinimum(nil); err == nil {
+		t.Error("empty row should error")
+	}
+	bad := []GradientPoint{{MeanGradient: math.NaN()}}
+	if _, err := GradientCurveMinimum(bad); err == nil {
+		t.Error("NaN should error")
+	}
+}

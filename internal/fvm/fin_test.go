@@ -1,0 +1,102 @@
+package fvm
+
+import (
+	"math"
+	"testing"
+
+	"vcselnoc/internal/geom"
+)
+
+// TestFinEquationAnalytic validates lateral convection against the classic
+// cooling-fin solution: a rod held at T_base at x=0, losing heat from its
+// lateral faces into ambient, follows
+//
+//	θ(x)/θ_base = cosh(m·(L−x)) / cosh(m·L),  m = sqrt(h·P / (k·A))
+//
+// with P the perimeter and A the cross-section. This exercises convection
+// on side faces (y/z), which no other analytic test covers.
+func TestFinEquationAnalytic(t *testing.T) {
+	const (
+		L     = 10e-3 // rod length, x
+		w     = 1e-3  // square cross-section side
+		k     = 50.0  // conductivity
+		h     = 500.0 // film coefficient on all four lateral faces
+		Tamb  = 25.0
+		Tbase = 100.0
+	)
+	g := uniformGrid(t, 80, 2, 2, L, w, w)
+	n := g.NumCells()
+	p := &Problem{
+		Grid:         g,
+		Conductivity: fill(n, k),
+		Power:        fill(n, 0),
+		XMin:         Boundary{Type: Dirichlet, Value: Tbase},
+		YMin:         Boundary{Type: Convection, H: h, Value: Tamb},
+		YMax:         Boundary{Type: Convection, H: h, Value: Tamb},
+		ZMin:         Boundary{Type: Convection, H: h, Value: Tamb},
+		ZMax:         Boundary{Type: Convection, H: h, Value: Tamb},
+	}
+	sol, err := SolveSteady(p, SolveOptions{Tolerance: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perimeter := 4 * w
+	area := w * w
+	m := math.Sqrt(h * perimeter / (k * area))
+	for _, xFrac := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		x := xFrac * L
+		want := Tamb + (Tbase-Tamb)*math.Cosh(m*(L-x))/math.Cosh(m*L)
+		got, err := sol.TemperatureAt(geom.Vec3{X: x, Y: w / 2, Z: w / 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The 1-D fin model ignores the transverse profile, so allow a few
+		// per cent of the driving temperature difference.
+		if math.Abs(got-want) > 0.05*(Tbase-Tamb) {
+			t.Errorf("x=%.1f mm: T=%.2f, fin equation %.2f", x*1e3, got, want)
+		}
+	}
+	// The tip must be the coldest point and still above ambient.
+	tip, err := sol.TemperatureAt(geom.Vec3{X: 0.999 * L, Y: w / 2, Z: w / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sol.TemperatureAt(geom.Vec3{X: 0.001 * L, Y: w / 2, Z: w / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(Tamb < tip && tip < base && base <= Tbase) {
+		t.Errorf("ordering violated: amb %.1f, tip %.2f, base %.2f", Tamb, tip, base)
+	}
+	if e := sol.EnergyBalanceError(); e > 1e-6 {
+		t.Errorf("energy balance error %g", e)
+	}
+}
+
+// TestLateralBoundaryCombination: mixing Dirichlet on one side face with
+// adiabatic elsewhere must reproduce a pure lateral ramp regardless of z.
+func TestLateralBoundaryCombination(t *testing.T) {
+	g := uniformGrid(t, 2, 12, 3, 1e-3, 6e-3, 1e-3)
+	n := g.NumCells()
+	p := &Problem{
+		Grid:         g,
+		Conductivity: fill(n, 10),
+		Power:        fill(n, 0),
+		YMin:         Boundary{Type: Dirichlet, Value: 0},
+		YMax:         Boundary{Type: Dirichlet, Value: 60},
+	}
+	sol, err := SolveSteady(p, SolveOptions{Tolerance: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Linear in y, constant in x and z.
+	for j := 0; j < g.NY(); j++ {
+		y := g.CellCenter(0, j, 0).Y
+		want := 60 * y / 6e-3
+		for _, idx := range []int{g.Index(0, j, 0), g.Index(1, j, 2)} {
+			if math.Abs(sol.T[idx]-want) > 1e-6 {
+				t.Fatalf("cell %d at y=%g: T=%g, want %g", idx, y, sol.T[idx], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,590 @@
+// Package fvm discretises the heat-conduction equation on a structured
+// non-uniform grid with the Finite Volume Method and solves the resulting
+// linear system. It is the numerical core of the IcTherm-style thermal
+// simulator used by the paper's methodology.
+//
+// Steady state:   ∇·(k ∇T) + q = 0
+// Transient:      ρc ∂T/∂t = ∇·(k ∇T) + q   (implicit Euler)
+//
+// Face conductances use the series (harmonic) combination of the two
+// half-cells, which preserves flux continuity across material interfaces.
+// Boundary faces support adiabatic (zero flux), convection (Robin,
+// h·(T−T_amb)) and Dirichlet (fixed temperature) conditions.
+package fvm
+
+import (
+	"fmt"
+	"math"
+
+	"vcselnoc/internal/geom"
+	"vcselnoc/internal/mesh"
+	"vcselnoc/internal/sparse"
+)
+
+// BoundaryType selects the condition applied to one face of the domain.
+type BoundaryType int
+
+const (
+	// Adiabatic is a zero-flux boundary (default).
+	Adiabatic BoundaryType = iota
+	// Convection is a Robin boundary: flux = h·(T_surface − Value).
+	Convection
+	// Dirichlet fixes the boundary temperature to Value.
+	Dirichlet
+)
+
+func (t BoundaryType) String() string {
+	switch t {
+	case Adiabatic:
+		return "adiabatic"
+	case Convection:
+		return "convection"
+	case Dirichlet:
+		return "dirichlet"
+	default:
+		return fmt.Sprintf("BoundaryType(%d)", int(t))
+	}
+}
+
+// Boundary describes the condition on one domain face.
+type Boundary struct {
+	Type BoundaryType
+	// H is the heat transfer coefficient in W/(m²·K); used by Convection.
+	H float64
+	// Value is the ambient temperature (Convection) or the fixed surface
+	// temperature (Dirichlet), in °C.
+	Value float64
+}
+
+// Problem is a fully specified conduction problem on a grid.
+type Problem struct {
+	Grid *mesh.Grid
+	// Conductivity holds the per-cell thermal conductivity in W/(m·K).
+	Conductivity []float64
+	// Power holds the per-cell heat source in watts.
+	Power []float64
+	// HeatCapacity optionally holds per-cell ρc in J/(m³·K) for transient
+	// simulation. May be nil for steady-state-only problems.
+	HeatCapacity []float64
+
+	// Boundaries of the six domain faces.
+	XMin, XMax, YMin, YMax, ZMin, ZMax Boundary
+}
+
+// Validate checks the problem for structural errors.
+func (p *Problem) Validate() error {
+	if p.Grid == nil {
+		return fmt.Errorf("fvm: nil grid")
+	}
+	n := p.Grid.NumCells()
+	if len(p.Conductivity) != n {
+		return fmt.Errorf("fvm: conductivity has %d entries, want %d", len(p.Conductivity), n)
+	}
+	if len(p.Power) != n {
+		return fmt.Errorf("fvm: power has %d entries, want %d", len(p.Power), n)
+	}
+	if p.HeatCapacity != nil && len(p.HeatCapacity) != n {
+		return fmt.Errorf("fvm: heat capacity has %d entries, want %d", len(p.HeatCapacity), n)
+	}
+	for i, k := range p.Conductivity {
+		if k <= 0 || math.IsNaN(k) || math.IsInf(k, 0) {
+			return fmt.Errorf("fvm: cell %d has invalid conductivity %g", i, k)
+		}
+	}
+	for i, q := range p.Power {
+		if math.IsNaN(q) || math.IsInf(q, 0) {
+			return fmt.Errorf("fvm: cell %d has invalid power %g", i, q)
+		}
+	}
+	for _, b := range p.boundaries() {
+		if b.b.Type == Convection && b.b.H <= 0 {
+			return fmt.Errorf("fvm: %s convection boundary needs H > 0, got %g", b.name, b.b.H)
+		}
+	}
+	return nil
+}
+
+type namedBoundary struct {
+	name string
+	b    Boundary
+}
+
+func (p *Problem) boundaries() []namedBoundary {
+	return []namedBoundary{
+		{"xmin", p.XMin}, {"xmax", p.XMax},
+		{"ymin", p.YMin}, {"ymax", p.YMax},
+		{"zmin", p.ZMin}, {"zmax", p.ZMax},
+	}
+}
+
+// hasFixingBoundary reports whether at least one boundary pins the
+// temperature level (required for a well-posed steady problem).
+func (p *Problem) hasFixingBoundary() bool {
+	for _, b := range p.boundaries() {
+		if b.b.Type != Adiabatic {
+			return true
+		}
+	}
+	return false
+}
+
+// assembled holds the discretised operator.
+type assembled struct {
+	matrix *sparse.CSR
+	rhs    []float64
+	// boundaryG[i] is the total boundary conductance of cell i (W/K) and
+	// boundaryGT[i] the conductance-weighted boundary temperature, used for
+	// energy accounting.
+	boundaryG  []float64
+	boundaryGT []float64
+}
+
+// faceConductance returns the conductance (W/K) between two adjacent cells
+// with half-widths d1/2 and d2/2, conductivities k1, k2, across face area a.
+func faceConductance(a, d1, k1, d2, k2 float64) float64 {
+	return a / (0.5*d1/k1 + 0.5*d2/k2)
+}
+
+// boundaryConductance returns the conductance from a cell centre to a
+// boundary face of area a. For convection it is the series combination of
+// the half-cell conduction and the film coefficient; for Dirichlet it is
+// the half-cell conduction alone.
+func boundaryConductance(b Boundary, a, d, k float64) float64 {
+	switch b.Type {
+	case Convection:
+		return a / (0.5*d/k + 1/b.H)
+	case Dirichlet:
+		return a / (0.5 * d / k)
+	default:
+		return 0
+	}
+}
+
+// assemble builds the SPD system A·T = b for the steady problem.
+func (p *Problem) assemble() (*assembled, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := p.Grid
+	nx, ny, nz := g.NX(), g.NY(), g.NZ()
+	n := g.NumCells()
+
+	// Pass 1: face conductances along each axis.
+	// gxF[idx] couples idx and idx+1 (only valid when i < nx-1), etc.
+	gxF := make([]float64, n)
+	gyF := make([]float64, n)
+	gzF := make([]float64, n)
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				idx := g.Index(i, j, k)
+				sz := g.CellSize(i, j, k)
+				kc := p.Conductivity[idx]
+				if i < nx-1 {
+					nb := g.Index(i+1, j, k)
+					nsz := g.CellSize(i+1, j, k)
+					gxF[idx] = faceConductance(sz.Y*sz.Z, sz.X, kc, nsz.X, p.Conductivity[nb])
+				}
+				if j < ny-1 {
+					nb := g.Index(i, j+1, k)
+					nsz := g.CellSize(i, j+1, k)
+					gyF[idx] = faceConductance(sz.X*sz.Z, sz.Y, kc, nsz.Y, p.Conductivity[nb])
+				}
+				if k < nz-1 {
+					nb := g.Index(i, j, k+1)
+					nsz := g.CellSize(i, j, k+1)
+					gzF[idx] = faceConductance(sz.X*sz.Y, sz.Z, kc, nsz.Z, p.Conductivity[nb])
+				}
+			}
+		}
+	}
+
+	// Pass 2: count row entries and build CSR directly (sorted columns:
+	// -z, -y, -x, diag, +x, +y, +z).
+	rowPtr := make([]int, n+1)
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				cnt := 1
+				if k > 0 {
+					cnt++
+				}
+				if j > 0 {
+					cnt++
+				}
+				if i > 0 {
+					cnt++
+				}
+				if i < nx-1 {
+					cnt++
+				}
+				if j < ny-1 {
+					cnt++
+				}
+				if k < nz-1 {
+					cnt++
+				}
+				rowPtr[g.Index(i, j, k)+1] = cnt
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	nnz := rowPtr[n]
+	colIdx := make([]int32, nnz)
+	values := make([]float64, nnz)
+	rhs := make([]float64, n)
+	boundaryG := make([]float64, n)
+	boundaryGT := make([]float64, n)
+
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				idx := g.Index(i, j, k)
+				sz := g.CellSize(i, j, k)
+				kc := p.Conductivity[idx]
+				diag := 0.0
+				pos := rowPtr[idx]
+
+				put := func(col int, v float64) {
+					colIdx[pos] = int32(col)
+					values[pos] = v
+					pos++
+				}
+
+				var gmx, gmy, gmz, gpx, gpy, gpz float64
+				if k > 0 {
+					gmz = gzF[g.Index(i, j, k-1)]
+				}
+				if j > 0 {
+					gmy = gyF[g.Index(i, j-1, k)]
+				}
+				if i > 0 {
+					gmx = gxF[g.Index(i-1, j, k)]
+				}
+				if i < nx-1 {
+					gpx = gxF[idx]
+				}
+				if j < ny-1 {
+					gpy = gyF[idx]
+				}
+				if k < nz-1 {
+					gpz = gzF[idx]
+				}
+
+				if k > 0 {
+					put(g.Index(i, j, k-1), -gmz)
+					diag += gmz
+				}
+				if j > 0 {
+					put(g.Index(i, j-1, k), -gmy)
+					diag += gmy
+				}
+				if i > 0 {
+					put(g.Index(i-1, j, k), -gmx)
+					diag += gmx
+				}
+				diagPos := pos
+				put(idx, 0) // filled below
+				if i < nx-1 {
+					put(g.Index(i+1, j, k), -gpx)
+					diag += gpx
+				}
+				if j < ny-1 {
+					put(g.Index(i, j+1, k), -gpy)
+					diag += gpy
+				}
+				if k < nz-1 {
+					put(g.Index(i, j, k+1), -gpz)
+					diag += gpz
+				}
+
+				// Boundary faces.
+				applyBoundary := func(b Boundary, area, d float64) {
+					gb := boundaryConductance(b, area, d, kc)
+					if gb <= 0 {
+						return
+					}
+					diag += gb
+					rhs[idx] += gb * b.Value
+					boundaryG[idx] += gb
+					boundaryGT[idx] += gb * b.Value
+				}
+				if i == 0 {
+					applyBoundary(p.XMin, sz.Y*sz.Z, sz.X)
+				}
+				if i == nx-1 {
+					applyBoundary(p.XMax, sz.Y*sz.Z, sz.X)
+				}
+				if j == 0 {
+					applyBoundary(p.YMin, sz.X*sz.Z, sz.Y)
+				}
+				if j == ny-1 {
+					applyBoundary(p.YMax, sz.X*sz.Z, sz.Y)
+				}
+				if k == 0 {
+					applyBoundary(p.ZMin, sz.X*sz.Y, sz.Z)
+				}
+				if k == nz-1 {
+					applyBoundary(p.ZMax, sz.X*sz.Y, sz.Z)
+				}
+
+				values[diagPos] = diag
+				rhs[idx] += p.Power[idx]
+			}
+		}
+	}
+
+	m, err := sparse.NewCSRFromParts(n, rowPtr, colIdx, values)
+	if err != nil {
+		return nil, fmt.Errorf("fvm: assembly produced invalid CSR: %w", err)
+	}
+	return &assembled{matrix: m, rhs: rhs, boundaryG: boundaryG, boundaryGT: boundaryGT}, nil
+}
+
+// SolveOptions configures a steady-state solve.
+type SolveOptions struct {
+	// Tolerance is the CG relative residual target (default 1e-8).
+	Tolerance float64
+	// MaxIterations caps CG iterations (default 10·n).
+	MaxIterations int
+	// InitialGuess optionally warm-starts the solver (length = cells).
+	InitialGuess []float64
+}
+
+// Solution is a computed temperature field.
+type Solution struct {
+	Grid *mesh.Grid
+	// T is the per-cell temperature in °C.
+	T []float64
+	// Stats reports solver convergence.
+	Stats sparse.CGResult
+
+	boundaryG  []float64
+	boundaryGT []float64
+	totalPower float64
+}
+
+// SolveSteady solves the steady-state problem.
+func SolveSteady(p *Problem, opts SolveOptions) (*Solution, error) {
+	if !p.hasFixingBoundary() {
+		return nil, fmt.Errorf("fvm: steady problem needs at least one convection or Dirichlet boundary (all faces adiabatic)")
+	}
+	asm, err := p.assemble()
+	if err != nil {
+		return nil, err
+	}
+	tol := opts.Tolerance
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	t, stats, err := sparse.SolveCG(asm.matrix, asm.rhs, sparse.CGOptions{
+		Tolerance:     tol,
+		MaxIterations: opts.MaxIterations,
+		InitialGuess:  opts.InitialGuess,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fvm: steady solve failed: %w", err)
+	}
+	var total float64
+	for _, q := range p.Power {
+		total += q
+	}
+	return &Solution{
+		Grid: p.Grid, T: t, Stats: stats,
+		boundaryG: asm.boundaryG, boundaryGT: asm.boundaryGT, totalPower: total,
+	}, nil
+}
+
+// BoundaryHeatFlow returns the net heat leaving the domain through
+// non-adiabatic boundaries, in watts. For a converged steady solution this
+// matches the total injected power.
+func (s *Solution) BoundaryHeatFlow() float64 {
+	var out float64
+	for i, g := range s.boundaryG {
+		if g > 0 {
+			out += g*s.T[i] - s.boundaryGT[i]
+		}
+	}
+	return out
+}
+
+// EnergyBalanceError returns the relative defect between injected power
+// and net boundary outflow. The defect is normalised by the larger of the
+// injected power and the gross boundary exchange, so that problems driven
+// purely by boundary conditions (zero volumetric sources, e.g. a fin with
+// a hot base) are judged against the through-flux rather than zero.
+func (s *Solution) EnergyBalanceError() float64 {
+	in := s.totalPower
+	out := s.BoundaryHeatFlow()
+	var gross float64
+	for i, g := range s.boundaryG {
+		if g > 0 {
+			gross += math.Abs(g*s.T[i] - s.boundaryGT[i])
+		}
+	}
+	denom := math.Max(math.Abs(in), math.Max(gross, 1e-12))
+	return math.Abs(in-out) / denom
+}
+
+// TemperatureAt returns the temperature of the cell containing p.
+func (s *Solution) TemperatureAt(p geom.Vec3) (float64, error) {
+	i, j, k, ok := s.Grid.FindCell(p)
+	if !ok {
+		return 0, fmt.Errorf("fvm: point %v outside domain", p)
+	}
+	return s.T[s.Grid.Index(i, j, k)], nil
+}
+
+// RegionStats summarises the temperature field over a box.
+type RegionStats struct {
+	Min, Max, Mean float64
+	// Gradient is Max − Min, the quantity the paper calls the gradient
+	// temperature of a region.
+	Gradient float64
+	// Volume is the overlapped volume used for the averages.
+	Volume float64
+}
+
+// StatsOver computes volume-weighted statistics over all cells overlapping
+// the box.
+func (s *Solution) StatsOver(b geom.Box) (RegionStats, error) {
+	g := s.Grid
+	i0, i1, j0, j1, k0, k1 := g.CellsOverlapping(b)
+	st := RegionStats{Min: math.Inf(1), Max: math.Inf(-1)}
+	var weighted float64
+	for k := k0; k < k1; k++ {
+		for j := j0; j < j1; j++ {
+			for i := i0; i < i1; i++ {
+				cell := g.CellBox(i, j, k)
+				ov := cell.OverlapVolume(b)
+				if ov <= 0 {
+					continue
+				}
+				t := s.T[g.Index(i, j, k)]
+				weighted += t * ov
+				st.Volume += ov
+				if t < st.Min {
+					st.Min = t
+				}
+				if t > st.Max {
+					st.Max = t
+				}
+			}
+		}
+	}
+	if st.Volume == 0 {
+		return RegionStats{}, fmt.Errorf("fvm: box %v overlaps no cells", b)
+	}
+	st.Mean = weighted / st.Volume
+	st.Gradient = st.Max - st.Min
+	return st, nil
+}
+
+// GlobalStats returns statistics over the whole domain.
+func (s *Solution) GlobalStats() RegionStats {
+	st, _ := s.StatsOver(s.Grid.Domain())
+	return st
+}
+
+// TransientOptions configures a transient run.
+type TransientOptions struct {
+	// TimeStep is the implicit-Euler step in seconds (must be > 0).
+	TimeStep float64
+	// Steps is the number of steps to take (must be > 0).
+	Steps int
+	// Initial is the starting temperature field; if nil, the field starts
+	// uniform at InitialUniform.
+	Initial []float64
+	// InitialUniform is the uniform start temperature used when Initial is
+	// nil (°C).
+	InitialUniform float64
+	// Tolerance is the per-step CG tolerance (default 1e-8).
+	Tolerance float64
+	// Snapshot, if non-nil, is called after every step with the step index
+	// (1-based), the simulated time and the current field (read-only).
+	Snapshot func(step int, time float64, t []float64)
+}
+
+// SolveTransient integrates the transient heat equation with implicit
+// Euler and returns the final field.
+func SolveTransient(p *Problem, opts TransientOptions) (*Solution, error) {
+	if p.HeatCapacity == nil {
+		return nil, fmt.Errorf("fvm: transient solve requires HeatCapacity")
+	}
+	if opts.TimeStep <= 0 {
+		return nil, fmt.Errorf("fvm: time step %g must be > 0", opts.TimeStep)
+	}
+	if opts.Steps <= 0 {
+		return nil, fmt.Errorf("fvm: steps %d must be > 0", opts.Steps)
+	}
+	asm, err := p.assemble()
+	if err != nil {
+		return nil, err
+	}
+	g := p.Grid
+	n := g.NumCells()
+
+	// Capacity term C/dt per cell (W/K).
+	cap := make([]float64, n)
+	for k := 0; k < g.NZ(); k++ {
+		for j := 0; j < g.NY(); j++ {
+			for i := 0; i < g.NX(); i++ {
+				idx := g.Index(i, j, k)
+				c := p.HeatCapacity[idx]
+				if c <= 0 {
+					return nil, fmt.Errorf("fvm: cell %d has non-positive heat capacity %g", idx, c)
+				}
+				cap[idx] = c * g.CellVolume(i, j, k) / opts.TimeStep
+			}
+		}
+	}
+	// Transient matrix = A + diag(C/dt). Build by copying A and bumping the
+	// diagonal.
+	m := asm.matrix
+	diagBumped := sparse.AddDiagonal(m, cap)
+
+	t := make([]float64, n)
+	if opts.Initial != nil {
+		if len(opts.Initial) != n {
+			return nil, fmt.Errorf("fvm: initial field has %d entries, want %d", len(opts.Initial), n)
+		}
+		copy(t, opts.Initial)
+	} else {
+		for i := range t {
+			t[i] = opts.InitialUniform
+		}
+	}
+	tol := opts.Tolerance
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	rhs := make([]float64, n)
+	var stats sparse.CGResult
+	for step := 1; step <= opts.Steps; step++ {
+		for i := range rhs {
+			rhs[i] = asm.rhs[i] + cap[i]*t[i]
+		}
+		next, st, err := sparse.SolveCG(diagBumped, rhs, sparse.CGOptions{
+			Tolerance:    tol,
+			InitialGuess: t,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fvm: transient step %d failed: %w", step, err)
+		}
+		t = next
+		stats = st
+		if opts.Snapshot != nil {
+			opts.Snapshot(step, float64(step)*opts.TimeStep, t)
+		}
+	}
+	var total float64
+	for _, q := range p.Power {
+		total += q
+	}
+	return &Solution{
+		Grid: g, T: t, Stats: stats,
+		boundaryG: asm.boundaryG, boundaryGT: asm.boundaryGT, totalPower: total,
+	}, nil
+}

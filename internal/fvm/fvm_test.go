@@ -1,0 +1,539 @@
+package fvm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vcselnoc/internal/geom"
+	"vcselnoc/internal/mesh"
+)
+
+func uniformGrid(t testing.TB, nx, ny, nz int, lx, ly, lz float64) *mesh.Grid {
+	t.Helper()
+	mk := func(n int, l float64) []float64 {
+		lines := make([]float64, n+1)
+		for i := range lines {
+			lines[i] = l * float64(i) / float64(n)
+		}
+		return lines
+	}
+	g, err := mesh.NewGrid(mk(nx, lx), mk(ny, ly), mk(nz, lz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func fill(n int, v float64) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// TestSlab1DAnalytic validates the solver against the exact solution of a
+// 1-D slab with uniform volumetric heating, one Dirichlet face and one
+// adiabatic face: T(x) = T0 + (q_v/k)·(L·x − x²/2).
+func TestSlab1DAnalytic(t *testing.T) {
+	const (
+		L  = 1e-3 // 1 mm slab
+		k  = 100.0
+		qv = 1e9 // W/m³
+		T0 = 25.0
+	)
+	g := uniformGrid(t, 50, 1, 1, L, 1e-4, 1e-4)
+	n := g.NumCells()
+	power := make([]float64, n)
+	for i := 0; i < g.NX(); i++ {
+		power[g.Index(i, 0, 0)] = qv * g.CellVolume(i, 0, 0)
+	}
+	p := &Problem{
+		Grid:         g,
+		Conductivity: fill(n, k),
+		Power:        power,
+		XMin:         Boundary{Type: Dirichlet, Value: T0},
+	}
+	sol, err := SolveSteady(p, SolveOptions{Tolerance: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.NX(); i++ {
+		x := g.CellCenter(i, 0, 0).X
+		want := T0 + qv/k*(L*x-x*x/2)
+		got := sol.T[g.Index(i, 0, 0)]
+		if math.Abs(got-want) > 0.02*(want-T0)+1e-6 {
+			t.Fatalf("cell %d at x=%g: T=%g, want %g", i, x, got, want)
+		}
+	}
+	if e := sol.EnergyBalanceError(); e > 1e-6 {
+		t.Errorf("energy balance error %g", e)
+	}
+}
+
+// TestSeriesSlabAnalytic checks a two-material slab with a fixed heat flux
+// driven by Dirichlet conditions at both ends: the interface temperature
+// must follow the series thermal resistance.
+func TestSeriesSlabAnalytic(t *testing.T) {
+	const (
+		L      = 2e-3
+		k1, k2 = 10.0, 100.0
+		Tleft  = 100.0
+		Tright = 0.0
+	)
+	g := uniformGrid(t, 40, 1, 1, L, 1e-4, 1e-4)
+	n := g.NumCells()
+	cond := make([]float64, n)
+	for i := 0; i < g.NX(); i++ {
+		if g.CellCenter(i, 0, 0).X < L/2 {
+			cond[g.Index(i, 0, 0)] = k1
+		} else {
+			cond[g.Index(i, 0, 0)] = k2
+		}
+	}
+	p := &Problem{
+		Grid:         g,
+		Conductivity: cond,
+		Power:        fill(n, 0),
+		XMin:         Boundary{Type: Dirichlet, Value: Tleft},
+		XMax:         Boundary{Type: Dirichlet, Value: Tright},
+	}
+	sol, err := SolveSteady(p, SolveOptions{Tolerance: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytic interface temperature: flux q = ΔT / (R1+R2),
+	// R1 = (L/2)/k1, R2 = (L/2)/k2; T_if = Tleft − q·R1.
+	r1 := (L / 2) / k1
+	r2 := (L / 2) / k2
+	q := (Tleft - Tright) / (r1 + r2)
+	wantIf := Tleft - q*r1
+	gotIf, err := sol.TemperatureAt(geom.Vec3{X: L / 2, Y: 5e-5, Z: 5e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotIf-wantIf) > 1.5 {
+		t.Errorf("interface T = %g, want ~%g", gotIf, wantIf)
+	}
+}
+
+// TestConvectionAnalytic checks the overall thermal resistance of a slab
+// cooled by convection: T_base − T_amb = P·(L/(k·A) + 1/(h·A)).
+func TestConvectionAnalytic(t *testing.T) {
+	const (
+		L    = 1e-3
+		A    = 1e-6 // 1 mm × 1 mm
+		k    = 50.0
+		h    = 1e4
+		P    = 0.5
+		Tamb = 25.0
+	)
+	g := uniformGrid(t, 1, 1, 30, 1e-3, 1e-3, L)
+	n := g.NumCells()
+	power := make([]float64, n)
+	power[g.Index(0, 0, 0)] = P // heat injected in bottom cell
+	p := &Problem{
+		Grid:         g,
+		Conductivity: fill(n, k),
+		Power:        power,
+		ZMax:         Boundary{Type: Convection, H: h, Value: Tamb},
+	}
+	sol, err := SolveSteady(p, SolveOptions{Tolerance: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bottom cell centre sits dz/2 above z=0, so conduction path is
+	// L − dz/2.
+	dz := L / 30
+	want := Tamb + P*((L-dz/2)/(k*A)+1/(h*A))
+	got := sol.T[g.Index(0, 0, 0)]
+	if math.Abs(got-want) > 0.01*(want-Tamb) {
+		t.Errorf("base T = %g, want %g", got, want)
+	}
+	if e := sol.EnergyBalanceError(); e > 1e-6 {
+		t.Errorf("energy balance error %g", e)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	g := uniformGrid(t, 2, 2, 2, 1, 1, 1)
+	n := g.NumCells()
+	good := func() *Problem {
+		return &Problem{
+			Grid:         g,
+			Conductivity: fill(n, 1),
+			Power:        fill(n, 0),
+			ZMax:         Boundary{Type: Convection, H: 10, Value: 25},
+		}
+	}
+
+	p := good()
+	p.Grid = nil
+	if _, err := SolveSteady(p, SolveOptions{}); err == nil {
+		t.Error("nil grid should error")
+	}
+
+	p = good()
+	p.Conductivity = fill(n-1, 1)
+	if _, err := SolveSteady(p, SolveOptions{}); err == nil {
+		t.Error("short conductivity should error")
+	}
+
+	p = good()
+	p.Conductivity[3] = -1
+	if _, err := SolveSteady(p, SolveOptions{}); err == nil {
+		t.Error("negative conductivity should error")
+	}
+
+	p = good()
+	p.Power[0] = math.NaN()
+	if _, err := SolveSteady(p, SolveOptions{}); err == nil {
+		t.Error("NaN power should error")
+	}
+
+	p = good()
+	p.ZMax = Boundary{Type: Convection, H: 0, Value: 25}
+	if _, err := SolveSteady(p, SolveOptions{}); err == nil {
+		t.Error("zero H convection should error")
+	}
+
+	p = good()
+	p.ZMax = Boundary{} // all adiabatic
+	if _, err := SolveSteady(p, SolveOptions{}); err == nil {
+		t.Error("all-adiabatic steady problem should error")
+	}
+}
+
+func TestBoundaryTypeString(t *testing.T) {
+	if Adiabatic.String() != "adiabatic" || Convection.String() != "convection" ||
+		Dirichlet.String() != "dirichlet" {
+		t.Error("BoundaryType strings wrong")
+	}
+	if BoundaryType(42).String() == "" {
+		t.Error("unknown type should stringify")
+	}
+}
+
+// TestMaximumPrinciple: with no heat sources, the temperature everywhere
+// must lie between the boundary temperatures.
+func TestMaximumPrinciple(t *testing.T) {
+	g := uniformGrid(t, 8, 8, 8, 1e-3, 1e-3, 1e-3)
+	n := g.NumCells()
+	p := &Problem{
+		Grid:         g,
+		Conductivity: fill(n, 10),
+		Power:        fill(n, 0),
+		XMin:         Boundary{Type: Dirichlet, Value: 10},
+		XMax:         Boundary{Type: Dirichlet, Value: 90},
+	}
+	sol, err := SolveSteady(p, SolveOptions{Tolerance: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sol.GlobalStats()
+	if st.Min < 10-1e-6 || st.Max > 90+1e-6 {
+		t.Errorf("maximum principle violated: [%g, %g] outside [10, 90]", st.Min, st.Max)
+	}
+}
+
+// TestSuperposition: the steady solution is linear in the power vector,
+// relative to the ambient offset. T(q1+q2) − T_amb = (T(q1)−T_amb) +
+// (T(q2)−T_amb) when all boundaries share the same ambient value.
+func TestSuperposition(t *testing.T) {
+	g := uniformGrid(t, 6, 6, 4, 1e-3, 1e-3, 5e-4)
+	n := g.NumCells()
+	const amb = 30.0
+	base := func() *Problem {
+		return &Problem{
+			Grid:         g,
+			Conductivity: fill(n, 20),
+			Power:        fill(n, 0),
+			ZMax:         Boundary{Type: Convection, H: 5e3, Value: amb},
+		}
+	}
+	p1 := base()
+	p1.Power[g.Index(1, 1, 0)] = 0.3
+	p2 := base()
+	p2.Power[g.Index(4, 4, 1)] = 0.7
+	p12 := base()
+	p12.Power[g.Index(1, 1, 0)] = 0.3
+	p12.Power[g.Index(4, 4, 1)] = 0.7
+
+	s1, err := SolveSteady(p1, SolveOptions{Tolerance: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SolveSteady(p2, SolveOptions{Tolerance: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s12, err := SolveSteady(p12, SolveOptions{Tolerance: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s12.T {
+		want := (s1.T[i] - amb) + (s2.T[i] - amb) + amb
+		if math.Abs(s12.T[i]-want) > 1e-6 {
+			t.Fatalf("superposition violated at cell %d: %g vs %g", i, s12.T[i], want)
+		}
+	}
+}
+
+func TestStatsOver(t *testing.T) {
+	g := uniformGrid(t, 4, 4, 1, 4, 4, 1)
+	n := g.NumCells()
+	p := &Problem{
+		Grid:         g,
+		Conductivity: fill(n, 1),
+		Power:        fill(n, 0),
+		XMin:         Boundary{Type: Dirichlet, Value: 0},
+		XMax:         Boundary{Type: Dirichlet, Value: 100},
+	}
+	sol, err := SolveSteady(p, SolveOptions{Tolerance: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sol.StatsOver(g.Domain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Gradient <= 0 {
+		t.Error("gradient should be positive in a temperature ramp")
+	}
+	if st.Mean < st.Min || st.Mean > st.Max {
+		t.Error("mean outside [min, max]")
+	}
+	// Out-of-domain box errors.
+	if _, err := sol.StatsOver(geom.NewBox(geom.Vec3{X: 100}, geom.Vec3{X: 1, Y: 1, Z: 1})); err == nil {
+		t.Error("disjoint box should error")
+	}
+}
+
+func TestTemperatureAtOutside(t *testing.T) {
+	g := uniformGrid(t, 2, 2, 2, 1, 1, 1)
+	n := g.NumCells()
+	p := &Problem{
+		Grid:         g,
+		Conductivity: fill(n, 1),
+		Power:        fill(n, 0),
+		ZMax:         Boundary{Type: Dirichlet, Value: 25},
+	}
+	sol, err := SolveSteady(p, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sol.TemperatureAt(geom.Vec3{X: -5}); err == nil {
+		t.Error("outside point should error")
+	}
+}
+
+// TestTransientApproachesSteady: after many time steps the transient field
+// must converge to the steady solution.
+func TestTransientApproachesSteady(t *testing.T) {
+	g := uniformGrid(t, 6, 6, 3, 1e-3, 1e-3, 3e-4)
+	n := g.NumCells()
+	power := fill(n, 0)
+	power[g.Index(2, 3, 0)] = 0.2
+	p := &Problem{
+		Grid:         g,
+		Conductivity: fill(n, 30),
+		Power:        power,
+		HeatCapacity: fill(n, 1.6e6),
+		ZMax:         Boundary{Type: Convection, H: 1e4, Value: 25},
+	}
+	steady, err := SolveSteady(p, SolveOptions{Tolerance: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastTime float64
+	var snaps int
+	trans, err := SolveTransient(p, TransientOptions{
+		TimeStep:       5e-3,
+		Steps:          4000,
+		InitialUniform: 25,
+		Tolerance:      1e-10,
+		Snapshot: func(step int, tm float64, _ []float64) {
+			snaps++
+			lastTime = tm
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snaps != 4000 || math.Abs(lastTime-20.0) > 1e-9 {
+		t.Errorf("snapshots=%d lastTime=%g", snaps, lastTime)
+	}
+	for i := range steady.T {
+		if math.Abs(trans.T[i]-steady.T[i]) > 0.05 {
+			t.Fatalf("transient did not reach steady at cell %d: %g vs %g", i, trans.T[i], steady.T[i])
+		}
+	}
+}
+
+// TestTransientMonotoneHeating: starting at ambient with constant power,
+// the hottest cell's temperature must rise monotonically.
+func TestTransientMonotoneHeating(t *testing.T) {
+	g := uniformGrid(t, 4, 4, 2, 1e-3, 1e-3, 2e-4)
+	n := g.NumCells()
+	power := fill(n, 0)
+	hot := g.Index(1, 1, 0)
+	power[hot] = 0.5
+	p := &Problem{
+		Grid:         g,
+		Conductivity: fill(n, 100),
+		Power:        power,
+		HeatCapacity: fill(n, 1.6e6),
+		ZMax:         Boundary{Type: Convection, H: 5e3, Value: 25},
+	}
+	prev := 25.0
+	_, err := SolveTransient(p, TransientOptions{
+		TimeStep:       1e-2,
+		Steps:          50,
+		InitialUniform: 25,
+		Snapshot: func(_ int, _ float64, field []float64) {
+			if field[hot] < prev-1e-9 {
+				t.Errorf("hot cell cooled during constant heating: %g -> %g", prev, field[hot])
+			}
+			prev = field[hot]
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev <= 25 {
+		t.Error("hot cell never heated")
+	}
+}
+
+func TestTransientErrors(t *testing.T) {
+	g := uniformGrid(t, 2, 2, 2, 1, 1, 1)
+	n := g.NumCells()
+	p := &Problem{
+		Grid:         g,
+		Conductivity: fill(n, 1),
+		Power:        fill(n, 0),
+		ZMax:         Boundary{Type: Dirichlet, Value: 25},
+	}
+	if _, err := SolveTransient(p, TransientOptions{TimeStep: 1, Steps: 1}); err == nil {
+		t.Error("missing heat capacity should error")
+	}
+	p.HeatCapacity = fill(n, 1e6)
+	if _, err := SolveTransient(p, TransientOptions{TimeStep: 0, Steps: 1}); err == nil {
+		t.Error("zero dt should error")
+	}
+	if _, err := SolveTransient(p, TransientOptions{TimeStep: 1, Steps: 0}); err == nil {
+		t.Error("zero steps should error")
+	}
+	if _, err := SolveTransient(p, TransientOptions{TimeStep: 1, Steps: 1, Initial: fill(3, 0)}); err == nil {
+		t.Error("wrong initial length should error")
+	}
+	p.HeatCapacity[0] = -1
+	if _, err := SolveTransient(p, TransientOptions{TimeStep: 1, Steps: 1}); err == nil {
+		t.Error("negative capacity should error")
+	}
+}
+
+// TestMeshRefinementConvergence: refining the grid should not change the
+// solution much (consistency of the discretisation).
+func TestMeshRefinementConvergence(t *testing.T) {
+	solveWith := func(nx int) float64 {
+		g := uniformGrid(t, nx, 1, 1, 1e-3, 1e-4, 1e-4)
+		n := g.NumCells()
+		power := make([]float64, n)
+		for i := 0; i < g.NX(); i++ {
+			power[g.Index(i, 0, 0)] = 1e9 * g.CellVolume(i, 0, 0)
+		}
+		p := &Problem{
+			Grid:         g,
+			Conductivity: fill(n, 100),
+			Power:        power,
+			XMin:         Boundary{Type: Dirichlet, Value: 0},
+		}
+		sol, err := SolveSteady(p, SolveOptions{Tolerance: 1e-12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := sol.TemperatureAt(geom.Vec3{X: 0.9999e-3, Y: 5e-5, Z: 5e-5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	coarse := solveWith(10)
+	fine := solveWith(80)
+	// Analytic peak: qv·L²/(2k) = 1e9·1e-6/200 = 5.
+	if math.Abs(fine-5) > 0.05 {
+		t.Errorf("fine solution %g, want ~5", fine)
+	}
+	if math.Abs(coarse-fine) > 0.5 {
+		t.Errorf("refinement changed solution too much: %g vs %g", coarse, fine)
+	}
+}
+
+// Property: random well-posed problems satisfy the discrete maximum
+// principle (solution bounded by boundary values when sources are zero)
+// and conserve energy.
+func TestQuickWellPosedProblems(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nx := 2 + rng.Intn(5)
+		ny := 2 + rng.Intn(5)
+		nz := 2 + rng.Intn(3)
+		g := uniformGrid(t, nx, ny, nz, 1e-3, 1e-3, 5e-4)
+		n := g.NumCells()
+		cond := make([]float64, n)
+		for i := range cond {
+			cond[i] = 1 + rng.Float64()*200
+		}
+		power := make([]float64, n)
+		var total float64
+		for i := range power {
+			if rng.Float64() < 0.3 {
+				power[i] = rng.Float64()
+				total += power[i]
+			}
+		}
+		amb := 20 + rng.Float64()*20
+		p := &Problem{
+			Grid:         g,
+			Conductivity: cond,
+			Power:        power,
+			ZMax:         Boundary{Type: Convection, H: 100 + rng.Float64()*1e4, Value: amb},
+		}
+		sol, err := SolveSteady(p, SolveOptions{Tolerance: 1e-11})
+		if err != nil {
+			return false
+		}
+		st := sol.GlobalStats()
+		// With non-negative sources, everything is at least ambient.
+		if st.Min < amb-1e-6 {
+			return false
+		}
+		return sol.EnergyBalanceError() < 1e-5
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSteadySolve20x20x10(b *testing.B) {
+	g := uniformGrid(b, 20, 20, 10, 2e-2, 2e-2, 2e-3)
+	n := g.NumCells()
+	power := fill(n, 0)
+	power[g.Index(10, 10, 0)] = 5
+	p := &Problem{
+		Grid:         g,
+		Conductivity: fill(n, 100),
+		Power:        power,
+		ZMax:         Boundary{Type: Convection, H: 1e4, Value: 25},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveSteady(p, SolveOptions{Tolerance: 1e-8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

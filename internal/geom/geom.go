@@ -1,0 +1,234 @@
+// Package geom provides the axis-aligned geometry primitives used to
+// describe chip floorplans and 3D package stacks: intervals, rectangles and
+// boxes with overlap/clip algebra. All coordinates are in metres.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is a half-open interval [Lo, Hi) on one axis.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Length returns Hi-Lo (zero or negative means empty).
+func (iv Interval) Length() float64 { return iv.Hi - iv.Lo }
+
+// Empty reports whether the interval has no extent.
+func (iv Interval) Empty() bool { return iv.Hi <= iv.Lo }
+
+// Contains reports whether x lies in [Lo, Hi).
+func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x < iv.Hi }
+
+// Intersect returns the overlap of two intervals (possibly empty).
+func (iv Interval) Intersect(other Interval) Interval {
+	return Interval{Lo: math.Max(iv.Lo, other.Lo), Hi: math.Min(iv.Hi, other.Hi)}
+}
+
+// Overlap returns the length of the overlap between two intervals, >= 0.
+func (iv Interval) Overlap(other Interval) float64 {
+	o := iv.Intersect(other)
+	if o.Empty() {
+		return 0
+	}
+	return o.Length()
+}
+
+// Center returns the midpoint of the interval.
+func (iv Interval) Center() float64 { return (iv.Lo + iv.Hi) / 2 }
+
+// Vec3 is a point or displacement in 3D space (metres).
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.X*v.X + v.Y*v.Y + v.Z*v.Z) }
+
+// Box is an axis-aligned box: the product of three half-open intervals.
+type Box struct {
+	X, Y, Z Interval
+}
+
+// NewBox builds a box from a minimum corner and sizes. Negative sizes
+// produce an empty box.
+func NewBox(origin Vec3, size Vec3) Box {
+	return Box{
+		X: Interval{origin.X, origin.X + size.X},
+		Y: Interval{origin.Y, origin.Y + size.Y},
+		Z: Interval{origin.Z, origin.Z + size.Z},
+	}
+}
+
+// Empty reports whether the box has zero (or negative) volume.
+func (b Box) Empty() bool { return b.X.Empty() || b.Y.Empty() || b.Z.Empty() }
+
+// Volume returns the box volume in m³ (0 for empty boxes).
+func (b Box) Volume() float64 {
+	if b.Empty() {
+		return 0
+	}
+	return b.X.Length() * b.Y.Length() * b.Z.Length()
+}
+
+// FootprintArea returns the XY area in m² (0 for empty footprints).
+func (b Box) FootprintArea() float64 {
+	if b.X.Empty() || b.Y.Empty() {
+		return 0
+	}
+	return b.X.Length() * b.Y.Length()
+}
+
+// Center returns the box centroid.
+func (b Box) Center() Vec3 {
+	return Vec3{b.X.Center(), b.Y.Center(), b.Z.Center()}
+}
+
+// Size returns the box extents along each axis.
+func (b Box) Size() Vec3 {
+	return Vec3{b.X.Length(), b.Y.Length(), b.Z.Length()}
+}
+
+// Contains reports whether p lies inside the box.
+func (b Box) Contains(p Vec3) bool {
+	return b.X.Contains(p.X) && b.Y.Contains(p.Y) && b.Z.Contains(p.Z)
+}
+
+// Intersect returns the overlap box (possibly empty).
+func (b Box) Intersect(other Box) Box {
+	return Box{
+		X: b.X.Intersect(other.X),
+		Y: b.Y.Intersect(other.Y),
+		Z: b.Z.Intersect(other.Z),
+	}
+}
+
+// OverlapVolume returns the volume shared by two boxes.
+func (b Box) OverlapVolume(other Box) float64 { return b.Intersect(other).Volume() }
+
+// Intersects reports whether the boxes share positive volume.
+func (b Box) Intersects(other Box) bool { return !b.Intersect(other).Empty() }
+
+// Translate returns the box shifted by d.
+func (b Box) Translate(d Vec3) Box {
+	return Box{
+		X: Interval{b.X.Lo + d.X, b.X.Hi + d.X},
+		Y: Interval{b.Y.Lo + d.Y, b.Y.Hi + d.Y},
+		Z: Interval{b.Z.Lo + d.Z, b.Z.Hi + d.Z},
+	}
+}
+
+// Union returns the smallest box containing both boxes. Empty inputs are
+// ignored; union of two empty boxes is empty.
+func (b Box) Union(other Box) Box {
+	if b.Empty() {
+		return other
+	}
+	if other.Empty() {
+		return b
+	}
+	return Box{
+		X: Interval{math.Min(b.X.Lo, other.X.Lo), math.Max(b.X.Hi, other.X.Hi)},
+		Y: Interval{math.Min(b.Y.Lo, other.Y.Lo), math.Max(b.Y.Hi, other.Y.Hi)},
+		Z: Interval{math.Min(b.Z.Lo, other.Z.Lo), math.Max(b.Z.Hi, other.Z.Hi)},
+	}
+}
+
+// ContainsBox reports whether other lies entirely within b.
+func (b Box) ContainsBox(other Box) bool {
+	if other.Empty() {
+		return true
+	}
+	return other.X.Lo >= b.X.Lo && other.X.Hi <= b.X.Hi &&
+		other.Y.Lo >= b.Y.Lo && other.Y.Hi <= b.Y.Hi &&
+		other.Z.Lo >= b.Z.Lo && other.Z.Hi <= b.Z.Hi
+}
+
+func (b Box) String() string {
+	return fmt.Sprintf("box[x %.6g:%.6g, y %.6g:%.6g, z %.6g:%.6g]",
+		b.X.Lo, b.X.Hi, b.Y.Lo, b.Y.Hi, b.Z.Lo, b.Z.Hi)
+}
+
+// Rect is a 2D axis-aligned rectangle in the XY plane, used for floorplans.
+type Rect struct {
+	X, Y Interval
+}
+
+// NewRect builds a rectangle from origin and size.
+func NewRect(x, y, w, h float64) Rect {
+	return Rect{X: Interval{x, x + w}, Y: Interval{y, y + h}}
+}
+
+// Empty reports whether the rectangle has no area.
+func (r Rect) Empty() bool { return r.X.Empty() || r.Y.Empty() }
+
+// Area returns the rectangle area.
+func (r Rect) Area() float64 {
+	if r.Empty() {
+		return 0
+	}
+	return r.X.Length() * r.Y.Length()
+}
+
+// Center returns the rectangle centroid as (x, y).
+func (r Rect) Center() (float64, float64) { return r.X.Center(), r.Y.Center() }
+
+// Intersect returns the rectangle overlap.
+func (r Rect) Intersect(other Rect) Rect {
+	return Rect{X: r.X.Intersect(other.X), Y: r.Y.Intersect(other.Y)}
+}
+
+// Intersects reports whether the rectangles share positive area.
+func (r Rect) Intersects(other Rect) bool { return !r.Intersect(other).Empty() }
+
+// Extrude lifts the rectangle into a box spanning [z0, z1).
+func (r Rect) Extrude(z0, z1 float64) Box {
+	return Box{X: r.X, Y: r.Y, Z: Interval{z0, z1}}
+}
+
+// GridPositions returns nx×ny cell rectangles tiling r in row-major order
+// (y outer, x inner). nx and ny must be positive.
+func (r Rect) GridPositions(nx, ny int) ([]Rect, error) {
+	if nx <= 0 || ny <= 0 {
+		return nil, fmt.Errorf("geom: grid %dx%d must be positive", nx, ny)
+	}
+	if r.Empty() {
+		return nil, fmt.Errorf("geom: cannot grid an empty rectangle")
+	}
+	// Precompute shared edge coordinates so adjacent cells meet exactly
+	// (no floating-point overlap or gap between neighbours).
+	xs := make([]float64, nx+1)
+	for i := 0; i <= nx; i++ {
+		xs[i] = r.X.Lo + r.X.Length()*float64(i)/float64(nx)
+	}
+	ys := make([]float64, ny+1)
+	for j := 0; j <= ny; j++ {
+		ys[j] = r.Y.Lo + r.Y.Length()*float64(j)/float64(ny)
+	}
+	out := make([]Rect, 0, nx*ny)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			out = append(out, Rect{
+				X: Interval{xs[i], xs[i+1]},
+				Y: Interval{ys[j], ys[j+1]},
+			})
+		}
+	}
+	return out, nil
+}
+
+// CenteredRect returns a w×h rectangle centred at (cx, cy).
+func CenteredRect(cx, cy, w, h float64) Rect {
+	return NewRect(cx-w/2, cy-h/2, w, h)
+}

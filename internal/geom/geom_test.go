@@ -1,0 +1,285 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{1, 3}
+	if iv.Length() != 2 {
+		t.Errorf("Length = %g", iv.Length())
+	}
+	if iv.Empty() {
+		t.Error("non-empty interval reported empty")
+	}
+	if !iv.Contains(1) || iv.Contains(3) || !iv.Contains(2.5) {
+		t.Error("half-open containment wrong")
+	}
+	if iv.Center() != 2 {
+		t.Errorf("Center = %g", iv.Center())
+	}
+	if !(Interval{2, 2}).Empty() || !(Interval{3, 1}).Empty() {
+		t.Error("degenerate intervals should be empty")
+	}
+}
+
+func TestIntervalOverlap(t *testing.T) {
+	cases := []struct {
+		a, b Interval
+		want float64
+	}{
+		{Interval{0, 2}, Interval{1, 3}, 1},
+		{Interval{0, 2}, Interval{2, 3}, 0},
+		{Interval{0, 5}, Interval{1, 2}, 1},
+		{Interval{0, 1}, Interval{2, 3}, 0},
+		{Interval{0, 4}, Interval{0, 4}, 4},
+	}
+	for _, c := range cases {
+		if got := c.a.Overlap(c.b); got != c.want {
+			t.Errorf("%v.Overlap(%v) = %g, want %g", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Overlap(c.a); got != c.want {
+			t.Errorf("overlap not symmetric for %v, %v", c.a, c.b)
+		}
+	}
+}
+
+func TestVec3Algebra(t *testing.T) {
+	v := Vec3{1, 2, 3}
+	w := Vec3{4, 5, 6}
+	if got := v.Add(w); got != (Vec3{5, 7, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := w.Sub(v); got != (Vec3{3, 3, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); got != (Vec3{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := (Vec3{3, 4, 0}).Norm(); got != 5 {
+		t.Errorf("Norm = %g", got)
+	}
+}
+
+func TestBoxVolumeAndCenter(t *testing.T) {
+	b := NewBox(Vec3{0, 0, 0}, Vec3{2, 3, 4})
+	if b.Volume() != 24 {
+		t.Errorf("Volume = %g", b.Volume())
+	}
+	if b.Center() != (Vec3{1, 1.5, 2}) {
+		t.Errorf("Center = %v", b.Center())
+	}
+	if b.FootprintArea() != 6 {
+		t.Errorf("FootprintArea = %g", b.FootprintArea())
+	}
+	if b.Size() != (Vec3{2, 3, 4}) {
+		t.Errorf("Size = %v", b.Size())
+	}
+}
+
+func TestBoxEmpty(t *testing.T) {
+	if !NewBox(Vec3{}, Vec3{1, 1, 0}).Empty() {
+		t.Error("zero-thickness box should be empty")
+	}
+	if !NewBox(Vec3{}, Vec3{-1, 1, 1}).Empty() {
+		t.Error("negative-size box should be empty")
+	}
+	if NewBox(Vec3{}, Vec3{1, 1, 1}).Empty() {
+		t.Error("unit box reported empty")
+	}
+}
+
+func TestBoxIntersect(t *testing.T) {
+	a := NewBox(Vec3{0, 0, 0}, Vec3{2, 2, 2})
+	b := NewBox(Vec3{1, 1, 1}, Vec3{2, 2, 2})
+	ov := a.OverlapVolume(b)
+	if ov != 1 {
+		t.Errorf("overlap volume = %g, want 1", ov)
+	}
+	if !a.Intersects(b) {
+		t.Error("boxes should intersect")
+	}
+	c := NewBox(Vec3{5, 5, 5}, Vec3{1, 1, 1})
+	if a.Intersects(c) {
+		t.Error("disjoint boxes reported intersecting")
+	}
+	if a.OverlapVolume(c) != 0 {
+		t.Error("disjoint overlap volume should be 0")
+	}
+}
+
+func TestBoxContains(t *testing.T) {
+	b := NewBox(Vec3{0, 0, 0}, Vec3{1, 1, 1})
+	if !b.Contains(Vec3{0.5, 0.5, 0.5}) {
+		t.Error("center not contained")
+	}
+	if b.Contains(Vec3{1, 0.5, 0.5}) {
+		t.Error("half-open upper bound violated")
+	}
+	inner := NewBox(Vec3{0.2, 0.2, 0.2}, Vec3{0.5, 0.5, 0.5})
+	if !b.ContainsBox(inner) {
+		t.Error("inner box not contained")
+	}
+	if inner.ContainsBox(b) {
+		t.Error("outer contained in inner")
+	}
+}
+
+func TestBoxTranslateUnion(t *testing.T) {
+	a := NewBox(Vec3{0, 0, 0}, Vec3{1, 1, 1})
+	b := a.Translate(Vec3{2, 0, 0})
+	u := a.Union(b)
+	if u.X.Lo != 0 || u.X.Hi != 3 {
+		t.Errorf("union X = %v", u.X)
+	}
+	if u.Volume() != 3 {
+		t.Errorf("union volume = %g (bounding box)", u.Volume())
+	}
+	var empty Box
+	if got := a.Union(empty); got != a {
+		t.Error("union with empty should return original")
+	}
+	if got := empty.Union(a); got != a {
+		t.Error("empty union with box should return box")
+	}
+}
+
+func TestRectGrid(t *testing.T) {
+	r := NewRect(0, 0, 6, 4)
+	cells, err := r.GridPositions(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 6 {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	var total float64
+	for _, c := range cells {
+		total += c.Area()
+	}
+	if math.Abs(total-24) > 1e-12 {
+		t.Errorf("cell areas sum to %g, want 24", total)
+	}
+	// Row-major: second cell should be x-shifted.
+	if cells[1].X.Lo != 2 || cells[1].Y.Lo != 0 {
+		t.Errorf("cell order wrong: %v", cells[1])
+	}
+	if cells[3].Y.Lo != 2 {
+		t.Errorf("second row should start at y=2: %v", cells[3])
+	}
+	// No pairwise overlaps.
+	for i := range cells {
+		for j := i + 1; j < len(cells); j++ {
+			if cells[i].Intersects(cells[j]) {
+				t.Errorf("cells %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestRectGridErrors(t *testing.T) {
+	r := NewRect(0, 0, 1, 1)
+	if _, err := r.GridPositions(0, 2); err == nil {
+		t.Error("nx=0 should error")
+	}
+	if _, err := (Rect{}).GridPositions(2, 2); err == nil {
+		t.Error("empty rect should error")
+	}
+}
+
+func TestRectExtrude(t *testing.T) {
+	r := NewRect(1, 2, 3, 4)
+	b := r.Extrude(5, 6)
+	if b.Volume() != 12 {
+		t.Errorf("extruded volume = %g", b.Volume())
+	}
+	if b.Z.Lo != 5 || b.Z.Hi != 6 {
+		t.Errorf("z range = %v", b.Z)
+	}
+}
+
+func TestCenteredRect(t *testing.T) {
+	r := CenteredRect(10, 20, 4, 6)
+	cx, cy := r.Center()
+	if cx != 10 || cy != 20 {
+		t.Errorf("center = (%g, %g)", cx, cy)
+	}
+	if r.Area() != 24 {
+		t.Errorf("area = %g", r.Area())
+	}
+}
+
+func finite(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: overlap volume is symmetric and bounded by both volumes.
+func TestQuickOverlapBounds(t *testing.T) {
+	f := func(ax, ay, az, aw, ah, ad, bx, by, bz, bw, bh, bd float64) bool {
+		if !finite(ax, ay, az, aw, ah, ad, bx, by, bz, bw, bh, bd) {
+			return true
+		}
+		a := NewBox(Vec3{ax, ay, az}, Vec3{math.Abs(aw), math.Abs(ah), math.Abs(ad)})
+		b := NewBox(Vec3{bx, by, bz}, Vec3{math.Abs(bw), math.Abs(bh), math.Abs(bd)})
+		ov1 := a.OverlapVolume(b)
+		ov2 := b.OverlapVolume(a)
+		if ov1 != ov2 {
+			return false
+		}
+		return ov1 <= a.Volume()+1e-9 && ov1 <= b.Volume()+1e-9 && ov1 >= 0
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: intersection is contained in both operands; union contains both.
+func TestQuickIntersectUnionContainment(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		if !finite(ax, ay, az, bx, by, bz) {
+			return true
+		}
+		a := NewBox(Vec3{ax, ay, az}, Vec3{1 + math.Mod(math.Abs(ax), 3), 1, 1})
+		b := NewBox(Vec3{bx, by, bz}, Vec3{1, 1 + math.Mod(math.Abs(by), 3), 1})
+		inter := a.Intersect(b)
+		u := a.Union(b)
+		return a.ContainsBox(inter) && b.ContainsBox(inter) &&
+			u.ContainsBox(a) && u.ContainsBox(b)
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: grid cells exactly tile the parent rectangle's area.
+func TestQuickGridTiling(t *testing.T) {
+	f := func(w, h float64, nx, ny uint8) bool {
+		ww := 0.1 + math.Mod(math.Abs(w), 100)
+		hh := 0.1 + math.Mod(math.Abs(h), 100)
+		gx := 1 + int(nx%8)
+		gy := 1 + int(ny%8)
+		r := NewRect(0, 0, ww, hh)
+		cells, err := r.GridPositions(gx, gy)
+		if err != nil {
+			return false
+		}
+		var area float64
+		for _, c := range cells {
+			area += c.Area()
+		}
+		return math.Abs(area-r.Area()) < 1e-9*r.Area()
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,251 @@
+// Package materials provides the thermophysical material library used by the
+// thermal simulator: thermal conductivity, density and specific heat for the
+// solids appearing in a 3D-stacked optical MPSoC package, plus helpers for
+// composite (effective-medium) materials such as TSV arrays, BEOL stacks and
+// C4 bump layers.
+//
+// Values are bulk, room-temperature engineering constants in SI units:
+// conductivity in W/(m·K), density in kg/m³, specific heat in J/(kg·K).
+package materials
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Material describes an isotropic solid used in the thermal model.
+type Material struct {
+	// Name identifies the material in specs and error messages.
+	Name string
+	// Conductivity is the thermal conductivity in W/(m·K).
+	Conductivity float64
+	// Density is the mass density in kg/m³.
+	Density float64
+	// SpecificHeat is the specific heat capacity in J/(kg·K).
+	SpecificHeat float64
+}
+
+// VolumetricHeatCapacity returns density × specific heat in J/(m³·K), the
+// quantity used by transient finite-volume simulation.
+func (m Material) VolumetricHeatCapacity() float64 {
+	return m.Density * m.SpecificHeat
+}
+
+// Valid reports whether the material has physically meaningful parameters
+// for steady-state simulation (positive conductivity).
+func (m Material) Valid() error {
+	if m.Name == "" {
+		return fmt.Errorf("materials: unnamed material")
+	}
+	if m.Conductivity <= 0 {
+		return fmt.Errorf("materials: %s: conductivity %g must be > 0", m.Name, m.Conductivity)
+	}
+	if m.Density < 0 || m.SpecificHeat < 0 {
+		return fmt.Errorf("materials: %s: negative density or specific heat", m.Name)
+	}
+	return nil
+}
+
+// Standard materials for the SCC + ONoC package stack (Fig. 7 of the paper).
+var (
+	// Silicon is bulk crystalline silicon (die, interposer, handle wafer).
+	Silicon = Material{Name: "silicon", Conductivity: 130, Density: 2330, SpecificHeat: 700}
+	// SiliconDioxide is thermal oxide / cladding (buried oxide, waveguide cladding).
+	SiliconDioxide = Material{Name: "sio2", Conductivity: 1.4, Density: 2200, SpecificHeat: 740}
+	// Copper is used for the package lid and heat-sink base.
+	Copper = Material{Name: "copper", Conductivity: 400, Density: 8960, SpecificHeat: 385}
+	// Aluminium is a common heat-sink fin material.
+	Aluminium = Material{Name: "aluminium", Conductivity: 237, Density: 2700, SpecificHeat: 897}
+	// TIM is a thermal interface material (grease/gel) between die and lid.
+	TIM = Material{Name: "tim", Conductivity: 4, Density: 2500, SpecificHeat: 1000}
+	// Epoxy is underfill/moulding compound.
+	Epoxy = Material{Name: "epoxy", Conductivity: 0.9, Density: 1800, SpecificHeat: 1000}
+	// FR4 is the motherboard laminate.
+	FR4 = Material{Name: "fr4", Conductivity: 0.35, Density: 1850, SpecificHeat: 1100}
+	// Steel is the stiffener back-plate.
+	Steel = Material{Name: "steel", Conductivity: 50, Density: 7850, SpecificHeat: 490}
+	// OrganicSubstrate is the build-up package substrate.
+	OrganicSubstrate = Material{Name: "substrate", Conductivity: 15, Density: 2000, SpecificHeat: 900}
+	// InP is indium phosphide, the III-V VCSEL cladding layers.
+	InP = Material{Name: "inp", Conductivity: 68, Density: 4810, SpecificHeat: 310}
+	// InGaAsP is the quaternary active layer of the VCSEL.
+	InGaAsP = Material{Name: "ingaasp", Conductivity: 5, Density: 5000, SpecificHeat: 330}
+	// VCSELStack is the effective medium of the double photonic-crystal
+	// VCSEL mesa: InP/InGaAsP layers perforated by air holes and bounded
+	// by Si/SiO2 mirror lines. The air fraction and quaternary layers
+	// depress the effective conductivity far below bulk InP, which is the
+	// root cause of the poor heat sinking the paper's methodology manages.
+	VCSELStack = Material{Name: "vcsel-stack", Conductivity: 9, Density: 4500, SpecificHeat: 320}
+	// Air models cavities and, with an effective conductivity, fan-driven gaps.
+	Air = Material{Name: "air", Conductivity: 0.026, Density: 1.2, SpecificHeat: 1005}
+	// BondingLayer is the oxide/polymer die-to-die bonding film.
+	BondingLayer = Material{Name: "bonding", Conductivity: 1.1, Density: 2100, SpecificHeat: 800}
+)
+
+// Library is a named collection of materials with lookup by name.
+type Library struct {
+	byName map[string]Material
+}
+
+// NewLibrary builds a library containing the standard materials plus any
+// extras. Extras with a name colliding with a standard material override it.
+func NewLibrary(extras ...Material) *Library {
+	lib := &Library{byName: make(map[string]Material)}
+	for _, m := range standardSet() {
+		lib.byName[m.Name] = m
+	}
+	for _, m := range extras {
+		lib.byName[m.Name] = m
+	}
+	return lib
+}
+
+func standardSet() []Material {
+	return []Material{
+		Silicon, SiliconDioxide, Copper, Aluminium, TIM, Epoxy, FR4, Steel,
+		OrganicSubstrate, InP, InGaAsP, Air, BondingLayer,
+	}
+}
+
+// Get returns the named material.
+func (l *Library) Get(name string) (Material, error) {
+	m, ok := l.byName[name]
+	if !ok {
+		return Material{}, fmt.Errorf("materials: unknown material %q", name)
+	}
+	return m, nil
+}
+
+// Add registers (or replaces) a material.
+func (l *Library) Add(m Material) error {
+	if err := m.Valid(); err != nil {
+		return err
+	}
+	l.byName[m.Name] = m
+	return nil
+}
+
+// Names returns the sorted list of registered material names.
+func (l *Library) Names() []string {
+	names := make([]string, 0, len(l.byName))
+	for n := range l.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SeriesConductivity returns the effective conductivity of layers stacked in
+// series (heat flowing through each layer in turn). thicknesses and
+// conductivities must have the same length; the result is the harmonic
+// thickness-weighted mean.
+func SeriesConductivity(thicknesses, conductivities []float64) (float64, error) {
+	if len(thicknesses) != len(conductivities) || len(thicknesses) == 0 {
+		return 0, fmt.Errorf("materials: series stack needs matching non-empty slices")
+	}
+	var total, resistance float64
+	for i, t := range thicknesses {
+		if t <= 0 {
+			return 0, fmt.Errorf("materials: layer %d thickness %g must be > 0", i, t)
+		}
+		if conductivities[i] <= 0 {
+			return 0, fmt.Errorf("materials: layer %d conductivity %g must be > 0", i, conductivities[i])
+		}
+		total += t
+		resistance += t / conductivities[i]
+	}
+	return total / resistance, nil
+}
+
+// ParallelConductivity returns the effective conductivity of materials side
+// by side sharing the heat-flow direction, weighted by area fraction. The
+// fractions must be non-negative and sum to ~1.
+func ParallelConductivity(fractions, conductivities []float64) (float64, error) {
+	if len(fractions) != len(conductivities) || len(fractions) == 0 {
+		return 0, fmt.Errorf("materials: parallel stack needs matching non-empty slices")
+	}
+	var sum, k float64
+	for i, f := range fractions {
+		if f < 0 {
+			return 0, fmt.Errorf("materials: fraction %d is negative", i)
+		}
+		if conductivities[i] <= 0 {
+			return 0, fmt.Errorf("materials: component %d conductivity %g must be > 0", i, conductivities[i])
+		}
+		sum += f
+		k += f * conductivities[i]
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return 0, fmt.Errorf("materials: fractions sum to %g, want 1", sum)
+	}
+	return k, nil
+}
+
+// TSVEffective returns an effective vertical-conduction material for a
+// region of pitch×pitch cells each containing one copper TSV of the given
+// diameter embedded in the host material. Lengths are in metres.
+func TSVEffective(host Material, diameter, pitch float64) (Material, error) {
+	if diameter <= 0 || pitch <= 0 || diameter > pitch {
+		return Material{}, fmt.Errorf("materials: invalid TSV geometry d=%g pitch=%g", diameter, pitch)
+	}
+	area := diameter * diameter * 3.14159265358979 / 4
+	frac := area / (pitch * pitch)
+	k, err := ParallelConductivity(
+		[]float64{frac, 1 - frac},
+		[]float64{Copper.Conductivity, host.Conductivity},
+	)
+	if err != nil {
+		return Material{}, err
+	}
+	return Material{
+		Name:         fmt.Sprintf("tsv-%s", host.Name),
+		Conductivity: k,
+		Density:      frac*Copper.Density + (1-frac)*host.Density,
+		SpecificHeat: frac*Copper.SpecificHeat + (1-frac)*host.SpecificHeat,
+	}, nil
+}
+
+// BEOLEffective returns the effective material for a back-end-of-line metal
+// stack: copper wiring embedded in low-k dielectric with the given metal
+// area fraction.
+func BEOLEffective(metalFraction float64) (Material, error) {
+	if metalFraction < 0 || metalFraction > 1 {
+		return Material{}, fmt.Errorf("materials: metal fraction %g outside [0,1]", metalFraction)
+	}
+	k, err := ParallelConductivity(
+		[]float64{metalFraction, 1 - metalFraction},
+		[]float64{Copper.Conductivity, SiliconDioxide.Conductivity},
+	)
+	if err != nil {
+		return Material{}, err
+	}
+	return Material{
+		Name:         "beol",
+		Conductivity: k,
+		Density:      metalFraction*Copper.Density + (1-metalFraction)*SiliconDioxide.Density,
+		SpecificHeat: metalFraction*Copper.SpecificHeat + (1-metalFraction)*SiliconDioxide.SpecificHeat,
+	}, nil
+}
+
+// C4Effective returns the effective material for a C4/micro-bump layer:
+// solder bumps in underfill with the given bump area fraction. Solder is
+// approximated with k=50 W/(m·K).
+func C4Effective(bumpFraction float64) (Material, error) {
+	if bumpFraction < 0 || bumpFraction > 1 {
+		return Material{}, fmt.Errorf("materials: bump fraction %g outside [0,1]", bumpFraction)
+	}
+	const solderK = 50.0
+	k, err := ParallelConductivity(
+		[]float64{bumpFraction, 1 - bumpFraction},
+		[]float64{solderK, Epoxy.Conductivity},
+	)
+	if err != nil {
+		return Material{}, err
+	}
+	return Material{
+		Name:         "c4",
+		Conductivity: k,
+		Density:      bumpFraction*7300 + (1-bumpFraction)*Epoxy.Density,
+		SpecificHeat: bumpFraction*230 + (1-bumpFraction)*Epoxy.SpecificHeat,
+	}, nil
+}

@@ -1,0 +1,246 @@
+package materials
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStandardMaterialsValid(t *testing.T) {
+	for _, m := range standardSet() {
+		if err := m.Valid(); err != nil {
+			t.Errorf("standard material %s invalid: %v", m.Name, err)
+		}
+	}
+}
+
+func TestMaterialValidation(t *testing.T) {
+	bad := []Material{
+		{Name: "", Conductivity: 1},
+		{Name: "zero-k", Conductivity: 0},
+		{Name: "neg-k", Conductivity: -5},
+		{Name: "neg-rho", Conductivity: 1, Density: -1},
+		{Name: "neg-cp", Conductivity: 1, SpecificHeat: -1},
+	}
+	for _, m := range bad {
+		if err := m.Valid(); err == nil {
+			t.Errorf("material %+v should be invalid", m)
+		}
+	}
+}
+
+func TestLibraryLookup(t *testing.T) {
+	lib := NewLibrary()
+	si, err := lib.Get("silicon")
+	if err != nil {
+		t.Fatalf("Get(silicon): %v", err)
+	}
+	if si.Conductivity != 130 {
+		t.Errorf("silicon k = %g, want 130", si.Conductivity)
+	}
+	if _, err := lib.Get("unobtainium"); err == nil {
+		t.Error("expected error for unknown material")
+	}
+}
+
+func TestLibraryAddOverride(t *testing.T) {
+	lib := NewLibrary()
+	custom := Material{Name: "silicon", Conductivity: 100, Density: 2330, SpecificHeat: 700}
+	if err := lib.Add(custom); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	got, _ := lib.Get("silicon")
+	if got.Conductivity != 100 {
+		t.Errorf("override failed: k = %g", got.Conductivity)
+	}
+	if err := lib.Add(Material{Name: "bad"}); err == nil {
+		t.Error("Add should reject invalid material")
+	}
+}
+
+func TestLibraryNamesSorted(t *testing.T) {
+	lib := NewLibrary()
+	names := lib.Names()
+	if len(names) == 0 {
+		t.Fatal("no names")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("names not sorted: %s >= %s", names[i-1], names[i])
+		}
+	}
+}
+
+func TestSeriesConductivity(t *testing.T) {
+	// Two equal layers with k=2 and k=4: 2t/(t/2+t/4) = 2/(3/4) = 8/3.
+	k, err := SeriesConductivity([]float64{1e-3, 1e-3}, []float64{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k-8.0/3.0) > 1e-12 {
+		t.Errorf("series k = %g, want %g", k, 8.0/3.0)
+	}
+}
+
+func TestSeriesConductivitySingleLayer(t *testing.T) {
+	k, err := SeriesConductivity([]float64{5e-4}, []float64{130})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k-130) > 1e-9 {
+		t.Errorf("single layer series k = %g, want 130", k)
+	}
+}
+
+func TestSeriesConductivityErrors(t *testing.T) {
+	if _, err := SeriesConductivity(nil, nil); err == nil {
+		t.Error("empty stack should error")
+	}
+	if _, err := SeriesConductivity([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+	if _, err := SeriesConductivity([]float64{0}, []float64{1}); err == nil {
+		t.Error("zero thickness should error")
+	}
+	if _, err := SeriesConductivity([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero conductivity should error")
+	}
+}
+
+func TestParallelConductivity(t *testing.T) {
+	k, err := ParallelConductivity([]float64{0.25, 0.75}, []float64{400, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.25*400 + 0.75*1
+	if math.Abs(k-want) > 1e-12 {
+		t.Errorf("parallel k = %g, want %g", k, want)
+	}
+}
+
+func TestParallelConductivityErrors(t *testing.T) {
+	if _, err := ParallelConductivity([]float64{0.5, 0.4}, []float64{1, 1}); err == nil {
+		t.Error("fractions not summing to 1 should error")
+	}
+	if _, err := ParallelConductivity([]float64{-0.5, 1.5}, []float64{1, 1}); err == nil {
+		t.Error("negative fraction should error")
+	}
+	if _, err := ParallelConductivity(nil, nil); err == nil {
+		t.Error("empty should error")
+	}
+}
+
+func TestTSVEffective(t *testing.T) {
+	// 5 µm TSV on a 10 µm pitch in silicon (paper geometry).
+	m, err := TSVEffective(Silicon, 5e-6, 10e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Conductivity <= Silicon.Conductivity {
+		t.Errorf("TSV composite k = %g should exceed host %g", m.Conductivity, Silicon.Conductivity)
+	}
+	if m.Conductivity >= Copper.Conductivity {
+		t.Errorf("TSV composite k = %g should be below copper %g", m.Conductivity, Copper.Conductivity)
+	}
+	if err := m.Valid(); err != nil {
+		t.Errorf("TSV composite invalid: %v", err)
+	}
+}
+
+func TestTSVEffectiveErrors(t *testing.T) {
+	if _, err := TSVEffective(Silicon, 0, 1e-5); err == nil {
+		t.Error("zero diameter should error")
+	}
+	if _, err := TSVEffective(Silicon, 2e-5, 1e-5); err == nil {
+		t.Error("diameter > pitch should error")
+	}
+}
+
+func TestBEOLEffective(t *testing.T) {
+	m, err := BEOLEffective(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Conductivity <= SiliconDioxide.Conductivity || m.Conductivity >= Copper.Conductivity {
+		t.Errorf("BEOL k = %g outside (%g, %g)", m.Conductivity, SiliconDioxide.Conductivity, Copper.Conductivity)
+	}
+	if _, err := BEOLEffective(1.5); err == nil {
+		t.Error("fraction > 1 should error")
+	}
+	if _, err := BEOLEffective(-0.1); err == nil {
+		t.Error("negative fraction should error")
+	}
+}
+
+func TestC4Effective(t *testing.T) {
+	m, err := C4Effective(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Conductivity <= Epoxy.Conductivity {
+		t.Errorf("C4 k = %g should exceed underfill %g", m.Conductivity, Epoxy.Conductivity)
+	}
+	if _, err := C4Effective(2); err == nil {
+		t.Error("fraction > 1 should error")
+	}
+}
+
+func TestVolumetricHeatCapacity(t *testing.T) {
+	got := Silicon.VolumetricHeatCapacity()
+	want := 2330.0 * 700.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("silicon rho*cp = %g, want %g", got, want)
+	}
+}
+
+// Property: series conductivity lies between min and max component
+// conductivity (a physical bound for layered composites).
+func TestQuickSeriesBounds(t *testing.T) {
+	f := func(t1, t2, k1, k2 float64) bool {
+		th1 := 1e-6 + math.Abs(t1)
+		th2 := 1e-6 + math.Abs(t2)
+		kk1 := 0.1 + math.Abs(k1)
+		kk2 := 0.1 + math.Abs(k2)
+		if math.IsInf(th1+th2+kk1+kk2, 0) || math.IsNaN(th1+th2+kk1+kk2) {
+			return true
+		}
+		k, err := SeriesConductivity([]float64{th1, th2}, []float64{kk1, kk2})
+		if err != nil {
+			return false
+		}
+		lo, hi := math.Min(kk1, kk2), math.Max(kk1, kk2)
+		return k >= lo-1e-9 && k <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: parallel conductivity is bounded by components and is always
+// >= series conductivity with the same pair (Wiener bounds).
+func TestQuickWienerBounds(t *testing.T) {
+	f := func(frac, k1, k2 float64) bool {
+		fr := math.Mod(math.Abs(frac), 1)
+		kk1 := 0.1 + math.Abs(k1)
+		kk2 := 0.1 + math.Abs(k2)
+		if math.IsInf(kk1+kk2, 0) || math.IsNaN(kk1+kk2) {
+			return true
+		}
+		par, err := ParallelConductivity([]float64{fr, 1 - fr}, []float64{kk1, kk2})
+		if err != nil {
+			return false
+		}
+		// Series with thickness fractions as weights.
+		if fr == 0 || fr == 1 {
+			return true
+		}
+		ser, err := SeriesConductivity([]float64{fr, 1 - fr}, []float64{kk1, kk2})
+		if err != nil {
+			return false
+		}
+		return par >= ser-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,253 @@
+// Package mesh builds the non-uniform tensor-product grids used by the
+// finite-volume thermal solver. Following the paper's meshing strategy, a
+// grid axis is described by mandatory breakpoints (layer and block
+// boundaries) plus refinement intervals that cap the local cell size (e.g.
+// 5 µm across ONI regions, ~100 µm across the die, ~500 µm across the
+// package). The three axes combine into a structured grid whose cells are
+// addressed either by (i, j, k) or by a flattened index.
+package mesh
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vcselnoc/internal/geom"
+)
+
+// AxisBuilder accumulates constraints for one grid axis.
+type AxisBuilder struct {
+	lo, hi      float64
+	defaultStep float64
+	breakpoints []float64
+	refinements []refinement
+}
+
+type refinement struct {
+	iv   geom.Interval
+	step float64
+}
+
+// NewAxisBuilder creates a builder for the domain [lo, hi] with the given
+// default maximum cell size.
+func NewAxisBuilder(lo, hi, defaultStep float64) *AxisBuilder {
+	return &AxisBuilder{lo: lo, hi: hi, defaultStep: defaultStep}
+}
+
+// AddBreakpoint forces a grid line at x (clamped into the domain).
+func (b *AxisBuilder) AddBreakpoint(x float64) {
+	if x <= b.lo || x >= b.hi {
+		return
+	}
+	b.breakpoints = append(b.breakpoints, x)
+}
+
+// AddRefinement caps the cell size at maxStep across [lo, hi]. The interval
+// endpoints also become breakpoints.
+func (b *AxisBuilder) AddRefinement(lo, hi, maxStep float64) {
+	if hi <= lo || maxStep <= 0 {
+		return
+	}
+	b.AddBreakpoint(lo)
+	b.AddBreakpoint(hi)
+	b.refinements = append(b.refinements, refinement{geom.Interval{Lo: lo, Hi: hi}, maxStep})
+}
+
+// Build produces the sorted, de-duplicated grid-line coordinates.
+func (b *AxisBuilder) Build() ([]float64, error) {
+	if b.hi <= b.lo {
+		return nil, fmt.Errorf("mesh: axis domain [%g, %g] is empty", b.lo, b.hi)
+	}
+	if b.defaultStep <= 0 {
+		return nil, fmt.Errorf("mesh: default step %g must be > 0", b.defaultStep)
+	}
+	pts := append([]float64{b.lo, b.hi}, b.breakpoints...)
+	sort.Float64s(pts)
+	pts = dedupe(pts, (b.hi-b.lo)*1e-12)
+
+	var lines []float64
+	for s := 0; s < len(pts)-1; s++ {
+		span := geom.Interval{Lo: pts[s], Hi: pts[s+1]}
+		step := b.defaultStep
+		for _, r := range b.refinements {
+			if r.iv.Overlap(span) > 0 && r.step < step {
+				step = r.step
+			}
+		}
+		n := int(math.Ceil(span.Length() / step))
+		if n < 1 {
+			n = 1
+		}
+		d := span.Length() / float64(n)
+		for i := 0; i < n; i++ {
+			lines = append(lines, span.Lo+float64(i)*d)
+		}
+	}
+	lines = append(lines, b.hi)
+	return lines, nil
+}
+
+func dedupe(sorted []float64, eps float64) []float64 {
+	out := sorted[:1]
+	for _, v := range sorted[1:] {
+		if v-out[len(out)-1] > eps {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Grid is a structured non-uniform tensor-product grid. Lines along each
+// axis define NX×NY×NZ cells.
+type Grid struct {
+	X, Y, Z []float64 // grid-line coordinates, ascending
+
+	// Precomputed cell centres and sizes per axis.
+	cx, cy, cz []float64
+	dx, dy, dz []float64
+}
+
+// NewGrid validates the line sets and precomputes cell geometry.
+func NewGrid(x, y, z []float64) (*Grid, error) {
+	for _, ax := range []struct {
+		name  string
+		lines []float64
+	}{{"x", x}, {"y", y}, {"z", z}} {
+		if len(ax.lines) < 2 {
+			return nil, fmt.Errorf("mesh: axis %s needs at least 2 lines, got %d", ax.name, len(ax.lines))
+		}
+		for i := 1; i < len(ax.lines); i++ {
+			if ax.lines[i] <= ax.lines[i-1] {
+				return nil, fmt.Errorf("mesh: axis %s lines not strictly increasing at %d", ax.name, i)
+			}
+		}
+	}
+	g := &Grid{X: x, Y: y, Z: z}
+	g.cx, g.dx = centers(x)
+	g.cy, g.dy = centers(y)
+	g.cz, g.dz = centers(z)
+	return g, nil
+}
+
+func centers(lines []float64) (c, d []float64) {
+	n := len(lines) - 1
+	c = make([]float64, n)
+	d = make([]float64, n)
+	for i := 0; i < n; i++ {
+		c[i] = (lines[i] + lines[i+1]) / 2
+		d[i] = lines[i+1] - lines[i]
+	}
+	return c, d
+}
+
+// NX returns the number of cells along x.
+func (g *Grid) NX() int { return len(g.X) - 1 }
+
+// NY returns the number of cells along y.
+func (g *Grid) NY() int { return len(g.Y) - 1 }
+
+// NZ returns the number of cells along z.
+func (g *Grid) NZ() int { return len(g.Z) - 1 }
+
+// NumCells returns the total cell count.
+func (g *Grid) NumCells() int { return g.NX() * g.NY() * g.NZ() }
+
+// Index flattens (i, j, k) into a linear cell index (x fastest).
+func (g *Grid) Index(i, j, k int) int {
+	return (k*g.NY()+j)*g.NX() + i
+}
+
+// Unflatten inverts Index.
+func (g *Grid) Unflatten(idx int) (i, j, k int) {
+	nx, ny := g.NX(), g.NY()
+	i = idx % nx
+	j = (idx / nx) % ny
+	k = idx / (nx * ny)
+	return
+}
+
+// CellBox returns the geometric box of cell (i, j, k).
+func (g *Grid) CellBox(i, j, k int) geom.Box {
+	return geom.Box{
+		X: geom.Interval{Lo: g.X[i], Hi: g.X[i+1]},
+		Y: geom.Interval{Lo: g.Y[j], Hi: g.Y[j+1]},
+		Z: geom.Interval{Lo: g.Z[k], Hi: g.Z[k+1]},
+	}
+}
+
+// CellCenter returns the centroid of cell (i, j, k).
+func (g *Grid) CellCenter(i, j, k int) geom.Vec3 {
+	return geom.Vec3{X: g.cx[i], Y: g.cy[j], Z: g.cz[k]}
+}
+
+// CellSize returns the extents of cell (i, j, k).
+func (g *Grid) CellSize(i, j, k int) geom.Vec3 {
+	return geom.Vec3{X: g.dx[i], Y: g.dy[j], Z: g.dz[k]}
+}
+
+// CellVolume returns the volume of cell (i, j, k).
+func (g *Grid) CellVolume(i, j, k int) float64 {
+	return g.dx[i] * g.dy[j] * g.dz[k]
+}
+
+// Domain returns the bounding box of the whole grid.
+func (g *Grid) Domain() geom.Box {
+	return geom.Box{
+		X: geom.Interval{Lo: g.X[0], Hi: g.X[len(g.X)-1]},
+		Y: geom.Interval{Lo: g.Y[0], Hi: g.Y[len(g.Y)-1]},
+		Z: geom.Interval{Lo: g.Z[0], Hi: g.Z[len(g.Z)-1]},
+	}
+}
+
+// FindCell locates the cell containing p, or ok=false if p is outside the
+// domain.
+func (g *Grid) FindCell(p geom.Vec3) (i, j, k int, ok bool) {
+	i, ok1 := findInterval(g.X, p.X)
+	j, ok2 := findInterval(g.Y, p.Y)
+	k, ok3 := findInterval(g.Z, p.Z)
+	return i, j, k, ok1 && ok2 && ok3
+}
+
+func findInterval(lines []float64, v float64) (int, bool) {
+	n := len(lines) - 1
+	if v < lines[0] || v > lines[n] {
+		return 0, false
+	}
+	if v == lines[n] {
+		return n - 1, true
+	}
+	idx := sort.SearchFloat64s(lines, v)
+	if idx < len(lines) && lines[idx] == v {
+		return idx, idx < n
+	}
+	return idx - 1, true
+}
+
+// CellsOverlapping returns the index ranges [i0,i1)×[j0,j1)×[k0,k1) of cells
+// that overlap the box with positive volume.
+func (g *Grid) CellsOverlapping(b geom.Box) (i0, i1, j0, j1, k0, k1 int) {
+	i0, i1 = lineRange(g.X, b.X)
+	j0, j1 = lineRange(g.Y, b.Y)
+	k0, k1 = lineRange(g.Z, b.Z)
+	return
+}
+
+func lineRange(lines []float64, iv geom.Interval) (lo, hi int) {
+	n := len(lines) - 1
+	lo = sort.SearchFloat64s(lines, iv.Lo)
+	if lo > 0 && (lo > n || lines[lo] > iv.Lo) {
+		lo--
+	}
+	// Skip cells entirely before the interval.
+	for lo < n && lines[lo+1] <= iv.Lo {
+		lo++
+	}
+	hi = lo
+	for hi < n && lines[hi] < iv.Hi {
+		hi++
+	}
+	if lo > n {
+		lo = n
+	}
+	return lo, hi
+}

@@ -1,0 +1,409 @@
+package mesh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vcselnoc/internal/geom"
+)
+
+func TestAxisBuilderUniform(t *testing.T) {
+	b := NewAxisBuilder(0, 1, 0.25)
+	lines, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5: %v", len(lines), lines)
+	}
+	for i, want := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if math.Abs(lines[i]-want) > 1e-12 {
+			t.Errorf("line %d = %g, want %g", i, lines[i], want)
+		}
+	}
+}
+
+func TestAxisBuilderBreakpoint(t *testing.T) {
+	b := NewAxisBuilder(0, 1, 1) // one coarse cell by default
+	b.AddBreakpoint(0.3)
+	lines, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, l := range lines {
+		if math.Abs(l-0.3) < 1e-12 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("breakpoint 0.3 missing from %v", lines)
+	}
+}
+
+func TestAxisBuilderBreakpointOutsideIgnored(t *testing.T) {
+	b := NewAxisBuilder(0, 1, 0.5)
+	b.AddBreakpoint(-1)
+	b.AddBreakpoint(2)
+	b.AddBreakpoint(0) // boundary, already present
+	lines, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines[0] != 0 || lines[len(lines)-1] != 1 {
+		t.Errorf("domain endpoints wrong: %v", lines)
+	}
+}
+
+func TestAxisBuilderRefinement(t *testing.T) {
+	// Domain 1 mm with 100 µm default, refined to 5 µm over [400, 500] µm.
+	b := NewAxisBuilder(0, 1e-3, 100e-6)
+	b.AddRefinement(400e-6, 500e-6, 5e-6)
+	lines, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check cell sizes inside vs outside refinement.
+	for i := 0; i < len(lines)-1; i++ {
+		mid := (lines[i] + lines[i+1]) / 2
+		d := lines[i+1] - lines[i]
+		if mid > 400e-6 && mid < 500e-6 {
+			if d > 5e-6+1e-12 {
+				t.Errorf("cell at %g has size %g, want <= 5µm", mid, d)
+			}
+		} else if d > 100e-6+1e-12 {
+			t.Errorf("cell at %g has size %g, want <= 100µm", mid, d)
+		}
+	}
+	// Refinement should produce exactly 20 cells in the fine band.
+	fine := 0
+	for i := 0; i < len(lines)-1; i++ {
+		mid := (lines[i] + lines[i+1]) / 2
+		if mid > 400e-6 && mid < 500e-6 {
+			fine++
+		}
+	}
+	if fine != 20 {
+		t.Errorf("fine cells = %d, want 20", fine)
+	}
+}
+
+func TestAxisBuilderOverlappingRefinements(t *testing.T) {
+	b := NewAxisBuilder(0, 1, 0.5)
+	b.AddRefinement(0.2, 0.6, 0.1)
+	b.AddRefinement(0.4, 0.8, 0.05)
+	lines, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(lines)-1; i++ {
+		mid := (lines[i] + lines[i+1]) / 2
+		d := lines[i+1] - lines[i]
+		if mid > 0.4 && mid < 0.6 && d > 0.05+1e-12 {
+			t.Errorf("overlap zone cell %g too large: %g", mid, d)
+		}
+	}
+}
+
+func TestAxisBuilderErrors(t *testing.T) {
+	if _, err := NewAxisBuilder(1, 0, 0.1).Build(); err == nil {
+		t.Error("inverted domain should error")
+	}
+	if _, err := NewAxisBuilder(0, 1, 0).Build(); err == nil {
+		t.Error("zero step should error")
+	}
+	if _, err := NewAxisBuilder(0, 1, -2).Build(); err == nil {
+		t.Error("negative step should error")
+	}
+}
+
+func mustGrid(t *testing.T) *Grid {
+	t.Helper()
+	g, err := NewGrid(
+		[]float64{0, 1, 2, 4},
+		[]float64{0, 0.5, 1},
+		[]float64{0, 10},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGridCounts(t *testing.T) {
+	g := mustGrid(t)
+	if g.NX() != 3 || g.NY() != 2 || g.NZ() != 1 {
+		t.Fatalf("dims = %d,%d,%d", g.NX(), g.NY(), g.NZ())
+	}
+	if g.NumCells() != 6 {
+		t.Fatalf("NumCells = %d", g.NumCells())
+	}
+}
+
+func TestGridIndexRoundTrip(t *testing.T) {
+	g := mustGrid(t)
+	for k := 0; k < g.NZ(); k++ {
+		for j := 0; j < g.NY(); j++ {
+			for i := 0; i < g.NX(); i++ {
+				idx := g.Index(i, j, k)
+				ii, jj, kk := g.Unflatten(idx)
+				if ii != i || jj != j || kk != k {
+					t.Fatalf("round trip (%d,%d,%d) -> %d -> (%d,%d,%d)", i, j, k, idx, ii, jj, kk)
+				}
+			}
+		}
+	}
+}
+
+func TestGridCellGeometry(t *testing.T) {
+	g := mustGrid(t)
+	b := g.CellBox(2, 1, 0)
+	if b.X.Lo != 2 || b.X.Hi != 4 || b.Y.Lo != 0.5 || b.Z.Hi != 10 {
+		t.Errorf("cell box = %v", b)
+	}
+	if v := g.CellVolume(2, 1, 0); v != 2*0.5*10 {
+		t.Errorf("volume = %g", v)
+	}
+	c := g.CellCenter(0, 0, 0)
+	if c.X != 0.5 || c.Y != 0.25 || c.Z != 5 {
+		t.Errorf("center = %v", c)
+	}
+	sz := g.CellSize(1, 0, 0)
+	if sz.X != 1 || sz.Y != 0.5 || sz.Z != 10 {
+		t.Errorf("size = %v", sz)
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	if _, err := NewGrid([]float64{0}, []float64{0, 1}, []float64{0, 1}); err == nil {
+		t.Error("single line axis should error")
+	}
+	if _, err := NewGrid([]float64{0, 0}, []float64{0, 1}, []float64{0, 1}); err == nil {
+		t.Error("repeated line should error")
+	}
+	if _, err := NewGrid([]float64{1, 0}, []float64{0, 1}, []float64{0, 1}); err == nil {
+		t.Error("descending lines should error")
+	}
+}
+
+func TestFindCell(t *testing.T) {
+	g := mustGrid(t)
+	cases := []struct {
+		p       geom.Vec3
+		i, j, k int
+		ok      bool
+	}{
+		{geom.Vec3{X: 0.5, Y: 0.25, Z: 5}, 0, 0, 0, true},
+		{geom.Vec3{X: 3, Y: 0.75, Z: 1}, 2, 1, 0, true},
+		{geom.Vec3{X: 4, Y: 1, Z: 10}, 2, 1, 0, true}, // upper domain corner maps to last cell
+		{geom.Vec3{X: -0.1, Y: 0.5, Z: 5}, 0, 0, 0, false},
+		{geom.Vec3{X: 5, Y: 0.5, Z: 5}, 0, 0, 0, false},
+		{geom.Vec3{X: 1, Y: 0.5, Z: 0}, 1, 1, 0, true}, // on interior lines -> upper cell
+	}
+	for _, c := range cases {
+		i, j, k, ok := g.FindCell(c.p)
+		if ok != c.ok {
+			t.Errorf("FindCell(%v) ok = %v, want %v", c.p, ok, c.ok)
+			continue
+		}
+		if ok && (i != c.i || j != c.j || k != c.k) {
+			t.Errorf("FindCell(%v) = (%d,%d,%d), want (%d,%d,%d)", c.p, i, j, k, c.i, c.j, c.k)
+		}
+	}
+}
+
+func TestCellsOverlapping(t *testing.T) {
+	g := mustGrid(t)
+	// Box covering x in [0.5, 2.5] should hit cells i=0,1,2.
+	b := geom.NewBox(geom.Vec3{X: 0.5, Y: 0, Z: 0}, geom.Vec3{X: 2, Y: 1, Z: 10})
+	i0, i1, j0, j1, k0, k1 := g.CellsOverlapping(b)
+	if i0 != 0 || i1 != 3 {
+		t.Errorf("i range = [%d, %d), want [0, 3)", i0, i1)
+	}
+	if j0 != 0 || j1 != 2 {
+		t.Errorf("j range = [%d, %d), want [0, 2)", j0, j1)
+	}
+	if k0 != 0 || k1 != 1 {
+		t.Errorf("k range = [%d, %d), want [0, 1)", k0, k1)
+	}
+	// Box exactly on a cell boundary should not include the cell before it.
+	b2 := geom.NewBox(geom.Vec3{X: 1, Y: 0, Z: 0}, geom.Vec3{X: 1, Y: 0.5, Z: 10})
+	i0, i1, _, _, _, _ = g.CellsOverlapping(b2)
+	if i0 != 1 || i1 != 2 {
+		t.Errorf("boundary box i range = [%d, %d), want [1, 2)", i0, i1)
+	}
+}
+
+func TestDomain(t *testing.T) {
+	g := mustGrid(t)
+	d := g.Domain()
+	if d.X.Lo != 0 || d.X.Hi != 4 || d.Y.Hi != 1 || d.Z.Hi != 10 {
+		t.Errorf("domain = %v", d)
+	}
+}
+
+// Property: axis builder lines are strictly increasing, cover the domain,
+// and no cell exceeds the default step (outside refinements, which only
+// shrink cells).
+func TestQuickAxisInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lo := rng.Float64() * 10
+		hi := lo + 0.1 + rng.Float64()*10
+		step := (hi - lo) / (1 + rng.Float64()*20)
+		b := NewAxisBuilder(lo, hi, step)
+		for n := rng.Intn(4); n > 0; n-- {
+			b.AddBreakpoint(lo + rng.Float64()*(hi-lo))
+		}
+		for n := rng.Intn(3); n > 0; n-- {
+			a := lo + rng.Float64()*(hi-lo)
+			bb := a + rng.Float64()*(hi-a)
+			b.AddRefinement(a, bb, step/(1+rng.Float64()*10))
+		}
+		lines, err := b.Build()
+		if err != nil {
+			return false
+		}
+		if lines[0] != lo || lines[len(lines)-1] != hi {
+			return false
+		}
+		for i := 1; i < len(lines); i++ {
+			if lines[i] <= lines[i-1] {
+				return false
+			}
+			if lines[i]-lines[i-1] > step*(1+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cell volumes sum to the domain volume.
+func TestQuickVolumeConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() []float64 {
+			n := 2 + rng.Intn(8)
+			lines := make([]float64, n)
+			x := rng.Float64()
+			for i := range lines {
+				lines[i] = x
+				x += 0.01 + rng.Float64()
+			}
+			return lines
+		}
+		g, err := NewGrid(mk(), mk(), mk())
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for k := 0; k < g.NZ(); k++ {
+			for j := 0; j < g.NY(); j++ {
+				for i := 0; i < g.NX(); i++ {
+					sum += g.CellVolume(i, j, k)
+				}
+			}
+		}
+		dom := g.Domain().Volume()
+		return math.Abs(sum-dom) <= 1e-9*dom
+	}
+	cfg := &quick.Config{MaxCount: 100}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FindCell agrees with CellBox containment for random interior
+// points.
+func TestQuickFindCellConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := NewGrid(
+			[]float64{0, 0.3, 1.1, 2.5, 4},
+			[]float64{-1, 0, 2},
+			[]float64{0, 0.1, 0.5},
+		)
+		if err != nil {
+			return false
+		}
+		dom := g.Domain()
+		for trial := 0; trial < 20; trial++ {
+			p := geom.Vec3{
+				X: dom.X.Lo + rng.Float64()*dom.X.Length()*0.999,
+				Y: dom.Y.Lo + rng.Float64()*dom.Y.Length()*0.999,
+				Z: dom.Z.Lo + rng.Float64()*dom.Z.Length()*0.999,
+			}
+			i, j, k, ok := g.FindCell(p)
+			if !ok {
+				return false
+			}
+			if !g.CellBox(i, j, k).Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CellsOverlapping returns exactly the cells with positive
+// overlap volume — no false positives at the range boundaries and no
+// missed cells.
+func TestQuickCellsOverlappingExact(t *testing.T) {
+	g, err := NewGrid(
+		[]float64{0, 0.4, 1.0, 1.7, 2.5, 4},
+		[]float64{-1, 0, 0.8, 2},
+		[]float64{0, 0.3, 0.9},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dom := g.Domain()
+		rnd := func(iv geom.Interval) (float64, float64) {
+			a := iv.Lo + rng.Float64()*iv.Length()*1.2 - 0.1*iv.Length()
+			b := iv.Lo + rng.Float64()*iv.Length()*1.2 - 0.1*iv.Length()
+			if a > b {
+				a, b = b, a
+			}
+			return a, b
+		}
+		x0, x1 := rnd(dom.X)
+		y0, y1 := rnd(dom.Y)
+		z0, z1 := rnd(dom.Z)
+		box := geom.Box{
+			X: geom.Interval{Lo: x0, Hi: x1},
+			Y: geom.Interval{Lo: y0, Hi: y1},
+			Z: geom.Interval{Lo: z0, Hi: z1},
+		}
+		i0, i1, j0, j1, k0, k1 := g.CellsOverlapping(box)
+		inRange := func(i, j, k int) bool {
+			return i >= i0 && i < i1 && j >= j0 && j < j1 && k >= k0 && k < k1
+		}
+		for k := 0; k < g.NZ(); k++ {
+			for j := 0; j < g.NY(); j++ {
+				for i := 0; i < g.NX(); i++ {
+					ov := g.CellBox(i, j, k).OverlapVolume(box)
+					if ov > 0 && !inRange(i, j, k) {
+						return false // missed an overlapping cell
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,156 @@
+// Package mrr models the passive microring resonators (MRs) that perform
+// wavelength filtering in the ONoC, including their thermal sensitivity and
+// the resistive heaters placed on top of them for calibration.
+//
+// The drop-port power transmission is the first-order Lorentzian
+//
+//	T_drop(δ) = 1 / (1 + (2δ/FWHM)²)
+//
+// with δ the detuning between signal wavelength and ring resonance and
+// FWHM the 3 dB bandwidth (1.55 nm in the paper). This matches the paper's
+// anchor of 50 % (wrong) drop at 0.77 nm misalignment, i.e. a 7.7 °C
+// temperature difference at 0.1 nm/°C.
+//
+// Note: the paper's text also claims a 0.1 nm drift costs 6.5 % of the
+// drop transmission; that number is inconsistent with its own Lorentzian
+// anchor (which yields ≈1.6 %). We keep the Lorentzian; see EXPERIMENTS.md.
+package mrr
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params describes one microring resonator.
+type Params struct {
+	// ResonanceNM is the resonant wavelength in nm at TRef with no heater
+	// power applied.
+	ResonanceNM float64
+	// TRef is the calibration temperature, °C.
+	TRef float64
+	// DLambdaDT is the thermal drift of the resonance, nm/°C (0.1 in the
+	// paper).
+	DLambdaDT float64
+	// FWHMNM is the 3 dB bandwidth in nm (1.55 in the paper).
+	FWHMNM float64
+	// HeaterTuning is the red-shift per heater watt, nm/W. The paper quotes
+	// heat tuning at 190 µW/nm, i.e. ≈ 5263 nm/W.
+	HeaterTuning float64
+	// DropLoss is the excess linear power loss at the drop port (fraction
+	// of the dropped power lost, 0 = lossless).
+	DropLoss float64
+}
+
+// DefaultParams returns the ring used throughout the paper: 10 µm diameter,
+// 1.55 nm 3 dB bandwidth at 1550 nm, 0.1 nm/°C drift.
+func DefaultParams() Params {
+	return Params{
+		ResonanceNM:  1550,
+		TRef:         25,
+		DLambdaDT:    0.1,
+		FWHMNM:       1.55,
+		HeaterTuning: 1 / 190e-6, // nm per W: 190 µW/nm heat tuning
+		DropLoss:     0,
+	}
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	switch {
+	case p.ResonanceNM <= 0:
+		return fmt.Errorf("mrr: resonance %g must be > 0", p.ResonanceNM)
+	case p.FWHMNM <= 0:
+		return fmt.Errorf("mrr: FWHM %g must be > 0", p.FWHMNM)
+	case p.DLambdaDT < 0:
+		return fmt.Errorf("mrr: negative thermal drift %g", p.DLambdaDT)
+	case p.HeaterTuning < 0:
+		return fmt.Errorf("mrr: negative heater tuning %g", p.HeaterTuning)
+	case p.DropLoss < 0 || p.DropLoss >= 1:
+		return fmt.Errorf("mrr: drop loss %g outside [0,1)", p.DropLoss)
+	}
+	return nil
+}
+
+// Ring is a microring resonator instance.
+type Ring struct {
+	p Params
+}
+
+// New builds a ring after validating parameters.
+func New(p Params) (*Ring, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Ring{p: p}, nil
+}
+
+// Params returns the ring parameters.
+func (r *Ring) Params() Params { return r.p }
+
+// ResonanceAt returns the resonant wavelength (nm) at ring temperature t
+// (°C) with heater power ph (W) applied.
+func (r *Ring) ResonanceAt(t, ph float64) float64 {
+	return r.p.ResonanceNM + r.p.DLambdaDT*(t-r.p.TRef) + r.p.HeaterTuning*ph
+}
+
+// DropFraction returns the fraction of incident power transferred to the
+// drop port for a signal at lambdaNM when the ring resonates at resNM.
+func (r *Ring) DropFraction(lambdaNM, resNM float64) float64 {
+	delta := 2 * (lambdaNM - resNM) / r.p.FWHMNM
+	return (1 - r.p.DropLoss) / (1 + delta*delta)
+}
+
+// ThroughFraction returns the fraction of incident power continuing on the
+// bus waveguide past the ring.
+func (r *Ring) ThroughFraction(lambdaNM, resNM float64) float64 {
+	delta := 2 * (lambdaNM - resNM) / r.p.FWHMNM
+	return 1 - 1/(1+delta*delta)
+}
+
+// Q returns the loaded quality factor λ/FWHM.
+func (r *Ring) Q() float64 { return r.p.ResonanceNM / r.p.FWHMNM }
+
+// FSRNM returns the free spectral range in nm for a ring of the given
+// circumference (m) and group index, at the ring's resonance wavelength:
+// FSR = λ² / (n_g · L).
+func (r *Ring) FSRNM(circumference, groupIndex float64) (float64, error) {
+	if circumference <= 0 || groupIndex <= 0 {
+		return 0, fmt.Errorf("mrr: invalid FSR inputs L=%g ng=%g", circumference, groupIndex)
+	}
+	lambdaM := r.p.ResonanceNM * 1e-9
+	fsrM := lambdaM * lambdaM / (groupIndex * circumference)
+	return fsrM * 1e9, nil
+}
+
+// DetuningForDrop returns the absolute detuning (nm) at which the drop
+// fraction equals the given value in (0, 1]. Used to express statements
+// like "50 % of the signal is wrongly dropped at 0.77 nm misalignment".
+func (r *Ring) DetuningForDrop(fraction float64) (float64, error) {
+	if fraction <= 0 || fraction > 1-r.p.DropLoss {
+		return 0, fmt.Errorf("mrr: drop fraction %g outside (0, %g]", fraction, 1-r.p.DropLoss)
+	}
+	// fraction = (1-loss)/(1+x²)  →  x = sqrt((1-loss)/fraction − 1).
+	x := math.Sqrt((1-r.p.DropLoss)/fraction - 1)
+	return x * r.p.FWHMNM / 2, nil
+}
+
+// TemperatureForDetuning converts a wavelength misalignment (nm) into the
+// equivalent temperature difference (°C) via the thermal drift coefficient.
+func (r *Ring) TemperatureForDetuning(detuningNM float64) (float64, error) {
+	if r.p.DLambdaDT == 0 {
+		return 0, fmt.Errorf("mrr: ring has no thermal drift")
+	}
+	return detuningNM / r.p.DLambdaDT, nil
+}
+
+// HeaterPowerForShift returns the heater power (W) required to red-shift
+// the resonance by shiftNM.
+func (r *Ring) HeaterPowerForShift(shiftNM float64) (float64, error) {
+	if shiftNM < 0 {
+		return 0, fmt.Errorf("mrr: heaters cannot blue-shift (%g nm requested)", shiftNM)
+	}
+	if r.p.HeaterTuning == 0 {
+		return 0, fmt.Errorf("mrr: ring has no heater")
+	}
+	return shiftNM / r.p.HeaterTuning, nil
+}

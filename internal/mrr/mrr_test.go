@@ -1,0 +1,247 @@
+package mrr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func ring(t testing.TB) *Ring {
+	t.Helper()
+	r, err := New(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	mutations := []func(*Params){
+		func(p *Params) { p.ResonanceNM = 0 },
+		func(p *Params) { p.FWHMNM = -1 },
+		func(p *Params) { p.DLambdaDT = -0.1 },
+		func(p *Params) { p.HeaterTuning = -5 },
+		func(p *Params) { p.DropLoss = 1 },
+		func(p *Params) { p.DropLoss = -0.1 },
+	}
+	for i, mut := range mutations {
+		p := DefaultParams()
+		mut(&p)
+		if _, err := New(p); err == nil {
+			t.Errorf("mutation %d should fail", i)
+		}
+	}
+}
+
+// TestPaperAnchor077 verifies the paper's anchor: 50 % of the signal is
+// dropped at 0.775 nm misalignment (half the 1.55 nm FWHM), which the
+// paper rounds to "0.77 nm / 7.7 °C".
+func TestPaperAnchor077(t *testing.T) {
+	r := ring(t)
+	drop := r.DropFraction(1550+0.775, 1550)
+	if math.Abs(drop-0.5) > 1e-9 {
+		t.Errorf("drop at +FWHM/2 = %g, want 0.5", drop)
+	}
+	det, err := r.DetuningForDrop(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(det-0.775) > 1e-9 {
+		t.Errorf("detuning for 50%% = %g, want 0.775", det)
+	}
+	dt, err := r.TemperatureForDetuning(det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dt-7.75) > 1e-9 {
+		t.Errorf("temperature for 50%% drop = %g °C, want 7.75", dt)
+	}
+}
+
+func TestDropPeakOnResonance(t *testing.T) {
+	r := ring(t)
+	if got := r.DropFraction(1550, 1550); got != 1 {
+		t.Errorf("on-resonance drop = %g, want 1", got)
+	}
+	if got := r.ThroughFraction(1550, 1550); got != 0 {
+		t.Errorf("on-resonance through = %g, want 0", got)
+	}
+}
+
+func TestFarDetunedPassthrough(t *testing.T) {
+	r := ring(t)
+	// Paper: wavelengths separated > 1.5 nm mostly pass through.
+	drop := r.DropFraction(1550+1.55, 1550)
+	if drop > 0.21 {
+		t.Errorf("drop one FWHM away = %g, want ~0.2", drop)
+	}
+	through := r.ThroughFraction(1550+10, 1550)
+	if through < 0.99 {
+		t.Errorf("through 10 nm away = %g, want ~1", through)
+	}
+}
+
+func TestThermalDrift(t *testing.T) {
+	r := ring(t)
+	// +10 °C → +1 nm.
+	res := r.ResonanceAt(35, 0)
+	if math.Abs(res-1551) > 1e-9 {
+		t.Errorf("resonance at 35°C = %g, want 1551", res)
+	}
+	// At TRef, unshifted.
+	if got := r.ResonanceAt(25, 0); got != 1550 {
+		t.Errorf("resonance at TRef = %g", got)
+	}
+}
+
+func TestHeaterShift(t *testing.T) {
+	r := ring(t)
+	// 190 µW should shift 1 nm (paper's heat-tuning figure).
+	res := r.ResonanceAt(25, 190e-6)
+	if math.Abs(res-1551) > 1e-6 {
+		t.Errorf("resonance with 190µW heater = %g, want ~1551", res)
+	}
+	p, err := r.HeaterPowerForShift(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-190e-6) > 1e-12 {
+		t.Errorf("heater power for 1 nm = %g, want 190 µW", p)
+	}
+	if _, err := r.HeaterPowerForShift(-1); err == nil {
+		t.Error("blue shift request should error")
+	}
+}
+
+func TestEnergyConservationLossless(t *testing.T) {
+	r := ring(t)
+	for _, d := range []float64{0, 0.1, 0.5, 0.775, 1.55, 5} {
+		drop := r.DropFraction(1550+d, 1550)
+		through := r.ThroughFraction(1550+d, 1550)
+		if math.Abs(drop+through-1) > 1e-12 {
+			t.Errorf("detuning %g: drop+through = %g, want 1", d, drop+through)
+		}
+	}
+}
+
+func TestDropLossReducesDropOnly(t *testing.T) {
+	p := DefaultParams()
+	p.DropLoss = 0.2
+	r, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.DropFraction(1550, 1550); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("lossy on-resonance drop = %g, want 0.8", got)
+	}
+	// Through port is governed by the coupling, not the drop loss.
+	if got := r.ThroughFraction(1550, 1550); got != 0 {
+		t.Errorf("through = %g", got)
+	}
+}
+
+func TestQ(t *testing.T) {
+	r := ring(t)
+	if got := r.Q(); math.Abs(got-1000) > 1 {
+		t.Errorf("Q = %g, want ~1000 (1550/1.55)", got)
+	}
+}
+
+func TestFSR(t *testing.T) {
+	r := ring(t)
+	// 10 µm diameter ring, ng=4.2: FSR = λ²/(ng·πd) ≈ 18.2 nm.
+	circ := math.Pi * 10e-6
+	fsr, err := r.FSRNM(circ, 4.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fsr < 15 || fsr > 22 {
+		t.Errorf("FSR = %g nm, want ~18", fsr)
+	}
+	if _, err := r.FSRNM(0, 4.2); err == nil {
+		t.Error("zero circumference should error")
+	}
+	if _, err := r.FSRNM(circ, 0); err == nil {
+		t.Error("zero group index should error")
+	}
+}
+
+func TestDetuningForDropErrors(t *testing.T) {
+	r := ring(t)
+	if _, err := r.DetuningForDrop(0); err == nil {
+		t.Error("zero fraction should error")
+	}
+	if _, err := r.DetuningForDrop(1.1); err == nil {
+		t.Error("fraction > 1 should error")
+	}
+}
+
+func TestTemperatureForDetuningNoDrift(t *testing.T) {
+	p := DefaultParams()
+	p.DLambdaDT = 0
+	r, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.TemperatureForDetuning(1); err == nil {
+		t.Error("zero drift should error")
+	}
+}
+
+// Property: the Lorentzian is symmetric, peaks on resonance, and decays
+// monotonically with |detuning|.
+func TestQuickLorentzianShape(t *testing.T) {
+	r := ring(t)
+	f := func(d1, d2 float64) bool {
+		a := math.Mod(math.Abs(d1), 20)
+		b := math.Mod(math.Abs(d2), 20)
+		sym := math.Abs(r.DropFraction(1550+a, 1550)-r.DropFraction(1550-a, 1550)) < 1e-12
+		peak := r.DropFraction(1550+a, 1550) <= r.DropFraction(1550, 1550)
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		mono := r.DropFraction(1550+hi, 1550) <= r.DropFraction(1550+lo, 1550)+1e-12
+		return sym && peak && mono
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DetuningForDrop inverts DropFraction.
+func TestQuickDetuningInverse(t *testing.T) {
+	r := ring(t)
+	f := func(frac float64) bool {
+		fr := 0.01 + math.Mod(math.Abs(frac), 0.98)
+		det, err := r.DetuningForDrop(fr)
+		if err != nil {
+			return false
+		}
+		back := r.DropFraction(1550+det, 1550)
+		return math.Abs(back-fr) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: heater shift plus temperature drift compose additively.
+func TestQuickResonanceAdditive(t *testing.T) {
+	r := ring(t)
+	f := func(tFrac, pFrac float64) bool {
+		temp := 25 + math.Mod(math.Abs(tFrac), 60)
+		ph := math.Mod(math.Abs(pFrac), 1e-3)
+		res := r.ResonanceAt(temp, ph)
+		want := r.ResonanceAt(temp, 0) + r.ResonanceAt(25, ph) - r.ResonanceAt(25, 0)
+		return math.Abs(res-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,218 @@
+// Package oni generates the device-level layout of an Optical Network
+// Interface: the chessboard arrangement of VCSELs (transmitters) and
+// microring+photodetector pairs (receivers) along four waveguides that the
+// paper proposes to pre-distribute VCSEL heat (Fig. 1-b), plus the CMOS
+// driver/receiver blocks that sit underneath on the electrical layer.
+//
+// Device footprints follow the paper: VCSEL 15×30 µm², MR ⌀10 µm,
+// photodetector 1.5×15 µm², TSV ⌀5 µm.
+package oni
+
+import (
+	"fmt"
+
+	"vcselnoc/internal/geom"
+)
+
+// Standard device footprints (metres).
+const (
+	VCSELWidth  = 30e-6
+	VCSELHeight = 15e-6
+	MRDiameter  = 10e-6
+	PDWidth     = 1.5e-6
+	PDHeight    = 15e-6
+	TSVDiameter = 5e-6
+
+	// WaveguidesPerONI, TransmittersPerWaveguide and
+	// ReceiversPerWaveguide define the paper's ONI: 4 waveguides, each
+	// with 4 transmitters and 4 receivers.
+	WaveguidesPerONI         = 4
+	TransmittersPerWaveguide = 4
+	ReceiversPerWaveguide    = 4
+)
+
+// Kind labels a device in the layout.
+type Kind int
+
+// Device kinds.
+const (
+	KindVCSEL Kind = iota
+	KindMR
+	KindPD
+	KindHeater
+	KindDriver
+	KindReceiver
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindVCSEL:
+		return "vcsel"
+	case KindMR:
+		return "mr"
+	case KindPD:
+		return "pd"
+	case KindHeater:
+		return "heater"
+	case KindDriver:
+		return "driver"
+	case KindReceiver:
+		return "receiver"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Device is one placed element. Optical devices live on the optical layer;
+// drivers and receivers live in the BEOL below.
+type Device struct {
+	Kind      Kind
+	Name      string
+	Rect      geom.Rect
+	Waveguide int // 0..3
+	Slot      int // position along the waveguide, 0..7
+}
+
+// Style selects the placement strategy.
+type Style int
+
+const (
+	// Chessboard alternates TX and RX along each waveguide and staggers
+	// rows, the paper's proposal for spreading VCSEL heat.
+	Chessboard Style = iota
+	// Clustered puts all transmitters on the left and all receivers on the
+	// right, the baseline the chessboard is compared against (ablation).
+	Clustered
+)
+
+func (s Style) String() string {
+	switch s {
+	case Chessboard:
+		return "chessboard"
+	case Clustered:
+		return "clustered"
+	default:
+		return fmt.Sprintf("Style(%d)", int(s))
+	}
+}
+
+// Layout is a fully placed ONI.
+type Layout struct {
+	Site       geom.Rect
+	Style      Style
+	VCSELs     []Device
+	MRs        []Device
+	PDs        []Device
+	Heaters    []Device
+	Drivers    []Device
+	Receivers  []Device
+	Waveguides []geom.Rect
+}
+
+// Generate places the ONI devices inside the site rectangle.
+func Generate(site geom.Rect, style Style) (*Layout, error) {
+	if site.Empty() {
+		return nil, fmt.Errorf("oni: empty site rectangle")
+	}
+	const slots = TransmittersPerWaveguide + ReceiversPerWaveguide
+	minW := float64(slots) * VCSELWidth
+	minH := float64(WaveguidesPerONI) * (VCSELHeight + MRDiameter)
+	if site.X.Length() < minW || site.Y.Length() < minH {
+		return nil, fmt.Errorf("oni: site %.0fx%.0f µm too small (need >= %.0fx%.0f µm)",
+			site.X.Length()*1e6, site.Y.Length()*1e6, minW*1e6, minH*1e6)
+	}
+	if style != Chessboard && style != Clustered {
+		return nil, fmt.Errorf("oni: unknown style %v", style)
+	}
+
+	l := &Layout{Site: site, Style: style}
+	rowH := site.Y.Length() / WaveguidesPerONI
+	slotW := site.X.Length() / slots
+
+	for wg := 0; wg < WaveguidesPerONI; wg++ {
+		rowY := site.Y.Lo + float64(wg)*rowH
+		rowCenter := rowY + rowH/2
+		// The waveguide runs through the row centre.
+		l.Waveguides = append(l.Waveguides,
+			geom.NewRect(site.X.Lo, rowCenter-0.25e-6, site.X.Length(), 0.5e-6))
+
+		tx := 0
+		rx := 0
+		for slot := 0; slot < slots; slot++ {
+			cx := site.X.Lo + (float64(slot)+0.5)*slotW
+			isTX := transmitterSlot(style, wg, slot)
+			if isTX {
+				name := fmt.Sprintf("wg%d-tx%d", wg, tx)
+				v := geom.CenteredRect(cx, rowCenter, VCSELWidth, VCSELHeight)
+				l.VCSELs = append(l.VCSELs, Device{KindVCSEL, name, v, wg, slot})
+				// CMOS driver directly underneath, same footprint.
+				l.Drivers = append(l.Drivers, Device{KindDriver, name + "-drv", v, wg, slot})
+				tx++
+			} else {
+				name := fmt.Sprintf("wg%d-rx%d", wg, rx)
+				m := geom.CenteredRect(cx, rowCenter, MRDiameter, MRDiameter)
+				l.MRs = append(l.MRs, Device{KindMR, name, m, wg, slot})
+				l.Heaters = append(l.Heaters, Device{KindHeater, name + "-htr", m, wg, slot})
+				pd := geom.CenteredRect(cx+MRDiameter, rowCenter, PDWidth, PDHeight)
+				l.PDs = append(l.PDs, Device{KindPD, name + "-pd", pd, wg, slot})
+				l.Receivers = append(l.Receivers, Device{KindReceiver, name + "-rcv", pd, wg, slot})
+				rx++
+			}
+		}
+		if tx != TransmittersPerWaveguide || rx != ReceiversPerWaveguide {
+			return nil, fmt.Errorf("oni: waveguide %d placed %d TX / %d RX, want %d/%d",
+				wg, tx, rx, TransmittersPerWaveguide, ReceiversPerWaveguide)
+		}
+	}
+	return l, nil
+}
+
+// transmitterSlot decides whether a slot holds a transmitter.
+func transmitterSlot(style Style, wg, slot int) bool {
+	if style == Clustered {
+		return slot < TransmittersPerWaveguide
+	}
+	// Chessboard: alternate TX/RX along the row, stagger odd rows.
+	return (slot+wg)%2 == 0
+}
+
+// AllOptical returns every device on the optical layer (VCSELs, MRs, PDs,
+// heaters).
+func (l *Layout) AllOptical() []Device {
+	out := make([]Device, 0, len(l.VCSELs)+len(l.MRs)+len(l.PDs)+len(l.Heaters))
+	out = append(out, l.VCSELs...)
+	out = append(out, l.MRs...)
+	out = append(out, l.PDs...)
+	out = append(out, l.Heaters...)
+	return out
+}
+
+// Validate checks layout invariants: expected device counts, devices inside
+// the site, and no overlap between VCSELs and MRs.
+func (l *Layout) Validate() error {
+	wantTX := WaveguidesPerONI * TransmittersPerWaveguide
+	wantRX := WaveguidesPerONI * ReceiversPerWaveguide
+	if len(l.VCSELs) != wantTX {
+		return fmt.Errorf("oni: %d VCSELs, want %d", len(l.VCSELs), wantTX)
+	}
+	if len(l.MRs) != wantRX || len(l.PDs) != wantRX || len(l.Heaters) != wantRX {
+		return fmt.Errorf("oni: receiver chain counts %d/%d/%d, want %d",
+			len(l.MRs), len(l.PDs), len(l.Heaters), wantRX)
+	}
+	if len(l.Drivers) != wantTX {
+		return fmt.Errorf("oni: %d drivers, want %d", len(l.Drivers), wantTX)
+	}
+	for _, d := range append(append([]Device{}, l.VCSELs...), l.MRs...) {
+		if !l.Site.Intersects(d.Rect) {
+			return fmt.Errorf("oni: device %s outside site", d.Name)
+		}
+	}
+	for _, v := range l.VCSELs {
+		for _, m := range l.MRs {
+			if v.Rect.Intersects(m.Rect) {
+				return fmt.Errorf("oni: %s overlaps %s", v.Name, m.Name)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package oni
+
+import (
+	"math"
+	"testing"
+
+	"vcselnoc/internal/geom"
+)
+
+func site() geom.Rect {
+	return geom.CenteredRect(0, 0, 360e-6, 200e-6)
+}
+
+func TestGenerateChessboard(t *testing.T) {
+	l, err := Generate(site(), Chessboard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.VCSELs) != 16 || len(l.MRs) != 16 || len(l.PDs) != 16 {
+		t.Fatalf("counts: %d VCSELs, %d MRs, %d PDs", len(l.VCSELs), len(l.MRs), len(l.PDs))
+	}
+	if len(l.Waveguides) != 4 {
+		t.Fatalf("%d waveguides", len(l.Waveguides))
+	}
+	if len(l.Drivers) != 16 || len(l.Receivers) != 16 || len(l.Heaters) != 16 {
+		t.Fatal("electrical/heater counts wrong")
+	}
+}
+
+func TestChessboardAlternation(t *testing.T) {
+	l, err := Generate(site(), Chessboard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build per-waveguide slot occupancy.
+	kind := make(map[[2]int]Kind)
+	for _, v := range l.VCSELs {
+		kind[[2]int{v.Waveguide, v.Slot}] = KindVCSEL
+	}
+	for _, m := range l.MRs {
+		kind[[2]int{m.Waveguide, m.Slot}] = KindMR
+	}
+	for wg := 0; wg < 4; wg++ {
+		for slot := 0; slot < 7; slot++ {
+			a := kind[[2]int{wg, slot}]
+			b := kind[[2]int{wg, slot + 1}]
+			if a == b {
+				t.Errorf("wg %d slots %d,%d both %v (chessboard must alternate)", wg, slot, slot+1, a)
+			}
+		}
+	}
+	// Adjacent rows staggered: slot 0 of row 0 and row 1 differ.
+	if kind[[2]int{0, 0}] == kind[[2]int{1, 0}] {
+		t.Error("rows not staggered")
+	}
+}
+
+func TestClusteredLayout(t *testing.T) {
+	l, err := Generate(site(), Clustered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// All transmitters left of all receivers within each waveguide.
+	for wg := 0; wg < 4; wg++ {
+		var maxTX, minRX float64 = -1, 2
+		for _, v := range l.VCSELs {
+			if v.Waveguide == wg {
+				cx, _ := v.Rect.Center()
+				if cx > maxTX {
+					maxTX = cx
+				}
+			}
+		}
+		for _, m := range l.MRs {
+			if m.Waveguide == wg {
+				cx, _ := m.Rect.Center()
+				if cx < minRX {
+					minRX = cx
+				}
+			}
+		}
+		if maxTX >= minRX {
+			t.Errorf("wg %d: TX at %g not left of RX at %g", wg, maxTX, minRX)
+		}
+	}
+}
+
+func TestDeviceFootprints(t *testing.T) {
+	l, err := Generate(site(), Chessboard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := func(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+	for _, v := range l.VCSELs {
+		if !approx(v.Rect.X.Length(), VCSELWidth) || !approx(v.Rect.Y.Length(), VCSELHeight) {
+			t.Errorf("VCSEL %s footprint %gx%g", v.Name, v.Rect.X.Length(), v.Rect.Y.Length())
+		}
+	}
+	for _, m := range l.MRs {
+		if !approx(m.Rect.X.Length(), MRDiameter) || !approx(m.Rect.Y.Length(), MRDiameter) {
+			t.Errorf("MR %s footprint wrong", m.Name)
+		}
+	}
+	for _, p := range l.PDs {
+		if !approx(p.Rect.X.Length(), PDWidth) || !approx(p.Rect.Y.Length(), PDHeight) {
+			t.Errorf("PD %s footprint wrong", p.Name)
+		}
+	}
+}
+
+func TestDriversUnderVCSELs(t *testing.T) {
+	l, err := Generate(site(), Chessboard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Drivers) != len(l.VCSELs) {
+		t.Fatal("driver count mismatch")
+	}
+	for i, d := range l.Drivers {
+		if d.Rect != l.VCSELs[i].Rect {
+			t.Errorf("driver %d not aligned under its VCSEL", i)
+		}
+	}
+}
+
+func TestHeatersOnMRs(t *testing.T) {
+	l, err := Generate(site(), Chessboard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range l.Heaters {
+		if h.Rect != l.MRs[i].Rect {
+			t.Errorf("heater %d not on its MR", i)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(geom.Rect{}, Chessboard); err == nil {
+		t.Error("empty site should error")
+	}
+	if _, err := Generate(geom.CenteredRect(0, 0, 50e-6, 50e-6), Chessboard); err == nil {
+		t.Error("too-small site should error")
+	}
+	if _, err := Generate(site(), Style(99)); err == nil {
+		t.Error("unknown style should error")
+	}
+}
+
+func TestAllOptical(t *testing.T) {
+	l, err := Generate(site(), Chessboard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := l.AllOptical()
+	if len(all) != 16+16+16+16 {
+		t.Errorf("AllOptical returned %d devices", len(all))
+	}
+}
+
+func TestKindAndStyleStrings(t *testing.T) {
+	if KindVCSEL.String() != "vcsel" || KindMR.String() != "mr" ||
+		KindPD.String() != "pd" || KindHeater.String() != "heater" ||
+		KindDriver.String() != "driver" || KindReceiver.String() != "receiver" {
+		t.Error("kind strings wrong")
+	}
+	if Chessboard.String() != "chessboard" || Clustered.String() != "clustered" {
+		t.Error("style strings wrong")
+	}
+	if Kind(42).String() == "" || Style(42).String() == "" {
+		t.Error("unknown enums should stringify")
+	}
+}
+
+func TestDevicesWithinSiteBounds(t *testing.T) {
+	s := site()
+	for _, style := range []Style{Chessboard, Clustered} {
+		l, err := Generate(s, style)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range l.AllOptical() {
+			inter := d.Rect.Intersect(s)
+			// Allow PDs to poke out marginally (they sit next to the MR),
+			// but the bulk of every device must be inside.
+			if inter.Area() < 0.5*d.Rect.Area() {
+				t.Errorf("%v: device %s mostly outside site", style, d.Name)
+			}
+		}
+	}
+}

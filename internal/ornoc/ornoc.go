@@ -1,0 +1,326 @@
+// Package ornoc models the Optical Ring Network-on-Chip (Le Beux et al.)
+// used by the paper: ONIs placed along a closed waveguide ring,
+// point-to-point communications between them, and the wavelength-channel
+// assignment that lets non-overlapping ring segments reuse wavelengths
+// without arbitration.
+//
+// The package also builds the paper's three case-study rings (Fig. 11):
+// the inner 2×2 ONIs (≈17 mm loop), the middle 4×2 ONIs (≈32 mm) and the
+// full 4×4 serpentine (≈73 mm closed loop) of the SCC floorplan. The paper
+// quotes 46.8 mm for the third case; that figure matches an *open*
+// serpentine, whereas a closed Hamiltonian loop over 16 ONIs at the SCC
+// tile pitch cannot be shorter than ~65 mm, so the honest geometric length
+// is used here (see EXPERIMENTS.md).
+package ornoc
+
+import (
+	"fmt"
+	"math"
+
+	"vcselnoc/internal/scc"
+)
+
+// Node is one ONI attached to the ring.
+type Node struct {
+	// SiteIndex is the index into the floorplan's ONI site list (and into
+	// thermal per-ONI reports).
+	SiteIndex int
+	// X, Y is the ONI centre on the die (m).
+	X, Y float64
+}
+
+// Ring is a closed waveguide visiting nodes in order. Signals travel in
+// one direction (increasing node order, wrapping around).
+type Ring struct {
+	Nodes []Node
+	// segment[i] is the waveguide length from node i to node i+1 (mod N).
+	segment []float64
+}
+
+// NewRing builds a ring from nodes in visiting order. Segment lengths are
+// Manhattan distances (on-chip waveguides are routed rectilinearly); the
+// loop closes from the last node back to the first.
+func NewRing(nodes []Node) (*Ring, error) {
+	if len(nodes) < 2 {
+		return nil, fmt.Errorf("ornoc: ring needs at least 2 nodes, got %d", len(nodes))
+	}
+	seen := make(map[int]bool)
+	for _, n := range nodes {
+		if seen[n.SiteIndex] {
+			return nil, fmt.Errorf("ornoc: duplicate site index %d", n.SiteIndex)
+		}
+		seen[n.SiteIndex] = true
+	}
+	r := &Ring{Nodes: nodes, segment: make([]float64, len(nodes))}
+	for i := range nodes {
+		next := nodes[(i+1)%len(nodes)]
+		r.segment[i] = math.Abs(next.X-nodes[i].X) + math.Abs(next.Y-nodes[i].Y)
+	}
+	return r, nil
+}
+
+// N returns the node count.
+func (r *Ring) N() int { return len(r.Nodes) }
+
+// Length returns the total loop length (m).
+func (r *Ring) Length() float64 {
+	var s float64
+	for _, l := range r.segment {
+		s += l
+	}
+	return s
+}
+
+// SegmentLength returns the length from node i to node i+1 (mod N).
+func (r *Ring) SegmentLength(i int) (float64, error) {
+	if i < 0 || i >= len(r.segment) {
+		return 0, fmt.Errorf("ornoc: segment %d out of range", i)
+	}
+	return r.segment[i], nil
+}
+
+// PathLength returns the waveguide length from src to dst travelling in
+// ring direction.
+func (r *Ring) PathLength(src, dst int) (float64, error) {
+	if err := r.checkNode(src); err != nil {
+		return 0, err
+	}
+	if err := r.checkNode(dst); err != nil {
+		return 0, err
+	}
+	if src == dst {
+		return 0, fmt.Errorf("ornoc: src == dst (%d)", src)
+	}
+	var sum float64
+	for i := src; i != dst; i = (i + 1) % r.N() {
+		sum += r.segment[i]
+	}
+	return sum, nil
+}
+
+// Hops returns the number of segments from src to dst in ring direction.
+func (r *Ring) Hops(src, dst int) (int, error) {
+	if err := r.checkNode(src); err != nil {
+		return 0, err
+	}
+	if err := r.checkNode(dst); err != nil {
+		return 0, err
+	}
+	if src == dst {
+		return 0, fmt.Errorf("ornoc: src == dst (%d)", src)
+	}
+	h := dst - src
+	if h < 0 {
+		h += r.N()
+	}
+	return h, nil
+}
+
+// Intermediates lists the nodes strictly between src and dst in ring
+// direction.
+func (r *Ring) Intermediates(src, dst int) ([]int, error) {
+	h, err := r.Hops(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, 0, h-1)
+	for i := (src + 1) % r.N(); i != dst; i = (i + 1) % r.N() {
+		out = append(out, i)
+	}
+	return out, nil
+}
+
+func (r *Ring) checkNode(i int) error {
+	if i < 0 || i >= r.N() {
+		return fmt.Errorf("ornoc: node %d out of range [0, %d)", i, r.N())
+	}
+	return nil
+}
+
+// Communication is a point-to-point channel between ring nodes. Channel is
+// the wavelength index assigned by AssignChannels (-1 before assignment).
+type Communication struct {
+	Src, Dst int
+	Channel  int
+}
+
+// NeighbourPattern returns the all-to-next communication set: node i sends
+// to node i+1 (mod N). This is the densest pattern that still allows full
+// wavelength reuse on a ring.
+func NeighbourPattern(n int) []Communication {
+	comms := make([]Communication, n)
+	for i := 0; i < n; i++ {
+		comms[i] = Communication{Src: i, Dst: (i + 1) % n, Channel: -1}
+	}
+	return comms
+}
+
+// PairedPattern returns a half-ring pattern: node i sends to node
+// (i + n/2) mod n, exercising long paths with intermediate nodes.
+func PairedPattern(n int) []Communication {
+	comms := make([]Communication, n)
+	for i := 0; i < n; i++ {
+		comms[i] = Communication{Src: i, Dst: (i + n/2) % n, Channel: -1}
+	}
+	return comms
+}
+
+// AssignChannels colours the communications so that any two whose ring
+// segments overlap get different channels (ORNoC's design-time wavelength
+// allocation). It returns the channel count. The input slice is modified
+// in place.
+func (r *Ring) AssignChannels(comms []Communication) (int, error) {
+	type arc struct {
+		idx  int
+		segs []bool
+	}
+	arcs := make([]arc, len(comms))
+	for i, c := range comms {
+		if err := r.checkNode(c.Src); err != nil {
+			return 0, err
+		}
+		if err := r.checkNode(c.Dst); err != nil {
+			return 0, err
+		}
+		if c.Src == c.Dst {
+			return 0, fmt.Errorf("ornoc: communication %d is a self-loop", i)
+		}
+		segs := make([]bool, r.N())
+		for s := c.Src; s != c.Dst; s = (s + 1) % r.N() {
+			segs[s] = true
+		}
+		arcs[i] = arc{idx: i, segs: segs}
+	}
+	// Greedy colouring in input order: first channel not used by an
+	// overlapping arc.
+	channels := 0
+	for i := range arcs {
+		used := make(map[int]bool)
+		for j := 0; j < i; j++ {
+			if overlaps(arcs[i].segs, arcs[j].segs) {
+				used[comms[arcs[j].idx].Channel] = true
+			}
+		}
+		ch := 0
+		for used[ch] {
+			ch++
+		}
+		comms[arcs[i].idx].Channel = ch
+		if ch+1 > channels {
+			channels = ch + 1
+		}
+	}
+	return channels, nil
+}
+
+func overlaps(a, b []bool) bool {
+	for i := range a {
+		if a[i] && b[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidateAssignment checks that no two overlapping communications share a
+// channel and that every communication has a channel.
+func (r *Ring) ValidateAssignment(comms []Communication) error {
+	segsOf := func(c Communication) []bool {
+		segs := make([]bool, r.N())
+		for s := c.Src; s != c.Dst; s = (s + 1) % r.N() {
+			segs[s] = true
+		}
+		return segs
+	}
+	for i, c := range comms {
+		if c.Channel < 0 {
+			return fmt.Errorf("ornoc: communication %d unassigned", i)
+		}
+	}
+	for i := range comms {
+		for j := i + 1; j < len(comms); j++ {
+			if comms[i].Channel != comms[j].Channel {
+				continue
+			}
+			if overlaps(segsOf(comms[i]), segsOf(comms[j])) {
+				return fmt.Errorf("ornoc: communications %d and %d share channel %d on overlapping segments",
+					i, j, comms[i].Channel)
+			}
+		}
+	}
+	return nil
+}
+
+// CaseStudy identifies the paper's three ONI placements (Fig. 11).
+type CaseStudy int
+
+const (
+	// Case18mm is the inner 2×2 ONI ring (paper: 18 mm).
+	Case18mm CaseStudy = iota
+	// Case32mm is the middle 4×2 ONI ring (paper: 32.4 mm).
+	Case32mm
+	// Case47mm is the full 4×4 serpentine (the paper quotes 46.8 mm for
+	// the open path; the closed loop at SCC tile pitch is ~73 mm).
+	Case47mm
+)
+
+func (c CaseStudy) String() string {
+	switch c {
+	case Case18mm:
+		return "case1-18mm"
+	case Case32mm:
+		return "case2-32mm"
+	case Case47mm:
+		return "case3-47mm"
+	default:
+		return fmt.Sprintf("CaseStudy(%d)", int(c))
+	}
+}
+
+// BuildCase constructs the ring for one of the paper's placements from the
+// SCC floorplan's 4×4 ONI site grid (site index = row*4 + col).
+func BuildCase(fp *scc.Floorplan, c CaseStudy) (*Ring, error) {
+	if fp == nil {
+		return nil, fmt.Errorf("ornoc: nil floorplan")
+	}
+	if len(fp.ONISites) != scc.ONICols*scc.ONIRows {
+		return nil, fmt.Errorf("ornoc: floorplan has %d ONI sites, want %d",
+			len(fp.ONISites), scc.ONICols*scc.ONIRows)
+	}
+	var order []int
+	switch c {
+	case Case18mm:
+		// Inner 2×2: sites (col 1..2, row 1..2), visited clockwise.
+		order = []int{idx(1, 1), idx(2, 1), idx(2, 2), idx(1, 2)}
+	case Case32mm:
+		// Middle two rows, all four columns, loop around.
+		order = []int{
+			idx(0, 1), idx(1, 1), idx(2, 1), idx(3, 1),
+			idx(3, 2), idx(2, 2), idx(1, 2), idx(0, 2),
+		}
+	case Case47mm:
+		// Full 4×4 serpentine: right along row 0, up, left along row 1,
+		// up, right along row 2, up, left along row 3, close.
+		for row := 0; row < 4; row++ {
+			if row%2 == 0 {
+				for col := 0; col < 4; col++ {
+					order = append(order, idx(col, row))
+				}
+			} else {
+				for col := 3; col >= 0; col-- {
+					order = append(order, idx(col, row))
+				}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("ornoc: unknown case %v", c)
+	}
+	nodes := make([]Node, len(order))
+	for i, siteIdx := range order {
+		cx, cy := fp.ONISites[siteIdx].Center()
+		nodes[i] = Node{SiteIndex: siteIdx, X: cx, Y: cy}
+	}
+	return NewRing(nodes)
+}
+
+func idx(col, row int) int { return row*scc.ONICols + col }

@@ -1,0 +1,109 @@
+// Package photodiode models the waveguide-integrated photodetectors that
+// terminate ONoC communication channels. The paper uses large-band
+// detectors with a −20 dBm sensitivity floor; this package adds the usual
+// receiver-side figures of merit (responsivity, OOK Q-factor and BER) so
+// that SNR results can be translated into link-level reliability.
+package photodiode
+
+import (
+	"fmt"
+	"math"
+
+	"vcselnoc/internal/units"
+)
+
+// Params describes a photodetector.
+type Params struct {
+	// SensitivityDBm is the minimum detectable average optical power in
+	// dBm (−20 in the paper).
+	SensitivityDBm float64
+	// Responsivity is the photocurrent per optical watt, A/W.
+	Responsivity float64
+	// DarkCurrent is the dark current in amperes.
+	DarkCurrent float64
+}
+
+// DefaultParams returns the paper's detector: −20 dBm sensitivity; the
+// responsivity and dark current are typical Ge-on-Si values.
+func DefaultParams() Params {
+	return Params{
+		SensitivityDBm: -20,
+		Responsivity:   0.9,
+		DarkCurrent:    1e-9,
+	}
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	switch {
+	case p.Responsivity <= 0 || p.Responsivity > 1.25:
+		return fmt.Errorf("photodiode: responsivity %g A/W outside (0, 1.25]", p.Responsivity)
+	case p.DarkCurrent < 0:
+		return fmt.Errorf("photodiode: negative dark current %g", p.DarkCurrent)
+	case math.IsNaN(p.SensitivityDBm) || math.IsInf(p.SensitivityDBm, 0):
+		return fmt.Errorf("photodiode: invalid sensitivity %g", p.SensitivityDBm)
+	}
+	return nil
+}
+
+// Detector is a photodetector instance.
+type Detector struct {
+	p           Params
+	sensitivity float64 // watts
+}
+
+// New builds a detector after validating parameters.
+func New(p Params) (*Detector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Detector{p: p, sensitivity: units.FromDBm(p.SensitivityDBm)}, nil
+}
+
+// Params returns the detector parameters.
+func (d *Detector) Params() Params { return d.p }
+
+// SensitivityWatts returns the sensitivity floor in watts.
+func (d *Detector) SensitivityWatts() float64 { return d.sensitivity }
+
+// Detects reports whether an average signal power (W) clears the
+// sensitivity floor.
+func (d *Detector) Detects(signalW float64) bool {
+	return signalW >= d.sensitivity
+}
+
+// Photocurrent returns the photocurrent (A) for the given optical power.
+func (d *Detector) Photocurrent(signalW float64) (float64, error) {
+	if signalW < 0 {
+		return 0, fmt.Errorf("photodiode: negative optical power %g", signalW)
+	}
+	return d.p.Responsivity*signalW + d.p.DarkCurrent, nil
+}
+
+// QFactor converts a linear signal-to-noise power ratio into the OOK
+// Q-factor under the crosstalk-limited approximation used in ONoC papers:
+// Q = sqrt(SNR).
+func QFactor(snrLinear float64) (float64, error) {
+	if snrLinear < 0 {
+		return 0, fmt.Errorf("photodiode: negative SNR %g", snrLinear)
+	}
+	return math.Sqrt(snrLinear), nil
+}
+
+// BER returns the OOK bit-error rate for a given Q-factor:
+// BER = 0.5·erfc(Q/√2).
+func BER(q float64) (float64, error) {
+	if q < 0 {
+		return 0, fmt.Errorf("photodiode: negative Q %g", q)
+	}
+	return 0.5 * math.Erfc(q/math.Sqrt2), nil
+}
+
+// BERFromSNRDB is a convenience chaining dB SNR → Q → BER.
+func BERFromSNRDB(snrDB float64) (float64, error) {
+	q, err := QFactor(units.FromDB(snrDB))
+	if err != nil {
+		return 0, err
+	}
+	return BER(q)
+}

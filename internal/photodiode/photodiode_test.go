@@ -1,0 +1,163 @@
+package photodiode
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vcselnoc/internal/units"
+)
+
+func det(t testing.TB) *Detector {
+	t.Helper()
+	d, err := New(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	mutations := []func(*Params){
+		func(p *Params) { p.Responsivity = 0 },
+		func(p *Params) { p.Responsivity = 2 },
+		func(p *Params) { p.DarkCurrent = -1 },
+		func(p *Params) { p.SensitivityDBm = math.NaN() },
+	}
+	for i, mut := range mutations {
+		p := DefaultParams()
+		mut(&p)
+		if _, err := New(p); err == nil {
+			t.Errorf("mutation %d should fail", i)
+		}
+	}
+}
+
+func TestSensitivityFloor(t *testing.T) {
+	d := det(t)
+	// -20 dBm = 0.01 mW.
+	want := 0.01e-3
+	if got := d.SensitivityWatts(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("sensitivity = %g W, want %g", got, want)
+	}
+	if !d.Detects(0.02e-3) {
+		t.Error("0.02 mW should be detected")
+	}
+	if d.Detects(0.005e-3) {
+		t.Error("0.005 mW should not be detected")
+	}
+	if !d.Detects(want) {
+		t.Error("power exactly at the floor should be detected")
+	}
+}
+
+func TestPhotocurrent(t *testing.T) {
+	d := det(t)
+	i, err := d.Photocurrent(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.9*1e-3 + 1e-9
+	if math.Abs(i-want) > 1e-15 {
+		t.Errorf("photocurrent = %g, want %g", i, want)
+	}
+	if _, err := d.Photocurrent(-1); err == nil {
+		t.Error("negative power should error")
+	}
+	// Zero power leaves only dark current.
+	i0, err := d.Photocurrent(0)
+	if err != nil || i0 != 1e-9 {
+		t.Errorf("dark current = %g, %v", i0, err)
+	}
+}
+
+func TestQFactorAndBER(t *testing.T) {
+	// SNR of 0 dB (=1 linear) gives Q=1, BER = 0.5·erfc(1/√2) ≈ 0.1587.
+	q, err := QFactor(1)
+	if err != nil || q != 1 {
+		t.Fatalf("QFactor(1) = %g, %v", q, err)
+	}
+	ber, err := BER(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ber-0.1587) > 1e-3 {
+		t.Errorf("BER(Q=1) = %g, want ~0.1587", ber)
+	}
+	// Q=7 corresponds to BER ≈ 1.28e-12 (classic optical-link threshold).
+	ber7, err := BER(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ber7 > 2e-12 || ber7 < 5e-13 {
+		t.Errorf("BER(Q=7) = %g, want ~1.3e-12", ber7)
+	}
+}
+
+func TestBERFromSNRDB(t *testing.T) {
+	// 16.9 dB SNR → Q = sqrt(10^1.69) ≈ 7 → BER ~1e-12.
+	ber, err := BERFromSNRDB(16.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ber > 1e-11 || ber < 1e-13 {
+		t.Errorf("BER(16.9 dB) = %g, want ~1e-12", ber)
+	}
+	// Higher SNR, lower BER.
+	ber2, err := BERFromSNRDB(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ber2 >= ber {
+		t.Error("BER should fall with SNR")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := QFactor(-1); err == nil {
+		t.Error("negative SNR should error")
+	}
+	if _, err := BER(-1); err == nil {
+		t.Error("negative Q should error")
+	}
+	if _, err := BERFromSNRDB(math.Inf(1)); err != nil {
+		t.Error("infinite SNR in dB is fine (BER → 0)")
+	}
+}
+
+// Property: BER is monotonically decreasing in Q and bounded in [0, 0.5].
+func TestQuickBERMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		qa := math.Mod(math.Abs(a), 20)
+		qb := math.Mod(math.Abs(b), 20)
+		lo, hi := math.Min(qa, qb), math.Max(qa, qb)
+		berLo, err1 := BER(lo)
+		berHi, err2 := BER(hi)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return berHi <= berLo+1e-15 && berLo <= 0.5 && berHi >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: detection threshold is consistent with dBm conversion.
+func TestQuickDetectionConsistent(t *testing.T) {
+	d := det(t)
+	f := func(dbm float64) bool {
+		v := -40 + math.Mod(math.Abs(dbm), 40) // [-40, 0] dBm
+		w := units.FromDBm(v)
+		return d.Detects(w) == (v >= d.Params().SensitivityDBm-1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

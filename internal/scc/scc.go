@@ -1,0 +1,188 @@
+// Package scc models the Intel Single-Chip Cloud Computer floorplan used
+// as the paper's case study: a 24-tile, 48-core IA-32 die (6×4 tile grid,
+// two cores and a mesh router per tile, four DDR3 memory controllers on
+// the die edges, 567 mm², up to 125 W).
+//
+// The floorplan produces the rectangular power blocks that the thermal
+// simulator places in the BEOL layer, and the 4×4 grid of ONI sites on the
+// optical layer above the inner tiles.
+package scc
+
+import (
+	"fmt"
+
+	"vcselnoc/internal/geom"
+)
+
+// Standard SCC dimensions.
+const (
+	// DieWidth and DieHeight give the 567 mm² SCC die.
+	DieWidth  = 26.5e-3
+	DieHeight = 21.4e-3
+	// TileCols and TileRows define the 6×4 tile mesh.
+	TileCols = 6
+	TileRows = 4
+	// CoresPerTile is fixed by the SCC architecture.
+	CoresPerTile = 2
+	// MaxPower is the SCC's maximum dissipation in watts.
+	MaxPower = 125.0
+	// ONICols and ONIRows define the 4×4 ONI grid placed over the inner
+	// tiles.
+	ONICols = 4
+	ONIRows = 4
+)
+
+// Tile is one SCC tile: two cores flanking a router column.
+type Tile struct {
+	Index    int
+	Col, Row int
+	Bounds   geom.Rect
+	Cores    [CoresPerTile]geom.Rect
+	Router   geom.Rect
+}
+
+// Floorplan is the resolved SCC die layout.
+type Floorplan struct {
+	Die               geom.Rect
+	Tiles             []Tile
+	MemoryControllers []geom.Rect
+	// ONISites are the footprints reserved for the 16 ONIs on the optical
+	// layer (their centres sit over the routers of the inner 4×4 tiles).
+	ONISites []geom.Rect
+}
+
+// periphery reserved for memory controllers and IO around the tile array.
+const periphery = 1.8e-3
+
+// New builds the standard SCC floorplan.
+func New() (*Floorplan, error) {
+	die := geom.NewRect(0, 0, DieWidth, DieHeight)
+	tileRegion := geom.NewRect(periphery, periphery,
+		DieWidth-2*periphery, DieHeight-2*periphery)
+	cells, err := tileRegion.GridPositions(TileCols, TileRows)
+	if err != nil {
+		return nil, fmt.Errorf("scc: tile grid: %w", err)
+	}
+	fp := &Floorplan{Die: die}
+	for idx, cell := range cells {
+		col := idx % TileCols
+		row := idx / TileCols
+		t := Tile{Index: idx, Col: col, Row: row, Bounds: cell}
+		// Router occupies the central 20 % strip; cores split the rest.
+		w := cell.X.Length()
+		h := cell.Y.Length()
+		coreW := w * 0.4
+		routerW := w * 0.2
+		t.Cores[0] = geom.NewRect(cell.X.Lo, cell.Y.Lo, coreW, h)
+		t.Router = geom.NewRect(cell.X.Lo+coreW, cell.Y.Lo+h*0.25, routerW, h*0.5)
+		t.Cores[1] = geom.NewRect(cell.X.Lo+coreW+routerW, cell.Y.Lo, coreW, h)
+		fp.Tiles = append(fp.Tiles, t)
+	}
+	// Four DDR3 memory controllers: two per vertical edge.
+	mcW := periphery * 0.8
+	mcH := DieHeight * 0.25
+	fp.MemoryControllers = []geom.Rect{
+		geom.NewRect(0.1e-3, DieHeight*0.17, mcW, mcH),
+		geom.NewRect(0.1e-3, DieHeight*0.58, mcW, mcH),
+		geom.NewRect(DieWidth-0.1e-3-mcW, DieHeight*0.17, mcW, mcH),
+		geom.NewRect(DieWidth-0.1e-3-mcW, DieHeight*0.58, mcW, mcH),
+	}
+	// ONI sites: a 4×4 grid over the inner tiles (columns 1..4 of 0..5,
+	// all rows). Each site is centred on its tile's router, sized for the
+	// chessboard ONI layout (≈ 360×200 µm).
+	const oniW, oniH = 360e-6, 200e-6
+	for row := 0; row < ONIRows; row++ {
+		for col := 0; col < ONICols; col++ {
+			tile := fp.TileAt(col+1, row)
+			cx, cy := tile.Router.Center()
+			fp.ONISites = append(fp.ONISites, geom.CenteredRect(cx, cy, oniW, oniH))
+		}
+	}
+	return fp, nil
+}
+
+// TileAt returns the tile at mesh coordinates (col, row).
+func (f *Floorplan) TileAt(col, row int) *Tile {
+	return &f.Tiles[row*TileCols+col]
+}
+
+// PowerBlock is a rectangular heat source with an assigned power.
+type PowerBlock struct {
+	Name  string
+	Rect  geom.Rect
+	Power float64 // watts
+}
+
+// PowerMap distributes a total chip power over the die according to
+// per-tile activity weights (length 24). A fixed uncoreFraction of the
+// total goes to the memory controllers, the rest is split over tiles
+// proportionally to the weights; within a tile, 80 % goes to the two cores
+// and 20 % to the router.
+func (f *Floorplan) PowerMap(totalPower float64, tileWeights []float64) ([]PowerBlock, error) {
+	if totalPower < 0 {
+		return nil, fmt.Errorf("scc: negative total power %g", totalPower)
+	}
+	if len(tileWeights) != len(f.Tiles) {
+		return nil, fmt.Errorf("scc: %d tile weights for %d tiles", len(tileWeights), len(f.Tiles))
+	}
+	var sum float64
+	for i, w := range tileWeights {
+		if w < 0 {
+			return nil, fmt.Errorf("scc: negative weight %g for tile %d", w, i)
+		}
+		sum += w
+	}
+	if sum == 0 && totalPower > 0 {
+		return nil, fmt.Errorf("scc: all tile weights are zero")
+	}
+
+	const uncoreFraction = 0.12
+	uncore := totalPower * uncoreFraction
+	tileTotal := totalPower - uncore
+
+	blocks := make([]PowerBlock, 0, len(f.Tiles)*3+len(f.MemoryControllers))
+	for i, t := range f.Tiles {
+		p := 0.0
+		if sum > 0 {
+			p = tileTotal * tileWeights[i] / sum
+		}
+		corePower := p * 0.8 / CoresPerTile
+		routerPower := p * 0.2
+		blocks = append(blocks,
+			PowerBlock{Name: fmt.Sprintf("tile%02d-core0", i), Rect: t.Cores[0], Power: corePower},
+			PowerBlock{Name: fmt.Sprintf("tile%02d-core1", i), Rect: t.Cores[1], Power: corePower},
+			PowerBlock{Name: fmt.Sprintf("tile%02d-router", i), Rect: t.Router, Power: routerPower},
+		)
+	}
+	for i, mc := range f.MemoryControllers {
+		blocks = append(blocks, PowerBlock{
+			Name:  fmt.Sprintf("mc%d", i),
+			Rect:  mc,
+			Power: uncore / float64(len(f.MemoryControllers)),
+		})
+	}
+	return blocks, nil
+}
+
+// TotalPower sums a block list.
+func TotalPower(blocks []PowerBlock) float64 {
+	var s float64
+	for _, b := range blocks {
+		s += b.Power
+	}
+	return s
+}
+
+// QuadrantOf reports which die quadrant a point is in: 0=lower-left,
+// 1=lower-right, 2=upper-left, 3=upper-right.
+func (f *Floorplan) QuadrantOf(x, y float64) int {
+	cx, cy := f.Die.Center()
+	q := 0
+	if x >= cx {
+		q |= 1
+	}
+	if y >= cy {
+		q |= 2
+	}
+	return q
+}

@@ -1,0 +1,208 @@
+package scc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFloorplanStructure(t *testing.T) {
+	f, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Tiles) != 24 {
+		t.Fatalf("got %d tiles, want 24", len(f.Tiles))
+	}
+	if len(f.MemoryControllers) != 4 {
+		t.Fatalf("got %d MCs, want 4", len(f.MemoryControllers))
+	}
+	if len(f.ONISites) != 16 {
+		t.Fatalf("got %d ONI sites, want 16", len(f.ONISites))
+	}
+	// Die area ≈ 567 mm².
+	area := f.Die.Area()
+	if math.Abs(area-567.1e-6) > 1e-6 {
+		t.Errorf("die area = %g m², want ~567.1 mm²", area)
+	}
+}
+
+func TestTilesInsideDieAndDisjoint(t *testing.T) {
+	f, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tile := range f.Tiles {
+		if tile.Bounds.X.Lo < 0 || tile.Bounds.X.Hi > DieWidth ||
+			tile.Bounds.Y.Lo < 0 || tile.Bounds.Y.Hi > DieHeight {
+			t.Errorf("tile %d outside die", tile.Index)
+		}
+		// Cores and router inside the tile.
+		for _, c := range tile.Cores {
+			if !tile.Bounds.Intersects(c) {
+				t.Errorf("tile %d core outside tile", tile.Index)
+			}
+		}
+		if !tile.Bounds.Intersects(tile.Router) {
+			t.Errorf("tile %d router outside tile", tile.Index)
+		}
+		// Router between the cores, no overlap.
+		if tile.Cores[0].Intersects(tile.Router) || tile.Cores[1].Intersects(tile.Router) {
+			t.Errorf("tile %d router overlaps a core", tile.Index)
+		}
+	}
+	for i := range f.Tiles {
+		for j := i + 1; j < len(f.Tiles); j++ {
+			if f.Tiles[i].Bounds.Intersects(f.Tiles[j].Bounds) {
+				t.Errorf("tiles %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestTileAt(t *testing.T) {
+	f, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tile := f.TileAt(2, 1)
+	if tile.Col != 2 || tile.Row != 1 {
+		t.Errorf("TileAt(2,1) = col %d row %d", tile.Col, tile.Row)
+	}
+	if tile.Index != 1*TileCols+2 {
+		t.Errorf("index = %d", tile.Index)
+	}
+}
+
+func TestONISitesOverInnerTiles(t *testing.T) {
+	f, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, site := range f.ONISites {
+		cx, cy := site.Center()
+		if cx < f.Die.X.Lo || cx > f.Die.X.Hi || cy < f.Die.Y.Lo || cy > f.Die.Y.Hi {
+			t.Errorf("ONI %d centre outside die", i)
+		}
+		// Each site must be over some tile's router.
+		found := false
+		for _, tile := range f.Tiles {
+			rcx, rcy := tile.Router.Center()
+			if math.Abs(rcx-cx) < 1e-9 && math.Abs(rcy-cy) < 1e-9 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("ONI %d not centred on a router", i)
+		}
+	}
+	// Sites pairwise disjoint.
+	for i := range f.ONISites {
+		for j := i + 1; j < len(f.ONISites); j++ {
+			if f.ONISites[i].Intersects(f.ONISites[j]) {
+				t.Errorf("ONI sites %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestPowerMapConservation(t *testing.T) {
+	f, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := make([]float64, 24)
+	for i := range weights {
+		weights[i] = 1
+	}
+	blocks, err := f.PowerMap(25, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := TotalPower(blocks); math.Abs(got-25) > 1e-9 {
+		t.Errorf("total power = %g, want 25", got)
+	}
+	// 24 tiles × 3 blocks + 4 MCs.
+	if len(blocks) != 24*3+4 {
+		t.Errorf("got %d blocks", len(blocks))
+	}
+	for _, b := range blocks {
+		if b.Power < 0 {
+			t.Errorf("block %s has negative power", b.Name)
+		}
+		if b.Rect.Empty() {
+			t.Errorf("block %s has empty rect", b.Name)
+		}
+	}
+}
+
+func TestPowerMapWeighted(t *testing.T) {
+	f, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := make([]float64, 24)
+	weights[0] = 1 // all tile power on tile 0
+	blocks, err := f.PowerMap(10, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tile0, others float64
+	for _, b := range blocks {
+		switch {
+		case len(b.Name) >= 6 && b.Name[:6] == "tile00":
+			tile0 += b.Power
+		case b.Name[:2] == "mc":
+		default:
+			others += b.Power
+		}
+	}
+	if others > 1e-12 {
+		t.Errorf("other tiles got power %g", others)
+	}
+	if math.Abs(tile0-10*0.88) > 1e-9 {
+		t.Errorf("tile0 power = %g, want %g", tile0, 10*0.88)
+	}
+}
+
+func TestPowerMapErrors(t *testing.T) {
+	f, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.PowerMap(-5, make([]float64, 24)); err == nil {
+		t.Error("negative power should error")
+	}
+	if _, err := f.PowerMap(5, make([]float64, 10)); err == nil {
+		t.Error("wrong weight count should error")
+	}
+	if _, err := f.PowerMap(5, make([]float64, 24)); err == nil {
+		t.Error("all-zero weights with positive power should error")
+	}
+	w := make([]float64, 24)
+	w[3] = -1
+	if _, err := f.PowerMap(5, w); err == nil {
+		t.Error("negative weight should error")
+	}
+}
+
+func TestQuadrantOf(t *testing.T) {
+	f, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		x, y float64
+		want int
+	}{
+		{1e-3, 1e-3, 0},                        // lower-left
+		{DieWidth - 1e-3, 1e-3, 1},             // lower-right
+		{1e-3, DieHeight - 1e-3, 2},            // upper-left
+		{DieWidth - 1e-3, DieHeight - 1e-3, 3}, // upper-right
+	}
+	for _, c := range cases {
+		if got := f.QuadrantOf(c.x, c.y); got != c.want {
+			t.Errorf("QuadrantOf(%g, %g) = %d, want %d", c.x, c.y, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,346 @@
+package snr
+
+import (
+	"math"
+	"testing"
+
+	"vcselnoc/internal/ornoc"
+)
+
+func ringOf(t *testing.T, n int, pitch float64) *ornoc.Ring {
+	t.Helper()
+	nodes := make([]ornoc.Node, n)
+	for i := range nodes {
+		// Rectangular loop: half the nodes along the bottom, half on top.
+		half := (n + 1) / 2
+		if i < half {
+			nodes[i] = ornoc.Node{SiteIndex: i, X: float64(i) * pitch, Y: 0}
+		} else {
+			nodes[i] = ornoc.Node{SiteIndex: i, X: float64(n-1-i) * pitch, Y: pitch}
+		}
+	}
+	r, err := ornoc.NewRing(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func uniformTemps(n int, temp float64) []float64 {
+	ts := make([]float64, n)
+	for i := range ts {
+		ts[i] = temp
+	}
+	return ts
+}
+
+func assignedNeighbour(t *testing.T, r *ornoc.Ring) []ornoc.Communication {
+	t.Helper()
+	comms := ornoc.NeighbourPattern(r.N())
+	if _, err := r.AssignChannels(comms); err != nil {
+		t.Fatal(err)
+	}
+	return comms
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.CouplingEfficiency = 0 },
+		func(c *Config) { c.CouplingEfficiency = 1.5 },
+		func(c *Config) { c.ChannelSpacingNM = 0 },
+		func(c *Config) { c.BaseLambdaNM = -1 },
+		func(c *Config) { c.PVCSEL = -1 },
+		func(c *Config) { c.MR.FWHMNM = 0 },
+		func(c *Config) { c.VCSEL.S0 = 0 },
+	}
+	for i, mut := range mutations {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d should fail", i)
+		}
+	}
+}
+
+// TestIsothermalHighSNR: with all ONIs at the same temperature, wavelengths
+// stay aligned, destinations drop ~100 % of their signals, and the SNR is
+// very high.
+func TestIsothermalHighSNR(t *testing.T) {
+	r := ringOf(t, 4, 4e-3)
+	comms := assignedNeighbour(t, r)
+	rep, err := Evaluate(DefaultConfig(), Input{
+		Ring: r, Comms: comms, NodeTemps: uniformTemps(4, 50),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WorstSNRdB < 40 {
+		t.Errorf("isothermal worst SNR = %.1f dB, want > 40", rep.WorstSNRdB)
+	}
+	if !rep.AllDetected {
+		t.Error("all signals should clear the -20 dBm floor")
+	}
+	for _, cr := range rep.PerComm {
+		if cr.SignalW <= 0 {
+			t.Errorf("comm %d->%d no signal", cr.Comm.Src, cr.Comm.Dst)
+		}
+		if cr.SignalW >= cr.LaunchW {
+			t.Errorf("signal %g not attenuated below launch %g", cr.SignalW, cr.LaunchW)
+		}
+	}
+}
+
+// TestGradientDegradesSNR: the paper's central SNR claim — a temperature
+// spread across ONIs lowers the worst-case SNR.
+func TestGradientDegradesSNR(t *testing.T) {
+	r := ringOf(t, 8, 4e-3)
+	comms := assignedNeighbour(t, r)
+	iso, err := Evaluate(DefaultConfig(), Input{
+		Ring: r, Comms: comms, NodeTemps: uniformTemps(8, 55),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps := uniformTemps(8, 55)
+	for i := range temps {
+		temps[i] += float64(i) * 0.8 // 5.6 °C spread
+	}
+	grad, err := Evaluate(DefaultConfig(), Input{Ring: r, Comms: comms, NodeTemps: temps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grad.WorstSNRdB >= iso.WorstSNRdB {
+		t.Errorf("gradient SNR %.1f dB not below isothermal %.1f dB",
+			grad.WorstSNRdB, iso.WorstSNRdB)
+	}
+	if grad.MeanCrosstalkW <= iso.MeanCrosstalkW {
+		t.Error("gradient should increase crosstalk")
+	}
+}
+
+// TestLongerRingLowerSNR: a bigger ring spans more of the die (larger
+// temperature spread under the same spatial field) and its communications
+// cross more intermediate MRs. With half-ring communications the worst
+// SNR must fall with ring size — Fig. 12's x-axis trend.
+func TestLongerRingLowerSNR(t *testing.T) {
+	cfg := DefaultConfig()
+	var prev float64 = math.Inf(1)
+	for _, n := range []int{4, 8, 16} {
+		r := ringOf(t, n, 4e-3)
+		comms := ornoc.PairedPattern(n)
+		if _, err := r.AssignChannels(comms); err != nil {
+			t.Fatal(err)
+		}
+		// Fixed spatial field: temperature rises 0.25 °C per mm across the
+		// die, so bigger rings see proportionally bigger spreads.
+		temps := make([]float64, n)
+		for i, node := range r.Nodes {
+			temps[i] = 55 + 250*node.X
+		}
+		rep, err := Evaluate(cfg, Input{Ring: r, Comms: comms, NodeTemps: temps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.WorstSNRdB >= prev {
+			t.Errorf("n=%d: SNR %.1f dB not below previous %.1f dB", n, rep.WorstSNRdB, prev)
+		}
+		prev = rep.WorstSNRdB
+	}
+}
+
+// TestHotterChipLowerSignal: higher ONI temperatures reduce laser output
+// and hence the received signal power.
+func TestHotterChipLowerSignal(t *testing.T) {
+	r := ringOf(t, 4, 4e-3)
+	comms := assignedNeighbour(t, r)
+	cool, err := Evaluate(DefaultConfig(), Input{Ring: r, Comms: comms, NodeTemps: uniformTemps(4, 45)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := Evaluate(DefaultConfig(), Input{Ring: r, Comms: comms, NodeTemps: uniformTemps(4, 62)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.MeanSignalW >= cool.MeanSignalW {
+		t.Errorf("hotter chip should emit less: %g vs %g", hot.MeanSignalW, cool.MeanSignalW)
+	}
+}
+
+func TestEnergyConservation(t *testing.T) {
+	// Total deposited power can never exceed launched power.
+	r := ringOf(t, 6, 4e-3)
+	comms := assignedNeighbour(t, r)
+	temps := uniformTemps(6, 50)
+	temps[2] = 58
+	temps[4] = 44
+	rep, err := Evaluate(DefaultConfig(), Input{Ring: r, Comms: comms, NodeTemps: temps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var launched, deposited float64
+	for _, cr := range rep.PerComm {
+		launched += cr.LaunchW
+		deposited += cr.SignalW + cr.CrosstalkW
+	}
+	if deposited > launched {
+		t.Errorf("deposited %g exceeds launched %g", deposited, launched)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	r := ringOf(t, 4, 4e-3)
+	comms := assignedNeighbour(t, r)
+	cfg := DefaultConfig()
+	if _, err := Evaluate(cfg, Input{Ring: nil, Comms: comms, NodeTemps: uniformTemps(4, 50)}); err == nil {
+		t.Error("nil ring should error")
+	}
+	if _, err := Evaluate(cfg, Input{Ring: r, Comms: comms, NodeTemps: uniformTemps(3, 50)}); err == nil {
+		t.Error("temp count mismatch should error")
+	}
+	if _, err := Evaluate(cfg, Input{Ring: r, Comms: nil, NodeTemps: uniformTemps(4, 50)}); err == nil {
+		t.Error("empty comms should error")
+	}
+	bad := []ornoc.Communication{{Src: 0, Dst: 1, Channel: -1}}
+	if _, err := Evaluate(cfg, Input{Ring: r, Comms: bad, NodeTemps: uniformTemps(4, 50)}); err == nil {
+		t.Error("unassigned channel should error")
+	}
+	nan := uniformTemps(4, 50)
+	nan[1] = math.NaN()
+	if _, err := Evaluate(cfg, Input{Ring: r, Comms: comms, NodeTemps: nan}); err == nil {
+		t.Error("NaN temps should error")
+	}
+	// A laser that cannot reach the dissipation target must error.
+	cfg2 := DefaultConfig()
+	cfg2.PVCSEL = 1 // 1 W is unreachable
+	if _, err := Evaluate(cfg2, Input{Ring: r, Comms: comms, NodeTemps: uniformTemps(4, 50)}); err == nil {
+		t.Error("unreachable laser power should error")
+	}
+}
+
+func TestChannelSeparationLimitsCrosstalk(t *testing.T) {
+	// Two overlapping communications on different channels: crosstalk
+	// should fall as the channel spacing grows.
+	r := ringOf(t, 4, 4e-3)
+	comms := []ornoc.Communication{
+		{Src: 0, Dst: 2, Channel: -1},
+		{Src: 1, Dst: 3, Channel: -1},
+	}
+	if _, err := r.AssignChannels(comms); err != nil {
+		t.Fatal(err)
+	}
+	if comms[0].Channel == comms[1].Channel {
+		t.Fatal("overlapping comms must get distinct channels")
+	}
+	prevXtalk := math.Inf(1)
+	for _, spacing := range []float64{1.6, 3.2, 6.4} {
+		cfg := DefaultConfig()
+		cfg.ChannelSpacingNM = spacing
+		rep, err := Evaluate(cfg, Input{Ring: r, Comms: comms, NodeTemps: uniformTemps(4, 50)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.MeanCrosstalkW >= prevXtalk {
+			t.Errorf("spacing %g: crosstalk %g did not fall", spacing, rep.MeanCrosstalkW)
+		}
+		prevXtalk = rep.MeanCrosstalkW
+	}
+}
+
+func TestReportConsistency(t *testing.T) {
+	r := ringOf(t, 8, 3e-3)
+	comms := assignedNeighbour(t, r)
+	temps := uniformTemps(8, 52)
+	for i := range temps {
+		temps[i] += float64(i%3) * 0.5
+	}
+	rep, err := Evaluate(DefaultConfig(), Input{Ring: r, Comms: comms, NodeTemps: temps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PerComm) != len(comms) {
+		t.Fatalf("%d reports for %d comms", len(rep.PerComm), len(comms))
+	}
+	worst := math.Inf(1)
+	for _, cr := range rep.PerComm {
+		if cr.SNRdB < worst {
+			worst = cr.SNRdB
+		}
+		if cr.PathLengthM <= 0 {
+			t.Error("non-positive path length")
+		}
+		if cr.SignalLambdaNM < 1540 || cr.SignalLambdaNM > 1570 {
+			t.Errorf("wavelength %g nm out of band", cr.SignalLambdaNM)
+		}
+	}
+	if worst != rep.WorstSNRdB {
+		t.Errorf("worst SNR mismatch: %g vs %g", worst, rep.WorstSNRdB)
+	}
+}
+
+// TestCouplingScaleInvariance: scaling every launch power by the same
+// factor (the taper coupling efficiency) scales signal and crosstalk
+// identically, so the SNR in dB must not move — only detectability may.
+func TestCouplingScaleInvariance(t *testing.T) {
+	r := ringOf(t, 8, 4e-3)
+	comms := assignedNeighbour(t, r)
+	temps := uniformTemps(8, 55)
+	for i := range temps {
+		temps[i] += float64(i%2) * 1.2
+	}
+	base := DefaultConfig()
+	base.CouplingEfficiency = 0.7
+	repA, err := Evaluate(base, Input{Ring: r, Comms: comms, NodeTemps: temps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	halved := base
+	halved.CouplingEfficiency = 0.35
+	repB, err := Evaluate(halved, Input{Ring: r, Comms: comms, NodeTemps: temps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range repA.PerComm {
+		a, b := repA.PerComm[i], repB.PerComm[i]
+		if math.Abs(a.SNRdB-b.SNRdB) > 1e-9 {
+			t.Errorf("comm %d: SNR moved with coupling (%.3f vs %.3f dB)", i, a.SNRdB, b.SNRdB)
+		}
+		if math.Abs(b.SignalW-a.SignalW/2) > 1e-15 {
+			t.Errorf("comm %d: signal did not halve", i)
+		}
+	}
+}
+
+// TestHeaterAlignedTempsRecoverSNR: shifting every node by the same
+// temperature offset preserves alignment (wavelengths and resonances
+// drift together), so crosstalk must not grow — only the laser output
+// changes. This is the physical basis for the paper's gradient-first
+// (rather than absolute-temperature-first) design target.
+func TestHeaterAlignedTempsRecoverSNR(t *testing.T) {
+	r := ringOf(t, 6, 4e-3)
+	comms := assignedNeighbour(t, r)
+	repCool, err := Evaluate(DefaultConfig(), Input{Ring: r, Comms: comms, NodeTemps: uniformTemps(6, 45)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repHot, err := Evaluate(DefaultConfig(), Input{Ring: r, Comms: comms, NodeTemps: uniformTemps(6, 58)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both isothermal: crosstalk stays negligible relative to signal.
+	for _, rep := range []*Report{repCool, repHot} {
+		if rep.MeanCrosstalkW > 1e-3*rep.MeanSignalW {
+			t.Errorf("isothermal crosstalk %.3g not negligible vs signal %.3g",
+				rep.MeanCrosstalkW, rep.MeanSignalW)
+		}
+	}
+	// But the hot chip emits less light.
+	if repHot.MeanSignalW >= repCool.MeanSignalW {
+		t.Error("hot isothermal chip should emit less")
+	}
+}

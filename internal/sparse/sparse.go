@@ -1,0 +1,424 @@
+// Package sparse implements the sparse linear algebra needed by the
+// finite-volume thermal solver: compressed sparse row (CSR) matrices, a
+// Jacobi-preconditioned conjugate gradient solver for symmetric positive
+// definite systems, and a Gauss–Seidel smoother usable as a standalone
+// iterative solver for small systems.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// COO is a matrix under assembly, stored as coordinate triplets with
+// accumulation: adding to the same (row, col) twice sums the entries.
+type COO struct {
+	n       int
+	entries map[coord]float64
+}
+
+type coord struct{ r, c int }
+
+// NewCOO creates an n×n matrix accumulator.
+func NewCOO(n int) *COO {
+	return &COO{n: n, entries: make(map[coord]float64)}
+}
+
+// N returns the matrix dimension.
+func (a *COO) N() int { return a.n }
+
+// Add accumulates v into entry (r, c). Out-of-range indices panic, as they
+// indicate a programming error in assembly code.
+func (a *COO) Add(r, c int, v float64) {
+	if r < 0 || r >= a.n || c < 0 || c >= a.n {
+		panic(fmt.Sprintf("sparse: index (%d,%d) out of range for n=%d", r, c, a.n))
+	}
+	if v == 0 {
+		return
+	}
+	a.entries[coord{r, c}] += v
+}
+
+// ToCSR converts the accumulated triplets to CSR form. Zero accumulated
+// entries are dropped except diagonal entries, which are always kept so that
+// preconditioners can rely on their presence.
+func (a *COO) ToCSR() *CSR {
+	counts := make([]int, a.n+1)
+	hasDiag := make([]bool, a.n)
+	for c := range a.entries {
+		counts[c.r+1]++
+		if c.r == c.c {
+			hasDiag[c.r] = true
+		}
+	}
+	for i := 0; i < a.n; i++ {
+		if !hasDiag[i] {
+			counts[i+1]++
+		}
+	}
+	for i := 0; i < a.n; i++ {
+		counts[i+1] += counts[i]
+	}
+	nnz := counts[a.n]
+	m := &CSR{
+		n:      a.n,
+		rowPtr: counts,
+		colIdx: make([]int32, nnz),
+		values: make([]float64, nnz),
+	}
+	next := make([]int, a.n)
+	copy(next, counts[:a.n])
+	for c, v := range a.entries {
+		p := next[c.r]
+		next[c.r]++
+		m.colIdx[p] = int32(c.c)
+		m.values[p] = v
+	}
+	for i := 0; i < a.n; i++ {
+		if !hasDiag[i] {
+			p := next[i]
+			next[i]++
+			m.colIdx[p] = int32(i)
+			m.values[p] = 0
+		}
+	}
+	m.sortRows()
+	return m
+}
+
+// CSR is an n×n sparse matrix in compressed sparse row format.
+type CSR struct {
+	n      int
+	rowPtr []int
+	colIdx []int32
+	values []float64
+}
+
+// NewCSRFromParts builds a CSR matrix directly from its raw arrays. The
+// caller promises that colIdx within each row is sorted; rowPtr must be
+// non-decreasing with rowPtr[0]==0 and rowPtr[n]==len(values). This is the
+// fast path used by structured-grid assembly, where the stencil layout is
+// known in advance.
+func NewCSRFromParts(n int, rowPtr []int, colIdx []int32, values []float64) (*CSR, error) {
+	if len(rowPtr) != n+1 {
+		return nil, fmt.Errorf("sparse: rowPtr length %d != n+1 (%d)", len(rowPtr), n+1)
+	}
+	if rowPtr[0] != 0 || rowPtr[n] != len(values) || len(values) != len(colIdx) {
+		return nil, fmt.Errorf("sparse: inconsistent CSR arrays (rowPtr[0]=%d, rowPtr[n]=%d, nnz=%d/%d)",
+			rowPtr[0], rowPtr[n], len(colIdx), len(values))
+	}
+	for i := 0; i < n; i++ {
+		if rowPtr[i+1] < rowPtr[i] {
+			return nil, fmt.Errorf("sparse: rowPtr decreases at row %d", i)
+		}
+		for p := rowPtr[i]; p < rowPtr[i+1]; p++ {
+			if colIdx[p] < 0 || int(colIdx[p]) >= n {
+				return nil, fmt.Errorf("sparse: column %d out of range in row %d", colIdx[p], i)
+			}
+			if p > rowPtr[i] && colIdx[p] <= colIdx[p-1] {
+				return nil, fmt.Errorf("sparse: row %d columns not strictly increasing", i)
+			}
+		}
+	}
+	return &CSR{n: n, rowPtr: rowPtr, colIdx: colIdx, values: values}, nil
+}
+
+// N returns the matrix dimension.
+func (m *CSR) N() int { return m.n }
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.values) }
+
+// AddDiagonal returns a copy of m with d[i] added to each diagonal entry.
+// Every row of m must already store its diagonal (guaranteed for matrices
+// built by COO.ToCSR or the FVM assembler).
+func AddDiagonal(m *CSR, d []float64) *CSR {
+	if len(d) != m.n {
+		panic("sparse: AddDiagonal dimension mismatch")
+	}
+	out := &CSR{
+		n:      m.n,
+		rowPtr: m.rowPtr, // shared: structure is immutable
+		colIdx: m.colIdx,
+		values: make([]float64, len(m.values)),
+	}
+	copy(out.values, m.values)
+	for i := 0; i < m.n; i++ {
+		found := false
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			if int(m.colIdx[p]) == i {
+				out.values[p] += d[i]
+				found = true
+				break
+			}
+		}
+		if !found {
+			panic(fmt.Sprintf("sparse: AddDiagonal: row %d has no stored diagonal", i))
+		}
+	}
+	return out
+}
+
+func (m *CSR) sortRows() {
+	for i := 0; i < m.n; i++ {
+		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+		// Insertion sort: rows are short (≤ 7 entries for a 3D stencil).
+		for j := lo + 1; j < hi; j++ {
+			cj, vj := m.colIdx[j], m.values[j]
+			k := j - 1
+			for k >= lo && m.colIdx[k] > cj {
+				m.colIdx[k+1] = m.colIdx[k]
+				m.values[k+1] = m.values[k]
+				k--
+			}
+			m.colIdx[k+1] = cj
+			m.values[k+1] = vj
+		}
+	}
+}
+
+// At returns entry (r, c), or 0 if not stored.
+func (m *CSR) At(r, c int) float64 {
+	if r < 0 || r >= m.n || c < 0 || c >= m.n {
+		return 0
+	}
+	for p := m.rowPtr[r]; p < m.rowPtr[r+1]; p++ {
+		if int(m.colIdx[p]) == c {
+			return m.values[p]
+		}
+	}
+	return 0
+}
+
+// Diag returns a copy of the diagonal.
+func (m *CSR) Diag() []float64 {
+	d := make([]float64, m.n)
+	for i := 0; i < m.n; i++ {
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			if int(m.colIdx[p]) == i {
+				d[i] = m.values[p]
+				break
+			}
+		}
+	}
+	return d
+}
+
+// IsSymmetric reports whether the matrix equals its transpose within tol.
+func (m *CSR) IsSymmetric(tol float64) bool {
+	for i := 0; i < m.n; i++ {
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			j := int(m.colIdx[p])
+			if math.Abs(m.values[p]-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MulVec computes dst = m · x. dst and x must have length N and must not
+// alias. For large systems the row loop is split across CPUs.
+func (m *CSR) MulVec(dst, x []float64) {
+	if len(dst) != m.n || len(x) != m.n {
+		panic("sparse: MulVec dimension mismatch")
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if m.n < 4096 || workers < 2 {
+		m.mulRange(dst, x, 0, m.n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (m.n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m.n {
+			hi = m.n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			m.mulRange(dst, x, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func (m *CSR) mulRange(dst, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var sum float64
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			sum += m.values[p] * x[m.colIdx[p]]
+		}
+		dst[i] = sum
+	}
+}
+
+// Dot returns the inner product of two vectors.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// CGOptions controls the conjugate gradient solver.
+type CGOptions struct {
+	// MaxIterations bounds the iteration count; 0 means 10·n.
+	MaxIterations int
+	// Tolerance is the relative residual target ‖r‖/‖b‖; 0 means 1e-9.
+	Tolerance float64
+	// InitialGuess, if non-nil, seeds the iteration (it is not modified).
+	InitialGuess []float64
+}
+
+// CGResult reports how a solve went.
+type CGResult struct {
+	Iterations int
+	Residual   float64 // final relative residual ‖r‖/‖b‖
+	Converged  bool
+}
+
+// SolveCG solves A·x = b for symmetric positive definite A using the
+// conjugate gradient method with Jacobi (diagonal) preconditioning.
+func SolveCG(a *CSR, b []float64, opts CGOptions) ([]float64, CGResult, error) {
+	n := a.N()
+	if len(b) != n {
+		return nil, CGResult{}, fmt.Errorf("sparse: rhs length %d != n %d", len(b), n)
+	}
+	maxIter := opts.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+	tol := opts.Tolerance
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	diag := a.Diag()
+	invDiag := make([]float64, n)
+	for i, d := range diag {
+		if d <= 0 {
+			return nil, CGResult{}, fmt.Errorf("sparse: non-positive diagonal %g at row %d (matrix not SPD?)", d, i)
+		}
+		invDiag[i] = 1 / d
+	}
+
+	x := make([]float64, n)
+	if opts.InitialGuess != nil {
+		if len(opts.InitialGuess) != n {
+			return nil, CGResult{}, fmt.Errorf("sparse: initial guess length %d != n %d", len(opts.InitialGuess), n)
+		}
+		copy(x, opts.InitialGuess)
+	}
+
+	bNorm := Norm2(b)
+	if bNorm == 0 {
+		return x, CGResult{Converged: true}, nil
+	}
+
+	r := make([]float64, n)
+	ax := make([]float64, n)
+	a.MulVec(ax, x)
+	for i := range r {
+		r[i] = b[i] - ax[i]
+	}
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = invDiag[i] * r[i]
+	}
+	p := make([]float64, n)
+	copy(p, z)
+	rz := Dot(r, z)
+	ap := make([]float64, n)
+
+	var res CGResult
+	for k := 0; k < maxIter; k++ {
+		res.Iterations = k + 1
+		a.MulVec(ap, p)
+		pap := Dot(p, ap)
+		if pap <= 0 {
+			return nil, res, fmt.Errorf("sparse: p·Ap = %g not positive at iteration %d (matrix not SPD)", pap, k)
+		}
+		alpha := rz / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		rNorm := Norm2(r)
+		res.Residual = rNorm / bNorm
+		if res.Residual <= tol {
+			res.Converged = true
+			return x, res, nil
+		}
+		for i := range z {
+			z[i] = invDiag[i] * r[i]
+		}
+		rzNew := Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return x, res, fmt.Errorf("sparse: CG did not converge in %d iterations (residual %.3e)", maxIter, res.Residual)
+}
+
+// GaussSeidelSweeps applies count symmetric Gauss–Seidel sweeps to the
+// system A·x = b in place and returns the relative residual afterwards.
+// Useful as a smoother and as a fallback solver for tiny systems.
+func GaussSeidelSweeps(a *CSR, x, b []float64, count int) (float64, error) {
+	n := a.N()
+	if len(x) != n || len(b) != n {
+		return 0, fmt.Errorf("sparse: dimension mismatch")
+	}
+	diag := a.Diag()
+	for i, d := range diag {
+		if d == 0 {
+			return 0, fmt.Errorf("sparse: zero diagonal at row %d", i)
+		}
+	}
+	for s := 0; s < count; s++ {
+		// Forward sweep.
+		for i := 0; i < n; i++ {
+			sum := b[i]
+			for p := a.rowPtr[i]; p < a.rowPtr[i+1]; p++ {
+				j := int(a.colIdx[p])
+				if j != i {
+					sum -= a.values[p] * x[j]
+				}
+			}
+			x[i] = sum / diag[i]
+		}
+		// Backward sweep.
+		for i := n - 1; i >= 0; i-- {
+			sum := b[i]
+			for p := a.rowPtr[i]; p < a.rowPtr[i+1]; p++ {
+				j := int(a.colIdx[p])
+				if j != i {
+					sum -= a.values[p] * x[j]
+				}
+			}
+			x[i] = sum / diag[i]
+		}
+	}
+	r := make([]float64, n)
+	a.MulVec(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	bn := Norm2(b)
+	if bn == 0 {
+		bn = 1
+	}
+	return Norm2(r) / bn, nil
+}

@@ -1,0 +1,230 @@
+// Package stack models the vertical structure of the 3D-stacked optical
+// MPSoC package (Fig. 7 of the paper): the layer pile from the organic
+// substrate up to the copper lid, and the finned heat sink that sets the
+// top-side convection boundary condition.
+package stack
+
+import (
+	"fmt"
+	"math"
+
+	"vcselnoc/internal/materials"
+)
+
+// Layer is one slab of the package pile.
+type Layer struct {
+	// Name identifies the layer ("optical", "beol", ...).
+	Name string
+	// Thickness in metres.
+	Thickness float64
+	// Mat is the layer material (possibly an effective medium).
+	Mat materials.Material
+}
+
+// Span is a layer with its resolved vertical position.
+type Span struct {
+	Layer
+	// Z0 and Z1 bound the layer: Z0 <= z < Z1, with z measured upward from
+	// the bottom of the stack.
+	Z0, Z1 float64
+}
+
+// Stack is an ordered pile of layers, listed bottom to top.
+type Stack struct {
+	layers []Layer
+	spans  []Span
+}
+
+// New validates the layer list and resolves the vertical positions.
+func New(layers []Layer) (*Stack, error) {
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("stack: no layers")
+	}
+	seen := make(map[string]bool, len(layers))
+	spans := make([]Span, len(layers))
+	z := 0.0
+	for i, l := range layers {
+		if l.Name == "" {
+			return nil, fmt.Errorf("stack: layer %d unnamed", i)
+		}
+		if seen[l.Name] {
+			return nil, fmt.Errorf("stack: duplicate layer name %q", l.Name)
+		}
+		seen[l.Name] = true
+		if l.Thickness <= 0 {
+			return nil, fmt.Errorf("stack: layer %q thickness %g must be > 0", l.Name, l.Thickness)
+		}
+		if err := l.Mat.Valid(); err != nil {
+			return nil, fmt.Errorf("stack: layer %q: %w", l.Name, err)
+		}
+		spans[i] = Span{Layer: l, Z0: z, Z1: z + l.Thickness}
+		z += l.Thickness
+	}
+	return &Stack{layers: layers, spans: spans}, nil
+}
+
+// Spans returns the resolved layers bottom to top.
+func (s *Stack) Spans() []Span { return s.spans }
+
+// TotalThickness returns the pile height in metres.
+func (s *Stack) TotalThickness() float64 { return s.spans[len(s.spans)-1].Z1 }
+
+// Find returns the span of the named layer.
+func (s *Stack) Find(name string) (Span, error) {
+	for _, sp := range s.spans {
+		if sp.Name == name {
+			return sp, nil
+		}
+	}
+	return Span{}, fmt.Errorf("stack: no layer named %q", name)
+}
+
+// LayerAt returns the span containing height z.
+func (s *Stack) LayerAt(z float64) (Span, error) {
+	if z < 0 || z >= s.TotalThickness() {
+		return Span{}, fmt.Errorf("stack: z=%g outside [0, %g)", z, s.TotalThickness())
+	}
+	for _, sp := range s.spans {
+		if z >= sp.Z0 && z < sp.Z1 {
+			return sp, nil
+		}
+	}
+	return Span{}, fmt.Errorf("stack: internal error locating z=%g", z)
+}
+
+// Canonical layer names used by the default SCC + ONoC stack. The thermal
+// builder looks these up to place heat sources and probes.
+const (
+	LayerSubstrate  = "substrate"
+	LayerC4         = "c4"
+	LayerInterposer = "interposer"
+	LayerDie        = "die-silicon"
+	LayerBEOL       = "beol"
+	LayerBonding    = "bonding"
+	LayerOptical    = "optical"
+	LayerHandle     = "handle-silicon"
+	LayerEpoxy      = "epoxy"
+	LayerTIM        = "tim"
+	LayerLid        = "lid"
+)
+
+// DefaultSCC returns the paper's package pile (Fig. 7), bottom to top:
+// substrate, C4 bumps, silicon interposer, thinned electrical die with its
+// BEOL, bonding layer, the ~4 µm optical layer, handle silicon, epoxy,
+// TIM and the 2 mm copper lid. The heat sink on top is modelled as a
+// convection boundary (see HeatSink).
+func DefaultSCC() (*Stack, error) {
+	beol, err := materials.BEOLEffective(0.25)
+	if err != nil {
+		return nil, err
+	}
+	c4, err := materials.C4Effective(0.2)
+	if err != nil {
+		return nil, err
+	}
+	return New([]Layer{
+		{LayerSubstrate, 1e-3, materials.OrganicSubstrate},
+		{LayerC4, 75e-6, c4},
+		{LayerInterposer, 200e-6, materials.Silicon},
+		{LayerDie, 50e-6, materials.Silicon},
+		{LayerBEOL, 15e-6, beol},
+		{LayerBonding, 20e-6, materials.BondingLayer},
+		{LayerOptical, 4e-6, materials.SiliconDioxide},
+		{LayerHandle, 50e-6, materials.Silicon},
+		{LayerEpoxy, 80e-6, materials.Epoxy},
+		{LayerTIM, 75e-6, materials.TIM},
+		{LayerLid, 2e-3, materials.Copper},
+	})
+}
+
+// HeatSink models a finned air-cooled heat sink as an effective convection
+// coefficient applied to the lid top surface.
+type HeatSink struct {
+	// BaseArea is the footprint of the sink base in m².
+	BaseArea float64
+	// FinCount is the number of straight fins.
+	FinCount int
+	// FinHeight, FinThickness and FinLength describe each fin in metres.
+	FinHeight, FinThickness, FinLength float64
+	// AirH is the convective film coefficient on the fin surfaces in
+	// W/(m²·K) (forced air: 20–100).
+	AirH float64
+	// FinConductivity is the fin material conductivity (aluminium by
+	// default).
+	FinConductivity float64
+}
+
+// DefaultHeatSink returns a forced-air sink sized for the SCC package
+// (125 W TDP class).
+func DefaultHeatSink() HeatSink {
+	return HeatSink{
+		BaseArea:        (60e-3) * (60e-3),
+		FinCount:        30,
+		FinHeight:       30e-3,
+		FinThickness:    1e-3,
+		FinLength:       60e-3,
+		AirH:            60,
+		FinConductivity: materials.Aluminium.Conductivity,
+	}
+}
+
+// Validate reports geometry errors.
+func (h HeatSink) Validate() error {
+	switch {
+	case h.BaseArea <= 0:
+		return fmt.Errorf("stack: heat sink base area %g must be > 0", h.BaseArea)
+	case h.FinCount < 0:
+		return fmt.Errorf("stack: negative fin count %d", h.FinCount)
+	case h.FinCount > 0 && (h.FinHeight <= 0 || h.FinThickness <= 0 || h.FinLength <= 0):
+		return fmt.Errorf("stack: invalid fin geometry h=%g t=%g l=%g", h.FinHeight, h.FinThickness, h.FinLength)
+	case h.AirH <= 0:
+		return fmt.Errorf("stack: air film coefficient %g must be > 0", h.AirH)
+	case h.FinCount > 0 && h.FinConductivity <= 0:
+		return fmt.Errorf("stack: fin conductivity %g must be > 0", h.FinConductivity)
+	}
+	return nil
+}
+
+// FinEfficiency returns the classic straight-fin efficiency
+// tanh(mL)/(mL) with m = sqrt(2h/(k·t)).
+func (h HeatSink) FinEfficiency() (float64, error) {
+	if err := h.Validate(); err != nil {
+		return 0, err
+	}
+	if h.FinCount == 0 {
+		return 0, nil
+	}
+	m := math.Sqrt(2 * h.AirH / (h.FinConductivity * h.FinThickness))
+	ml := m * h.FinHeight
+	if ml == 0 {
+		return 1, nil
+	}
+	return math.Tanh(ml) / ml, nil
+}
+
+// EffectiveH returns the equivalent convection coefficient referred to the
+// base area: the finned surface multiplies the raw film coefficient by the
+// effective area ratio.
+func (h HeatSink) EffectiveH() (float64, error) {
+	eta, err := h.FinEfficiency()
+	if err != nil {
+		return 0, err
+	}
+	finArea := float64(h.FinCount) * 2 * h.FinHeight * h.FinLength
+	baseExposed := h.BaseArea - float64(h.FinCount)*h.FinThickness*h.FinLength
+	if baseExposed < 0 {
+		return 0, fmt.Errorf("stack: fins cover more than the base area")
+	}
+	total := h.AirH * (baseExposed + eta*finArea)
+	return total / h.BaseArea, nil
+}
+
+// ThermalResistance returns the sink's bulk resistance in K/W for the
+// configured base area.
+func (h HeatSink) ThermalResistance() (float64, error) {
+	he, err := h.EffectiveH()
+	if err != nil {
+		return 0, err
+	}
+	return 1 / (he * h.BaseArea), nil
+}

@@ -1,0 +1,184 @@
+package stack
+
+import (
+	"math"
+	"testing"
+
+	"vcselnoc/internal/materials"
+)
+
+func TestDefaultSCCStack(t *testing.T) {
+	s, err := DefaultSCC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layers in order, contiguous, total thickness plausible (~3.6 mm).
+	spans := s.Spans()
+	if len(spans) != 11 {
+		t.Fatalf("got %d layers, want 11", len(spans))
+	}
+	for i := 1; i < len(spans); i++ {
+		if math.Abs(spans[i].Z0-spans[i-1].Z1) > 1e-15 {
+			t.Errorf("gap between %s and %s", spans[i-1].Name, spans[i].Name)
+		}
+	}
+	total := s.TotalThickness()
+	if total < 3e-3 || total > 4e-3 {
+		t.Errorf("total thickness = %g m, want ~3.5 mm", total)
+	}
+	// Optical layer must sit between the BEOL (below) and the handle.
+	opt, err := s.Find(LayerOptical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beol, err := s.Find(LayerBEOL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lid, err := s.Find(LayerLid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(beol.Z1 <= opt.Z0) {
+		t.Error("BEOL should be below the optical layer")
+	}
+	if !(opt.Z1 <= lid.Z0) {
+		t.Error("optical layer should be below the lid")
+	}
+	if math.Abs(opt.Z1-opt.Z0-4e-6) > 1e-12 {
+		t.Errorf("optical layer thickness = %g, want 4 µm", opt.Z1-opt.Z0)
+	}
+}
+
+func TestStackValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("empty stack should error")
+	}
+	if _, err := New([]Layer{{"", 1e-3, materials.Silicon}}); err == nil {
+		t.Error("unnamed layer should error")
+	}
+	if _, err := New([]Layer{{"a", 0, materials.Silicon}}); err == nil {
+		t.Error("zero thickness should error")
+	}
+	if _, err := New([]Layer{
+		{"a", 1e-3, materials.Silicon},
+		{"a", 1e-3, materials.Copper},
+	}); err == nil {
+		t.Error("duplicate names should error")
+	}
+	if _, err := New([]Layer{{"a", 1e-3, materials.Material{Name: "bad"}}}); err == nil {
+		t.Error("invalid material should error")
+	}
+}
+
+func TestFindAndLayerAt(t *testing.T) {
+	s, err := New([]Layer{
+		{"bottom", 1e-3, materials.Silicon},
+		{"top", 2e-3, materials.Copper},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := s.Find("top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Z0 != 1e-3 || sp.Z1 != 3e-3 {
+		t.Errorf("top span = [%g, %g]", sp.Z0, sp.Z1)
+	}
+	if _, err := s.Find("missing"); err == nil {
+		t.Error("missing layer should error")
+	}
+	at, err := s.LayerAt(0.5e-3)
+	if err != nil || at.Name != "bottom" {
+		t.Errorf("LayerAt(0.5mm) = %v, %v", at.Name, err)
+	}
+	at, err = s.LayerAt(1e-3)
+	if err != nil || at.Name != "top" {
+		t.Errorf("LayerAt(1mm) = %v (boundary belongs to upper layer)", at.Name)
+	}
+	if _, err := s.LayerAt(-1); err == nil {
+		t.Error("negative z should error")
+	}
+	if _, err := s.LayerAt(3e-3); err == nil {
+		t.Error("z at top surface should error (half-open)")
+	}
+}
+
+func TestHeatSinkDefault(t *testing.T) {
+	h := DefaultHeatSink()
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	eff, err := h.EffectiveH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fin array must strongly amplify the raw film coefficient.
+	if eff < 5*h.AirH {
+		t.Errorf("effective h = %g, want at least 5x the film coefficient %g", eff, h.AirH)
+	}
+	r, err := h.ThermalResistance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 125 W-class sink should be a few tenths of K/W.
+	if r < 0.05 || r > 1.5 {
+		t.Errorf("sink resistance = %g K/W, want 0.05–1.5", r)
+	}
+}
+
+func TestHeatSinkFinEfficiency(t *testing.T) {
+	h := DefaultHeatSink()
+	eta, err := h.FinEfficiency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eta <= 0 || eta > 1 {
+		t.Errorf("fin efficiency = %g, want (0, 1]", eta)
+	}
+	// Thicker fins are more efficient (lower m).
+	h2 := h
+	h2.FinThickness = 4e-3
+	h2.FinCount = 10
+	eta2, err := h2.FinEfficiency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eta2 <= eta {
+		t.Errorf("thicker fins should be more efficient: %g vs %g", eta2, eta)
+	}
+	// No fins: zero efficiency contribution, effective h equals film h.
+	h3 := h
+	h3.FinCount = 0
+	eff, err := h3.EffectiveH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eff-h.AirH) > 1e-9 {
+		t.Errorf("bare plate effective h = %g, want %g", eff, h.AirH)
+	}
+}
+
+func TestHeatSinkValidation(t *testing.T) {
+	bad := []func(*HeatSink){
+		func(h *HeatSink) { h.BaseArea = 0 },
+		func(h *HeatSink) { h.FinCount = -1 },
+		func(h *HeatSink) { h.FinHeight = 0 },
+		func(h *HeatSink) { h.AirH = 0 },
+		func(h *HeatSink) { h.FinConductivity = 0 },
+	}
+	for i, mut := range bad {
+		h := DefaultHeatSink()
+		mut(&h)
+		if err := h.Validate(); err == nil {
+			t.Errorf("mutation %d should fail validation", i)
+		}
+	}
+	// Fins covering more than the base: EffectiveH must error.
+	h := DefaultHeatSink()
+	h.FinCount = 1000
+	if _, err := h.EffectiveH(); err == nil {
+		t.Error("overfull base should error")
+	}
+}

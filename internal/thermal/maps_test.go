@@ -1,0 +1,109 @@
+package thermal
+
+import (
+	"strings"
+	"testing"
+
+	"vcselnoc/internal/stack"
+)
+
+func TestLayerSlice(t *testing.T) {
+	_, b := testModel(t)
+	res, err := b.Evaluate(Powers{Chip: 25, VCSEL: 4e-3, Driver: 4e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := res.OpticalLayerSlice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.X) == 0 || len(m.Y) == 0 || len(m.T) != len(m.Y) {
+		t.Fatalf("map shape wrong: %d x %d", len(m.X), len(m.Y))
+	}
+	if m.Min >= m.Max {
+		t.Errorf("degenerate range [%g, %g]", m.Min, m.Max)
+	}
+	// All ONIs dissipate, so the optical layer must be above ambient
+	// everywhere on the die.
+	if m.Min <= 25 {
+		t.Errorf("optical layer min %.2f not above ambient", m.Min)
+	}
+	// The BEOL slice must exist too; with lasers on, the hottest point of
+	// the whole stack is a VCSEL island in the optical layer (the poor
+	// heat sinking the paper manages), so the optical max exceeds the
+	// BEOL max.
+	mb, err := res.LayerSlice(stack.LayerBEOL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mb.Max <= 25 {
+		t.Errorf("BEOL max %.2f not above ambient", mb.Max)
+	}
+	if m.Max <= mb.Max {
+		t.Errorf("optical max %.2f should exceed BEOL max %.2f with lasers on", m.Max, mb.Max)
+	}
+}
+
+func TestLayerSliceErrors(t *testing.T) {
+	_, b := testModel(t)
+	res, err := b.Evaluate(Powers{Chip: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.LayerSlice("no-such-layer"); err == nil {
+		t.Error("unknown layer should error")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	_, b := testModel(t)
+	res, err := b.Evaluate(Powers{Chip: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := res.OpticalLayerSlice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := m.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "x_m,y_m,temp_c\n") {
+		t.Error("missing CSV header")
+	}
+	lines := strings.Count(out, "\n")
+	want := len(m.X)*len(m.Y) + 1
+	if lines != want {
+		t.Errorf("%d CSV lines, want %d", lines, want)
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	_, b := testModel(t)
+	res, err := b.Evaluate(Powers{Chip: 25, VCSEL: 6e-3, Driver: 6e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := res.OpticalLayerSlice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := m.RenderASCII(60)
+	if !strings.Contains(art, "optical layer") {
+		t.Error("missing legend")
+	}
+	rows := strings.Split(strings.TrimSpace(art), "\n")
+	if len(rows) < 3 {
+		t.Errorf("only %d rows rendered", len(rows))
+	}
+	// The hot ONI sites should produce bright glyphs somewhere.
+	if !strings.ContainsAny(art, "#%@") {
+		t.Error("no hot spots rendered")
+	}
+	// Tiny cols clamp.
+	if small := m.RenderASCII(1); small == "" {
+		t.Error("small render empty")
+	}
+}

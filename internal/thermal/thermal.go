@@ -1,0 +1,800 @@
+// Package thermal is the system-level thermal simulator (the substitute
+// for IcTherm in the paper's methodology). It assembles the full 3D model
+// — SCC die power map, package stack, ONI device layouts — into a
+// finite-volume problem, solves it, and reports the per-ONI average and
+// gradient temperatures that drive the design-space exploration.
+//
+// Because the steady heat equation with fixed-film convection boundaries
+// is linear in the injected powers, the package also offers a
+// superposition Basis: four unit-power solves (chip, VCSELs, drivers,
+// heaters) from which any (P_chip, P_VCSEL, P_driver, P_heater) operating
+// point is evaluated by linear combination, making the paper's parameter
+// sweeps (Figs. 9 and 10) cheap.
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"vcselnoc/internal/activity"
+	"vcselnoc/internal/fvm"
+	"vcselnoc/internal/geom"
+	"vcselnoc/internal/materials"
+	"vcselnoc/internal/mesh"
+	"vcselnoc/internal/oni"
+	"vcselnoc/internal/scc"
+	"vcselnoc/internal/stack"
+)
+
+// Resolution controls mesh density.
+type Resolution struct {
+	// ONICell is the lateral cell size inside ONI refinement bands (m).
+	// The paper uses 5 µm.
+	ONICell float64
+	// DieCell is the lateral cell size elsewhere on the die (m). The paper
+	// uses ~100 µm for heat sources and ~500 µm for the package; a single
+	// lateral background value is used here.
+	DieCell float64
+	// MaxZCell caps the vertical cell size (m); thin layers always get at
+	// least one cell.
+	MaxZCell float64
+}
+
+// PaperResolution is the paper's meshing strategy (5 µm ONI cells). Slow:
+// reserve it for benchmark runs.
+func PaperResolution() Resolution {
+	return Resolution{ONICell: 5e-6, DieCell: 500e-6, MaxZCell: 600e-6}
+}
+
+// FastResolution trades some accuracy for speed (10 µm ONI cells).
+func FastResolution() Resolution {
+	return Resolution{ONICell: 10e-6, DieCell: 1e-3, MaxZCell: 600e-6}
+}
+
+// CoarseResolution is for tests: 20 µm ONI cells.
+func CoarseResolution() Resolution {
+	return Resolution{ONICell: 20e-6, DieCell: 2e-3, MaxZCell: 800e-6}
+}
+
+// Validate reports resolution errors.
+func (r Resolution) Validate() error {
+	if r.ONICell <= 0 || r.DieCell <= 0 || r.MaxZCell <= 0 {
+		return fmt.Errorf("thermal: resolution cells must be > 0: %+v", r)
+	}
+	if r.ONICell > r.DieCell {
+		return fmt.Errorf("thermal: ONI cell %g larger than die cell %g", r.ONICell, r.DieCell)
+	}
+	return nil
+}
+
+// Spec is the full system specification (the left column of the paper's
+// Fig. 3).
+type Spec struct {
+	Floorplan *scc.Floorplan
+	Stack     *stack.Stack
+	HeatSink  stack.HeatSink
+	// Ambient is the cooling air temperature, °C.
+	Ambient float64
+	// BoardH is the convection coefficient on the package bottom
+	// (secondary cooling path through the board), W/(m²·K).
+	BoardH float64
+	// ONIStyle selects the chessboard or clustered device placement.
+	ONIStyle oni.Style
+	// HeaterFootprintScale widens the heater power footprint relative to
+	// the MR: the resistive strip covers the ring plus its contacts.
+	// Zero defaults to 2.5.
+	HeaterFootprintScale float64
+	// Res selects the mesh density.
+	Res Resolution
+	// SolverTol is the CG relative tolerance (default 1e-8).
+	SolverTol float64
+}
+
+// PaperSpec returns the spec used throughout the reproduction: SCC
+// floorplan, Fig. 7 stack, a heat sink calibrated so that a 25 W uniform
+// load puts the ONIs near the paper's ~49 °C, chessboard ONIs.
+func PaperSpec() (Spec, error) {
+	fp, err := scc.New()
+	if err != nil {
+		return Spec{}, err
+	}
+	st, err := stack.DefaultSCC()
+	if err != nil {
+		return Spec{}, err
+	}
+	hs := stack.DefaultHeatSink()
+	// Calibration: the paper's absolute temperatures (40–70 °C at only
+	// 12–31 W) imply a fairly weak junction-to-ambient path (~1 K/W);
+	// a modest forced-air sink reproduces that operating point.
+	hs.AirH = 13
+	return Spec{
+		Floorplan: fp,
+		Stack:     st,
+		HeatSink:  hs,
+		Ambient:   25,
+		BoardH:    15,
+		ONIStyle:  oni.Chessboard,
+		Res:       FastResolution(),
+		SolverTol: 1e-8,
+	}, nil
+}
+
+// Validate reports spec errors.
+func (s Spec) Validate() error {
+	if s.Floorplan == nil {
+		return fmt.Errorf("thermal: nil floorplan")
+	}
+	if s.Stack == nil {
+		return fmt.Errorf("thermal: nil stack")
+	}
+	if err := s.HeatSink.Validate(); err != nil {
+		return err
+	}
+	if err := s.Res.Validate(); err != nil {
+		return err
+	}
+	if s.BoardH < 0 {
+		return fmt.Errorf("thermal: negative board coefficient %g", s.BoardH)
+	}
+	if s.HeaterFootprintScale < 0 || s.HeaterFootprintScale > 4 {
+		return fmt.Errorf("thermal: heater footprint scale %g outside [0, 4]", s.HeaterFootprintScale)
+	}
+	if math.IsNaN(s.Ambient) || math.IsInf(s.Ambient, 0) {
+		return fmt.Errorf("thermal: invalid ambient %g", s.Ambient)
+	}
+	return nil
+}
+
+// Powers are the independent power knobs of one operating point.
+type Powers struct {
+	// Chip is the total processing-layer power (W) distributed by the
+	// Activity scenario.
+	Chip float64
+	// Activity shapes the chip power (nil means uniform).
+	Activity activity.Scenario
+	// VCSEL is the heat dissipated by each VCSEL (W) in the optical layer.
+	VCSEL float64
+	// Driver is the heat dissipated by each CMOS driver (W) in the BEOL.
+	// The paper's worst case sets Driver = VCSEL.
+	Driver float64
+	// Heater is the power of each MR heater (W) in the optical layer.
+	Heater float64
+}
+
+// Validate reports power errors.
+func (p Powers) Validate() error {
+	for _, v := range []struct {
+		name string
+		val  float64
+	}{{"chip", p.Chip}, {"vcsel", p.VCSEL}, {"driver", p.Driver}, {"heater", p.Heater}} {
+		if v.val < 0 || math.IsNaN(v.val) || math.IsInf(v.val, 0) {
+			return fmt.Errorf("thermal: invalid %s power %g", v.name, v.val)
+		}
+	}
+	return nil
+}
+
+// weightedCell couples a cell index with the fraction of a group's unit
+// power deposited in it.
+type weightedCell struct {
+	idx    int
+	weight float64
+}
+
+// deviceProbe locates one optical device for temperature reporting.
+type deviceProbe struct {
+	name    string
+	box     geom.Box
+	isVCSEL bool
+}
+
+// Model is an assembled thermal model: mesh, conductivity and power-group
+// stencils are built once; individual solves only change the RHS.
+type Model struct {
+	spec    Spec
+	grid    *mesh.Grid
+	cond    []float64
+	heatCap []float64
+
+	onis []*oni.Layout
+
+	// Power deposition stencils. vcselCells/driverCells/heaterCells
+	// weights sum to 1 per device group; chip weights depend on activity
+	// and are rebuilt per solve.
+	vcselCells  []weightedCell
+	driverCells []weightedCell
+	heaterCells []weightedCell
+	vcselCount  int
+	heaterCount int
+
+	beolSpan    stack.Span
+	opticalSpan stack.Span
+
+	probes [][]deviceProbe // per ONI
+
+	topH float64
+}
+
+// NewModel builds the mesh, material field and power stencils.
+func NewModel(spec Spec) (*Model, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.SolverTol <= 0 {
+		spec.SolverTol = 1e-8
+	}
+	m := &Model{spec: spec}
+
+	// Generate the ONIs.
+	for i, site := range spec.Floorplan.ONISites {
+		layout, err := oni.Generate(site, spec.ONIStyle)
+		if err != nil {
+			return nil, fmt.Errorf("thermal: ONI %d: %w", i, err)
+		}
+		m.onis = append(m.onis, layout)
+	}
+
+	var err error
+	m.beolSpan, err = spec.Stack.Find(stack.LayerBEOL)
+	if err != nil {
+		return nil, err
+	}
+	m.opticalSpan, err = spec.Stack.Find(stack.LayerOptical)
+	if err != nil {
+		return nil, err
+	}
+
+	if err := m.buildGrid(); err != nil {
+		return nil, err
+	}
+	if err := m.buildMaterials(); err != nil {
+		return nil, err
+	}
+	if err := m.buildStencils(); err != nil {
+		return nil, err
+	}
+	m.buildProbes()
+
+	// Effective top-side coefficient: the sink's bulk resistance referred
+	// to the die footprint (the lid spreads heat into the larger sink
+	// base).
+	hEff, err := spec.HeatSink.EffectiveH()
+	if err != nil {
+		return nil, err
+	}
+	m.topH = hEff * spec.HeatSink.BaseArea / spec.Floorplan.Die.Area()
+	return m, nil
+}
+
+func (m *Model) buildGrid() error {
+	fp := m.spec.Floorplan
+	res := m.spec.Res
+
+	xb := mesh.NewAxisBuilder(fp.Die.X.Lo, fp.Die.X.Hi, res.DieCell)
+	yb := mesh.NewAxisBuilder(fp.Die.Y.Lo, fp.Die.Y.Hi, res.DieCell)
+	for _, site := range fp.ONISites {
+		xb.AddRefinement(site.X.Lo, site.X.Hi, res.ONICell)
+		yb.AddRefinement(site.Y.Lo, site.Y.Hi, res.ONICell)
+	}
+	// Tile boundaries as breakpoints so block power lands crisply.
+	for _, t := range fp.Tiles {
+		xb.AddBreakpoint(t.Bounds.X.Lo)
+		xb.AddBreakpoint(t.Bounds.X.Hi)
+		yb.AddBreakpoint(t.Bounds.Y.Lo)
+		yb.AddBreakpoint(t.Bounds.Y.Hi)
+	}
+
+	zb := mesh.NewAxisBuilder(0, m.spec.Stack.TotalThickness(), res.MaxZCell)
+	for _, sp := range m.spec.Stack.Spans() {
+		zb.AddBreakpoint(sp.Z0)
+		zb.AddBreakpoint(sp.Z1)
+	}
+
+	xs, err := xb.Build()
+	if err != nil {
+		return err
+	}
+	ys, err := yb.Build()
+	if err != nil {
+		return err
+	}
+	zs, err := zb.Build()
+	if err != nil {
+		return err
+	}
+	m.grid, err = mesh.NewGrid(xs, ys, zs)
+	return err
+}
+
+func (m *Model) buildMaterials() error {
+	g := m.grid
+	n := g.NumCells()
+	m.cond = make([]float64, n)
+	m.heatCap = make([]float64, n)
+
+	// Layer material per z slice.
+	for k := 0; k < g.NZ(); k++ {
+		zc := g.CellCenter(0, 0, k).Z
+		sp, err := m.spec.Stack.LayerAt(zc)
+		if err != nil {
+			return err
+		}
+		for j := 0; j < g.NY(); j++ {
+			for i := 0; i < g.NX(); i++ {
+				idx := g.Index(i, j, k)
+				m.cond[idx] = sp.Mat.Conductivity
+				m.heatCap[idx] = sp.Mat.VolumetricHeatCapacity()
+			}
+		}
+	}
+
+	// TSV-enhanced vertical path through the bonding layer under each
+	// VCSEL (two ⌀5 µm copper TSVs feed every laser).
+	bond, err := m.spec.Stack.Find(stack.LayerBonding)
+	if err != nil {
+		return err
+	}
+	tsvMat, err := materials.TSVEffective(materials.BondingLayer, oni.TSVDiameter, 10e-6)
+	if err != nil {
+		return err
+	}
+	// III-V island where each VCSEL sits in the optical layer.
+	for _, layout := range m.onis {
+		for _, v := range layout.VCSELs {
+			m.overrideMaterial(v.Rect, bond.Z0, bond.Z1, tsvMat)
+			m.overrideMaterial(v.Rect, m.opticalSpan.Z0, m.opticalSpan.Z1, materials.VCSELStack)
+		}
+		for _, r := range layout.MRs {
+			m.overrideMaterial(r.Rect, m.opticalSpan.Z0, m.opticalSpan.Z1, materials.Silicon)
+		}
+	}
+	return nil
+}
+
+// overrideMaterial replaces the material of every cell whose volume lies
+// mostly inside rect × [z0, z1).
+func (m *Model) overrideMaterial(rect geom.Rect, z0, z1 float64, mat materials.Material) {
+	box := rect.Extrude(z0, z1)
+	g := m.grid
+	i0, i1, j0, j1, k0, k1 := g.CellsOverlapping(box)
+	for k := k0; k < k1; k++ {
+		for j := j0; j < j1; j++ {
+			for i := i0; i < i1; i++ {
+				cell := g.CellBox(i, j, k)
+				if cell.OverlapVolume(box) >= 0.5*cell.Volume() {
+					idx := g.Index(i, j, k)
+					m.cond[idx] = mat.Conductivity
+					m.heatCap[idx] = mat.VolumetricHeatCapacity()
+				}
+			}
+		}
+	}
+}
+
+// depositBox spreads a unit power over the cells overlapping box,
+// proportionally to overlap volume, and appends the weighted cells.
+func (m *Model) depositBox(box geom.Box, scale float64, out *[]weightedCell) error {
+	g := m.grid
+	i0, i1, j0, j1, k0, k1 := g.CellsOverlapping(box)
+	total := 0.0
+	type hit struct {
+		idx int
+		vol float64
+	}
+	var hits []hit
+	for k := k0; k < k1; k++ {
+		for j := j0; j < j1; j++ {
+			for i := i0; i < i1; i++ {
+				ov := g.CellBox(i, j, k).OverlapVolume(box)
+				if ov > 0 {
+					hits = append(hits, hit{g.Index(i, j, k), ov})
+					total += ov
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return fmt.Errorf("thermal: power box %v overlaps no cells", box)
+	}
+	for _, h := range hits {
+		*out = append(*out, weightedCell{h.idx, scale * h.vol / total})
+	}
+	return nil
+}
+
+func (m *Model) buildStencils() error {
+	nV := 0
+	nH := 0
+	for _, layout := range m.onis {
+		nV += len(layout.VCSELs)
+		nH += len(layout.Heaters)
+	}
+	m.vcselCount = nV
+	m.heaterCount = nH
+	for _, layout := range m.onis {
+		for _, v := range layout.VCSELs {
+			box := v.Rect.Extrude(m.opticalSpan.Z0, m.opticalSpan.Z1)
+			if err := m.depositBox(box, 1/float64(nV), &m.vcselCells); err != nil {
+				return err
+			}
+		}
+		for _, d := range layout.Drivers {
+			box := d.Rect.Extrude(m.beolSpan.Z0, m.beolSpan.Z1)
+			if err := m.depositBox(box, 1/float64(nV), &m.driverCells); err != nil {
+				return err
+			}
+		}
+		scale := m.spec.HeaterFootprintScale
+		if scale == 0 {
+			scale = 2.5
+		}
+		for _, h := range layout.Heaters {
+			cx, cy := h.Rect.Center()
+			rect := geom.CenteredRect(cx, cy, h.Rect.X.Length()*scale, h.Rect.Y.Length()*scale)
+			box := rect.Extrude(m.opticalSpan.Z0, m.opticalSpan.Z1)
+			if err := m.depositBox(box, 1/float64(nH), &m.heaterCells); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (m *Model) buildProbes() {
+	for _, layout := range m.onis {
+		var probes []deviceProbe
+		for _, v := range layout.VCSELs {
+			probes = append(probes, deviceProbe{
+				name:    v.Name,
+				box:     v.Rect.Extrude(m.opticalSpan.Z0, m.opticalSpan.Z1),
+				isVCSEL: true,
+			})
+		}
+		for _, r := range layout.MRs {
+			probes = append(probes, deviceProbe{
+				name: r.Name,
+				box:  r.Rect.Extrude(m.opticalSpan.Z0, m.opticalSpan.Z1),
+			})
+		}
+		m.probes = append(m.probes, probes)
+	}
+}
+
+// chipStencil distributes 1 W of chip power into BEOL cells according to
+// the activity scenario.
+func (m *Model) chipStencil(act activity.Scenario) ([]weightedCell, error) {
+	if act == nil {
+		act = activity.Uniform{}
+	}
+	weights, err := act.Weights(scc.TileCols, scc.TileRows)
+	if err != nil {
+		return nil, err
+	}
+	blocks, err := m.spec.Floorplan.PowerMap(1.0, weights)
+	if err != nil {
+		return nil, err
+	}
+	var cells []weightedCell
+	for _, b := range blocks {
+		if b.Power == 0 {
+			continue
+		}
+		box := b.Rect.Extrude(m.beolSpan.Z0, m.beolSpan.Z1)
+		if err := m.depositBox(box, b.Power, &cells); err != nil {
+			return nil, err
+		}
+	}
+	return cells, nil
+}
+
+// NumCells exposes the mesh size (diagnostics).
+func (m *Model) NumCells() int { return m.grid.NumCells() }
+
+// Grid exposes the computational grid.
+func (m *Model) Grid() *mesh.Grid { return m.grid }
+
+// ONIs exposes the generated ONI layouts.
+func (m *Model) ONIs() []*oni.Layout { return m.onis }
+
+// problem assembles an fvm.Problem for the given powers.
+func (m *Model) problem(p Powers) (*fvm.Problem, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := m.grid.NumCells()
+	power := make([]float64, n)
+	chip, err := m.chipStencil(p.Activity)
+	if err != nil {
+		return nil, err
+	}
+	for _, wc := range chip {
+		power[wc.idx] += p.Chip * wc.weight
+	}
+	for _, wc := range m.vcselCells {
+		power[wc.idx] += p.VCSEL * float64(m.vcselCount) * wc.weight
+	}
+	for _, wc := range m.driverCells {
+		power[wc.idx] += p.Driver * float64(m.vcselCount) * wc.weight
+	}
+	for _, wc := range m.heaterCells {
+		power[wc.idx] += p.Heater * float64(m.heaterCount) * wc.weight
+	}
+	return &fvm.Problem{
+		Grid:         m.grid,
+		Conductivity: m.cond,
+		Power:        power,
+		HeatCapacity: m.heatCap,
+		ZMin:         fvm.Boundary{Type: fvm.Convection, H: m.spec.BoardH, Value: m.spec.Ambient},
+		ZMax:         fvm.Boundary{Type: fvm.Convection, H: m.topH, Value: m.spec.Ambient},
+	}, nil
+}
+
+// Solve runs a direct steady-state simulation at the given powers.
+func (m *Model) Solve(p Powers) (*Result, error) {
+	prob, err := m.problem(p)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := fvm.SolveSteady(prob, fvm.SolveOptions{Tolerance: m.spec.SolverTol})
+	if err != nil {
+		return nil, err
+	}
+	return m.report(sol.T, p)
+}
+
+// ONIReport summarises one ONI's thermal state.
+type ONIReport struct {
+	Index int
+	Site  geom.Rect
+	// AvgTemp is the mean temperature over the ONI footprint in the
+	// optical layer (°C).
+	AvgTemp float64
+	// Gradient is max−min over the ONI's VCSEL and MR device temperatures
+	// (°C): the quantity the paper requires to stay below 1 °C.
+	Gradient float64
+	// VCSELTemps and MRTemps are the per-device mean temperatures.
+	VCSELTemps []float64
+	MRTemps    []float64
+	// HottestDevice and ColdestDevice name the extreme devices.
+	HottestDevice, ColdestDevice string
+}
+
+// MeanVCSELTemp returns the average of the ONI's VCSEL temperatures.
+func (r ONIReport) MeanVCSELTemp() float64 { return mean(r.VCSELTemps) }
+
+// MeanMRTemp returns the average of the ONI's MR temperatures.
+func (r ONIReport) MeanMRTemp() float64 { return mean(r.MRTemps) }
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Result is a solved operating point.
+type Result struct {
+	Powers Powers
+	// T is the raw cell temperature field (°C).
+	T []float64
+	// ONIs holds one report per ONI, ordered as the floorplan's sites.
+	ONIs []ONIReport
+	// ChipMax and ChipAvg summarise the BEOL (junction) layer.
+	ChipMax, ChipAvg float64
+
+	model *Model
+}
+
+// report computes ONI statistics from a temperature field.
+func (m *Model) report(t []float64, p Powers) (*Result, error) {
+	res := &Result{Powers: p, T: t, model: m}
+	sol := &fvm.Solution{Grid: m.grid, T: t}
+	for i, layout := range m.onis {
+		rep := ONIReport{Index: i, Site: layout.Site}
+		box := layout.Site.Extrude(m.opticalSpan.Z0, m.opticalSpan.Z1)
+		st, err := sol.StatsOver(box)
+		if err != nil {
+			return nil, fmt.Errorf("thermal: ONI %d stats: %w", i, err)
+		}
+		rep.AvgTemp = st.Mean
+
+		minT, maxT := math.Inf(1), math.Inf(-1)
+		for _, probe := range m.probes[i] {
+			ds, err := sol.StatsOver(probe.box)
+			if err != nil {
+				return nil, fmt.Errorf("thermal: probe %s: %w", probe.name, err)
+			}
+			if probe.isVCSEL {
+				rep.VCSELTemps = append(rep.VCSELTemps, ds.Mean)
+			} else {
+				rep.MRTemps = append(rep.MRTemps, ds.Mean)
+			}
+			if ds.Mean > maxT {
+				maxT = ds.Mean
+				rep.HottestDevice = probe.name
+			}
+			if ds.Mean < minT {
+				minT = ds.Mean
+				rep.ColdestDevice = probe.name
+			}
+		}
+		rep.Gradient = maxT - minT
+		res.ONIs = append(res.ONIs, rep)
+	}
+	// Chip layer stats.
+	beolBox := m.spec.Floorplan.Die.Extrude(m.beolSpan.Z0, m.beolSpan.Z1)
+	st, err := sol.StatsOver(beolBox)
+	if err != nil {
+		return nil, err
+	}
+	res.ChipMax = st.Max
+	res.ChipAvg = st.Mean
+	return res, nil
+}
+
+// MeanONITemp averages the per-ONI average temperatures.
+func (r *Result) MeanONITemp() float64 {
+	var s float64
+	for _, o := range r.ONIs {
+		s += o.AvgTemp
+	}
+	return s / float64(len(r.ONIs))
+}
+
+// MaxONIGradient returns the worst intra-ONI gradient.
+func (r *Result) MaxONIGradient() float64 {
+	worst := 0.0
+	for _, o := range r.ONIs {
+		if o.Gradient > worst {
+			worst = o.Gradient
+		}
+	}
+	return worst
+}
+
+// ONITempRange returns the min and max per-ONI average temperature, the
+// inter-ONI spread the SNR analysis depends on.
+func (r *Result) ONITempRange() (min, max float64) {
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, o := range r.ONIs {
+		if o.AvgTemp < min {
+			min = o.AvgTemp
+		}
+		if o.AvgTemp > max {
+			max = o.AvgTemp
+		}
+	}
+	return min, max
+}
+
+// TransientSpec configures a system-level transient simulation.
+type TransientSpec struct {
+	// TimeStep is the implicit-Euler step in seconds.
+	TimeStep float64
+	// Steps is the number of steps to integrate.
+	Steps int
+	// Initial optionally seeds the run with a previous result's field
+	// (e.g. the chip-only steady state before the lasers switch on). When
+	// nil the field starts uniform at the ambient temperature.
+	Initial *Result
+	// Snapshot, if non-nil, receives a full report after each step.
+	// Building a report costs per-ONI statistics; pass nil and use the
+	// returned final result when only the end state matters.
+	Snapshot func(step int, time float64, r *Result)
+}
+
+// SolveTransient integrates the transient heat equation for the system at
+// fixed powers (e.g. to watch the ONIs warm up after the lasers switch
+// on). It returns the final state.
+func (m *Model) SolveTransient(p Powers, ts TransientSpec) (*Result, error) {
+	prob, err := m.problem(p)
+	if err != nil {
+		return nil, err
+	}
+	opts := fvm.TransientOptions{
+		TimeStep:       ts.TimeStep,
+		Steps:          ts.Steps,
+		InitialUniform: m.spec.Ambient,
+		Tolerance:      m.spec.SolverTol,
+	}
+	if ts.Initial != nil {
+		if len(ts.Initial.T) != m.grid.NumCells() {
+			return nil, fmt.Errorf("thermal: initial field has %d cells, want %d",
+				len(ts.Initial.T), m.grid.NumCells())
+		}
+		opts.Initial = ts.Initial.T
+	}
+	if ts.Snapshot != nil {
+		opts.Snapshot = func(step int, tm float64, field []float64) {
+			// Reports are read-only snapshots: copy the field so later
+			// steps cannot mutate it under the callback's feet.
+			snap := make([]float64, len(field))
+			copy(snap, field)
+			r, err := m.report(snap, p)
+			if err == nil {
+				ts.Snapshot(step, tm, r)
+			}
+		}
+	}
+	sol, err := fvm.SolveTransient(prob, opts)
+	if err != nil {
+		return nil, err
+	}
+	return m.report(sol.T, p)
+}
+
+// Basis is a set of unit-power solutions enabling O(1) evaluation of any
+// operating point with a fixed activity shape.
+type Basis struct {
+	model    *Model
+	activity activity.Scenario
+	// unit responses: temperature rise fields for 1 W in each group.
+	chip, vcsel, driver, heater []float64
+}
+
+// BuildBasis performs the four unit solves for the given activity shape.
+func (m *Model) BuildBasis(act activity.Scenario) (*Basis, error) {
+	if act == nil {
+		act = activity.Uniform{}
+	}
+	b := &Basis{model: m, activity: act}
+	unit := func(p Powers) ([]float64, error) {
+		prob, err := m.problem(p)
+		if err != nil {
+			return nil, err
+		}
+		sol, err := fvm.SolveSteady(prob, fvm.SolveOptions{Tolerance: m.spec.SolverTol})
+		if err != nil {
+			return nil, err
+		}
+		// Store the rise relative to ambient.
+		rise := make([]float64, len(sol.T))
+		for i, t := range sol.T {
+			rise[i] = t - m.spec.Ambient
+		}
+		return rise, nil
+	}
+	var err error
+	if b.chip, err = unit(Powers{Chip: 1, Activity: act}); err != nil {
+		return nil, fmt.Errorf("thermal: chip basis: %w", err)
+	}
+	if b.vcsel, err = unit(Powers{VCSEL: 1 / float64(m.vcselCount)}); err != nil {
+		return nil, fmt.Errorf("thermal: vcsel basis: %w", err)
+	}
+	if b.driver, err = unit(Powers{Driver: 1 / float64(m.vcselCount)}); err != nil {
+		return nil, fmt.Errorf("thermal: driver basis: %w", err)
+	}
+	if b.heater, err = unit(Powers{Heater: 1 / float64(m.heaterCount)}); err != nil {
+		return nil, fmt.Errorf("thermal: heater basis: %w", err)
+	}
+	return b, nil
+}
+
+// Evaluate combines the basis fields for the given powers. The activity
+// shape must match the one the basis was built with; Evaluate enforces the
+// Chip/VCSEL/Driver/Heater scaling only.
+func (b *Basis) Evaluate(p Powers) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := b.model
+	n := len(b.chip)
+	t := make([]float64, n)
+	vTot := p.VCSEL * float64(m.vcselCount)
+	dTot := p.Driver * float64(m.vcselCount)
+	hTot := p.Heater * float64(m.heaterCount)
+	for i := 0; i < n; i++ {
+		t[i] = m.spec.Ambient +
+			p.Chip*b.chip[i] +
+			vTot*b.vcsel[i] +
+			dTot*b.driver[i] +
+			hTot*b.heater[i]
+	}
+	pp := p
+	pp.Activity = b.activity
+	return m.report(t, pp)
+}

@@ -1,0 +1,108 @@
+// Package units provides the unit conventions and conversion helpers used
+// throughout the library.
+//
+// Unless a name says otherwise, quantities are stored in the following
+// engineering units, chosen to match the scales that appear in on-chip
+// photonics and package-level thermal analysis:
+//
+//   - lengths: metres (fields named in µm/mm are converted at the boundary)
+//   - power: watts
+//   - temperature: degrees Celsius for reporting, kelvin-compatible deltas
+//   - wavelength: nanometres
+//   - optical power ratios: linear (fractions), with dB helpers here
+//
+// The package is dependency-free and side-effect free.
+package units
+
+import "math"
+
+// Physical constants (SI).
+const (
+	// PlanckConstant is h in J·s.
+	PlanckConstant = 6.62607015e-34
+	// SpeedOfLight is c in m/s.
+	SpeedOfLight = 2.99792458e8
+	// ElementaryCharge is q in coulombs.
+	ElementaryCharge = 1.602176634e-19
+	// BoltzmannConstant is k_B in J/K.
+	BoltzmannConstant = 1.380649e-23
+)
+
+// Length conversion factors to metres.
+const (
+	Micrometre = 1e-6
+	Millimetre = 1e-3
+	Centimetre = 1e-2
+	Nanometre  = 1e-9
+)
+
+// Power conversion factors to watts.
+const (
+	Milliwatt = 1e-3
+	Microwatt = 1e-6
+)
+
+// ZeroCelsiusInKelvin is the offset between the Celsius and Kelvin scales.
+const ZeroCelsiusInKelvin = 273.15
+
+// CToK converts degrees Celsius to kelvin.
+func CToK(c float64) float64 { return c + ZeroCelsiusInKelvin }
+
+// KToC converts kelvin to degrees Celsius.
+func KToC(k float64) float64 { return k - ZeroCelsiusInKelvin }
+
+// DB converts a linear power ratio to decibels. Ratios <= 0 map to -Inf.
+func DB(ratio float64) float64 {
+	if ratio <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(ratio)
+}
+
+// FromDB converts decibels to a linear power ratio.
+func FromDB(db float64) float64 { return math.Pow(10, db/10) }
+
+// DBm converts a power in watts to dBm. Non-positive powers map to -Inf.
+func DBm(watts float64) float64 {
+	if watts <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(watts/Milliwatt)
+}
+
+// FromDBm converts dBm to watts.
+func FromDBm(dbm float64) float64 { return Milliwatt * math.Pow(10, dbm/10) }
+
+// WavelengthToFrequency converts a wavelength in nanometres to a frequency
+// in hertz.
+func WavelengthToFrequency(lambdaNM float64) float64 {
+	return SpeedOfLight / (lambdaNM * Nanometre)
+}
+
+// PhotonEnergy returns the energy in joules of a photon with the given
+// wavelength in nanometres.
+func PhotonEnergy(lambdaNM float64) float64 {
+	return PlanckConstant * WavelengthToFrequency(lambdaNM)
+}
+
+// Clamp limits v to the closed interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Lerp linearly interpolates between a and b by t in [0, 1].
+func Lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+// ApproxEqual reports whether a and b agree within the given absolute and
+// relative tolerances: |a-b| <= abs + rel*max(|a|,|b|).
+func ApproxEqual(a, b, abs, rel float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= abs+rel*scale
+}

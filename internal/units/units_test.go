@@ -1,0 +1,147 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDBRoundTrip(t *testing.T) {
+	for _, ratio := range []float64{1e-6, 0.01, 0.5, 1, 2, 1000} {
+		db := DB(ratio)
+		back := FromDB(db)
+		if !ApproxEqual(back, ratio, 0, 1e-12) {
+			t.Errorf("FromDB(DB(%g)) = %g", ratio, back)
+		}
+	}
+}
+
+func TestDBKnownValues(t *testing.T) {
+	cases := []struct{ ratio, db float64 }{
+		{1, 0},
+		{10, 10},
+		{100, 20},
+		{0.5, -3.0102999566},
+		{0.1, -10},
+	}
+	for _, c := range cases {
+		if got := DB(c.ratio); !ApproxEqual(got, c.db, 1e-9, 0) {
+			t.Errorf("DB(%g) = %g, want %g", c.ratio, got, c.db)
+		}
+	}
+}
+
+func TestDBNonPositive(t *testing.T) {
+	if !math.IsInf(DB(0), -1) {
+		t.Error("DB(0) should be -Inf")
+	}
+	if !math.IsInf(DB(-1), -1) {
+		t.Error("DB(-1) should be -Inf")
+	}
+	if !math.IsInf(DBm(0), -1) {
+		t.Error("DBm(0) should be -Inf")
+	}
+}
+
+func TestDBmKnownValues(t *testing.T) {
+	// 1 mW = 0 dBm, 0.01 mW = -20 dBm (photodetector sensitivity in the paper).
+	if got := DBm(1e-3); !ApproxEqual(got, 0, 1e-12, 0) {
+		t.Errorf("DBm(1mW) = %g, want 0", got)
+	}
+	if got := DBm(0.01e-3); !ApproxEqual(got, -20, 1e-9, 0) {
+		t.Errorf("DBm(0.01mW) = %g, want -20", got)
+	}
+	if got := FromDBm(-20); !ApproxEqual(got, 1e-5, 0, 1e-12) {
+		t.Errorf("FromDBm(-20) = %g, want 1e-5 W", got)
+	}
+}
+
+func TestTemperatureConversion(t *testing.T) {
+	if got := CToK(0); got != 273.15 {
+		t.Errorf("CToK(0) = %g", got)
+	}
+	if got := KToC(373.15); !ApproxEqual(got, 100, 1e-9, 0) {
+		t.Errorf("KToC(373.15) = %g", got)
+	}
+}
+
+func TestWavelengthToFrequency(t *testing.T) {
+	// 1550 nm is about 193.4 THz.
+	f := WavelengthToFrequency(1550)
+	if !ApproxEqual(f, 193.414e12, 0, 1e-3) {
+		t.Errorf("f(1550nm) = %g, want ~193.4 THz", f)
+	}
+}
+
+func TestPhotonEnergy(t *testing.T) {
+	// 1550 nm photon is about 0.8 eV.
+	ev := PhotonEnergy(1550) / ElementaryCharge
+	if !ApproxEqual(ev, 0.8, 0.01, 0) {
+		t.Errorf("photon energy at 1550nm = %g eV, want ~0.8", ev)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ v, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+		{0, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.v, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%g,%g,%g) = %g, want %g", c.v, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestLerp(t *testing.T) {
+	if got := Lerp(0, 10, 0.5); got != 5 {
+		t.Errorf("Lerp(0,10,0.5) = %g", got)
+	}
+	if got := Lerp(2, 2, 0.9); got != 2 {
+		t.Errorf("Lerp(2,2,0.9) = %g", got)
+	}
+}
+
+// Property: DB and FromDB are inverse bijections on positive ratios.
+func TestQuickDBInverse(t *testing.T) {
+	f := func(x float64) bool {
+		r := math.Abs(x)
+		if r == 0 || math.IsInf(r, 0) || math.IsNaN(r) || r > 1e100 || r < 1e-100 {
+			return true
+		}
+		return ApproxEqual(FromDB(DB(r)), r, 0, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Clamp result is always within bounds and idempotent.
+func TestQuickClamp(t *testing.T) {
+	f := func(v, a, b float64) bool {
+		if math.IsNaN(v) || math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		c := Clamp(v, lo, hi)
+		return c >= lo && c <= hi && Clamp(c, lo, hi) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: temperature conversions are inverse.
+func TestQuickTemperatureInverse(t *testing.T) {
+	f := func(c float64) bool {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return true
+		}
+		return ApproxEqual(KToC(CToK(c)), c, 1e-9, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,304 @@
+// Package vcsel models the CMOS-compatible vertical-cavity surface-emitting
+// laser used as the distributed on-chip light source in the paper
+// (Sciancalepore et al., double photonic-crystal VCSEL; Amann & Hofmann,
+// InP long-wavelength VCSELs).
+//
+// The model is an empirical rate-equation-style description:
+//
+//	OP(I, Tj) = S(Tj) · (I − Ith(Tj))      for I > Ith, else 0
+//	Ith(T)    = IthRef · (1 + ((T − TPeak)/T0)²)   (parabolic threshold)
+//	S(T)      = S0 · max(0, 1 − ((T − TSRef)/(TSMax − TSRef))⁴)
+//	V(I)      = V0 + Rs·I
+//	Tj        = Tbase + Rth · (V·I − OP)   (self-heating fixed point)
+//
+// The quartic slope decay is deliberately flat at low temperature and
+// collapses near TSMax: this is what lets one parameter set reproduce both
+// the mild 10→40 °C efficiency loss (≈18 % → ≈15 %) and the steep
+// 40→60 °C collapse (≈15 % → ≈4 %) that the paper reports.
+//
+// The junction temperature couples back into threshold and slope, which
+// reproduces the efficiency collapse the paper quotes (η ≈ 15 % at 40 °C
+// falling to ≈ 4 % at 60 °C) and the thermal rollover of the L–P curve in
+// Fig. 8-c. The fixed point is solved by monotone iteration, which always
+// converges because dissipated power is non-decreasing in Tj and bounded
+// by the electrical power.
+package vcsel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params holds the device parameters. All defaults are calibrated against
+// the anchor points quoted in the paper (see DefaultParams).
+type Params struct {
+	// LambdaNM is the nominal emission wavelength at TRef, in nm.
+	LambdaNM float64
+	// DLambdaDT is the emission wavelength drift in nm/°C.
+	DLambdaDT float64
+	// TRef is the reference temperature for LambdaNM, in °C.
+	TRef float64
+
+	// IthRef is the minimum threshold current in amperes, reached at TPeak.
+	IthRef float64
+	// TPeak is the temperature of minimum threshold, °C.
+	TPeak float64
+	// T0 is the parabolic threshold width, °C.
+	T0 float64
+
+	// S0 is the low-temperature slope efficiency in W/A.
+	S0 float64
+	// TSRef and TSMax define the linear slope decay: S = S0 at TSRef,
+	// S = 0 at TSMax.
+	TSRef, TSMax float64
+
+	// V0 is the diode turn-on voltage in volts, Rs the series resistance in
+	// ohms.
+	V0, Rs float64
+
+	// Rth is the junction-to-baseplate thermal resistance in K/W.
+	Rth float64
+
+	// MaxCurrent is the largest drive current the driver can deliver, A.
+	MaxCurrent float64
+}
+
+// DefaultParams returns parameters calibrated to the paper's device:
+// 1550 nm, 15×30 µm² footprint, 3 dB modulation bandwidth 12 GHz, and the
+// efficiency anchors η(40 °C) ≈ 15 %, η(60 °C) ≈ 4 % at the nominal drive
+// current (≈ 5 mA), with peak wall-plug efficiency near 18–20 % at 10 °C.
+func DefaultParams() Params {
+	return Params{
+		LambdaNM:   1550,
+		DLambdaDT:  0.1,
+		TRef:       25,
+		IthRef:     0.8e-3,
+		TPeak:      15,
+		T0:         50,
+		S0:         0.30,
+		TSRef:      15,
+		TSMax:      79,
+		V0:         0.95,
+		Rs:         90,
+		Rth:        2500, // K/W (≈ 2.5 °C/mW, small-cavity III-V on oxide)
+		MaxCurrent: 15e-3,
+	}
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	switch {
+	case p.LambdaNM <= 0:
+		return fmt.Errorf("vcsel: wavelength %g must be > 0", p.LambdaNM)
+	case p.IthRef <= 0:
+		return fmt.Errorf("vcsel: threshold %g must be > 0", p.IthRef)
+	case p.T0 <= 0:
+		return fmt.Errorf("vcsel: T0 %g must be > 0", p.T0)
+	case p.S0 <= 0 || p.S0 > 1.0:
+		return fmt.Errorf("vcsel: slope %g W/A outside (0, 1]", p.S0)
+	case p.TSMax <= p.TSRef:
+		return fmt.Errorf("vcsel: TSMax %g must exceed TSRef %g", p.TSMax, p.TSRef)
+	case p.V0 <= 0 || p.Rs < 0:
+		return fmt.Errorf("vcsel: invalid electrical parameters V0=%g Rs=%g", p.V0, p.Rs)
+	case p.Rth < 0:
+		return fmt.Errorf("vcsel: negative thermal resistance %g", p.Rth)
+	case p.MaxCurrent <= 0:
+		return fmt.Errorf("vcsel: max current %g must be > 0", p.MaxCurrent)
+	}
+	return nil
+}
+
+// Device is an operating VCSEL model.
+type Device struct {
+	p Params
+}
+
+// New builds a device after validating the parameters.
+func New(p Params) (*Device, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Device{p: p}, nil
+}
+
+// Params returns the device parameters.
+func (d *Device) Params() Params { return d.p }
+
+// Threshold returns the threshold current (A) at junction temperature T.
+func (d *Device) Threshold(tj float64) float64 {
+	dt := (tj - d.p.TPeak) / d.p.T0
+	return d.p.IthRef * (1 + dt*dt)
+}
+
+// Slope returns the slope efficiency (W/A) at junction temperature T.
+// Below TSRef the slope saturates at S0; above it decays quartically to
+// zero at TSMax and stays zero beyond.
+func (d *Device) Slope(tj float64) float64 {
+	if tj <= d.p.TSRef {
+		return d.p.S0
+	}
+	x := (tj - d.p.TSRef) / (d.p.TSMax - d.p.TSRef)
+	if x >= 1 {
+		return 0
+	}
+	x2 := x * x
+	return d.p.S0 * (1 - x2*x2)
+}
+
+// Voltage returns the forward voltage at drive current i.
+func (d *Device) Voltage(i float64) float64 { return d.p.V0 + d.p.Rs*i }
+
+// WavelengthNM returns the emission wavelength (nm) at junction
+// temperature tj.
+func (d *Device) WavelengthNM(tj float64) float64 {
+	return d.p.LambdaNM + d.p.DLambdaDT*(tj-d.p.TRef)
+}
+
+// OperatingPoint describes a self-consistent electro-opto-thermal state.
+type OperatingPoint struct {
+	Current         float64 // A
+	BaseTemp        float64 // °C, the temperature of the mounting surface
+	JunctionTemp    float64 // °C, after self-heating
+	Voltage         float64 // V
+	ElectricalPower float64 // W
+	OpticalPower    float64 // W emitted into the cavity output
+	DissipatedPower float64 // W converted to heat
+	Efficiency      float64 // wall-plug, OpticalPower/ElectricalPower
+	WavelengthNM    float64 // nm at the junction temperature
+}
+
+// Operate solves the self-heating fixed point at drive current i (A) and
+// base temperature tbase (°C).
+func (d *Device) Operate(i, tbase float64) (OperatingPoint, error) {
+	if i < 0 {
+		return OperatingPoint{}, fmt.Errorf("vcsel: negative drive current %g", i)
+	}
+	if i > d.p.MaxCurrent {
+		return OperatingPoint{}, fmt.Errorf("vcsel: current %g A exceeds maximum %g A", i, d.p.MaxCurrent)
+	}
+	if math.IsNaN(tbase) || math.IsInf(tbase, 0) {
+		return OperatingPoint{}, fmt.Errorf("vcsel: invalid base temperature %g", tbase)
+	}
+	v := d.Voltage(i)
+	pe := v * i
+	// Monotone fixed-point iteration from the coolest state: Tj starts at
+	// tbase; dissipation is non-decreasing in Tj, so the sequence is
+	// monotone non-decreasing and bounded by tbase + Rth·pe.
+	tj := tbase
+	for iter := 0; iter < 200; iter++ {
+		op := d.opticalAt(i, tj)
+		next := tbase + d.p.Rth*(pe-op)
+		if math.Abs(next-tj) < 1e-9 {
+			tj = next
+			break
+		}
+		tj = next
+	}
+	op := d.opticalAt(i, tj)
+	pt := OperatingPoint{
+		Current:         i,
+		BaseTemp:        tbase,
+		JunctionTemp:    tj,
+		Voltage:         v,
+		ElectricalPower: pe,
+		OpticalPower:    op,
+		DissipatedPower: pe - op,
+		WavelengthNM:    d.WavelengthNM(tj),
+	}
+	if pe > 0 {
+		pt.Efficiency = op / pe
+	}
+	return pt, nil
+}
+
+func (d *Device) opticalAt(i, tj float64) float64 {
+	ith := d.Threshold(tj)
+	if i <= ith {
+		return 0
+	}
+	return d.Slope(tj) * (i - ith)
+}
+
+// OperateAtDissipation finds the drive current whose dissipated power
+// equals pdiss (W) at the given base temperature, by bisection. Dissipated
+// power is strictly increasing in current, so the solution is unique.
+// pdiss=0 returns the off state.
+func (d *Device) OperateAtDissipation(pdiss, tbase float64) (OperatingPoint, error) {
+	if pdiss < 0 {
+		return OperatingPoint{}, fmt.Errorf("vcsel: negative dissipation target %g", pdiss)
+	}
+	if pdiss == 0 {
+		return d.Operate(0, tbase)
+	}
+	hi, err := d.Operate(d.p.MaxCurrent, tbase)
+	if err != nil {
+		return OperatingPoint{}, err
+	}
+	if pdiss > hi.DissipatedPower {
+		return OperatingPoint{}, fmt.Errorf("vcsel: dissipation %g W unreachable (max %g W at %g A)",
+			pdiss, hi.DissipatedPower, d.p.MaxCurrent)
+	}
+	lo, hiI := 0.0, d.p.MaxCurrent
+	var pt OperatingPoint
+	for iter := 0; iter < 80; iter++ {
+		mid := (lo + hiI) / 2
+		pt, err = d.Operate(mid, tbase)
+		if err != nil {
+			return OperatingPoint{}, err
+		}
+		if pt.DissipatedPower < pdiss {
+			lo = mid
+		} else {
+			hiI = mid
+		}
+	}
+	return pt, nil
+}
+
+// EfficiencyCurve evaluates wall-plug efficiency across the drive currents
+// at a fixed base temperature (Fig. 8-b of the paper).
+func (d *Device) EfficiencyCurve(tbase float64, currents []float64) ([]float64, error) {
+	out := make([]float64, len(currents))
+	for idx, i := range currents {
+		pt, err := d.Operate(i, tbase)
+		if err != nil {
+			return nil, err
+		}
+		out[idx] = pt.Efficiency
+	}
+	return out, nil
+}
+
+// PowerCurve evaluates (dissipated power, optical power) pairs across the
+// drive currents at a fixed base temperature (Fig. 8-c of the paper).
+func (d *Device) PowerCurve(tbase float64, currents []float64) (diss, op []float64, err error) {
+	diss = make([]float64, len(currents))
+	op = make([]float64, len(currents))
+	for idx, i := range currents {
+		pt, e := d.Operate(i, tbase)
+		if e != nil {
+			return nil, nil, e
+		}
+		diss[idx] = pt.DissipatedPower
+		op[idx] = pt.OpticalPower
+	}
+	return diss, op, nil
+}
+
+// PeakEfficiency scans the current range and returns the maximum wall-plug
+// efficiency and the current where it occurs.
+func (d *Device) PeakEfficiency(tbase float64) (eff, current float64, err error) {
+	const steps = 300
+	for s := 1; s <= steps; s++ {
+		i := d.p.MaxCurrent * float64(s) / steps
+		pt, e := d.Operate(i, tbase)
+		if e != nil {
+			return 0, 0, e
+		}
+		if pt.Efficiency > eff {
+			eff = pt.Efficiency
+			current = i
+		}
+	}
+	return eff, current, nil
+}

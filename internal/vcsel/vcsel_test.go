@@ -1,0 +1,362 @@
+package vcsel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func device(t testing.TB) *Device {
+	t.Helper()
+	d, err := New(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	mutations := []func(*Params){
+		func(p *Params) { p.LambdaNM = 0 },
+		func(p *Params) { p.IthRef = 0 },
+		func(p *Params) { p.T0 = -1 },
+		func(p *Params) { p.S0 = 0 },
+		func(p *Params) { p.S0 = 1.5 },
+		func(p *Params) { p.TSMax = p.TSRef },
+		func(p *Params) { p.V0 = 0 },
+		func(p *Params) { p.Rs = -1 },
+		func(p *Params) { p.Rth = -1 },
+		func(p *Params) { p.MaxCurrent = 0 },
+	}
+	for i, mut := range mutations {
+		p := DefaultParams()
+		mut(&p)
+		if _, err := New(p); err == nil {
+			t.Errorf("mutation %d should have failed validation", i)
+		}
+	}
+}
+
+// TestPaperAnchors checks the efficiency anchor points the paper quotes:
+// η ≈ 15 % at 40 °C dropping to ≈ 4 % at 60 °C (same drive current), and a
+// peak efficiency near 18 % at 10 °C.
+func TestPaperAnchors(t *testing.T) {
+	d := device(t)
+	peak10, _, err := d.PeakEfficiency(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak10 < 0.15 || peak10 > 0.22 {
+		t.Errorf("peak η(10°C) = %.1f%%, want 15–22%%", peak10*100)
+	}
+	peak40, i40, err := d.PeakEfficiency(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak40 < 0.12 || peak40 > 0.18 {
+		t.Errorf("η(40°C) = %.1f%%, want 12–18%%", peak40*100)
+	}
+	pt60, err := d.Operate(i40, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt60.Efficiency < 0.025 || pt60.Efficiency > 0.07 {
+		t.Errorf("η(60°C) = %.1f%%, want 2.5–7%%", pt60.Efficiency*100)
+	}
+	// The collapse factor 40→60 °C should be large (paper: 15/4 ≈ 3.75).
+	if ratio := peak40 / pt60.Efficiency; ratio < 2 || ratio > 6 {
+		t.Errorf("efficiency collapse ratio = %.2f, want 2–6", ratio)
+	}
+}
+
+// TestEfficiencyMonotoneInTemperature: at a fixed mid-range current,
+// heating the base always hurts efficiency.
+func TestEfficiencyMonotoneInTemperature(t *testing.T) {
+	d := device(t)
+	prev := math.Inf(1)
+	for temp := 10.0; temp <= 70; temp += 5 {
+		pt, err := d.Operate(4e-3, temp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt.Efficiency > prev+1e-12 {
+			t.Errorf("efficiency rose with temperature at %g°C: %g > %g", temp, pt.Efficiency, prev)
+		}
+		prev = pt.Efficiency
+	}
+}
+
+func TestThresholdParabola(t *testing.T) {
+	d := device(t)
+	p := d.Params()
+	min := d.Threshold(p.TPeak)
+	if math.Abs(min-p.IthRef) > 1e-12 {
+		t.Errorf("threshold at TPeak = %g, want %g", min, p.IthRef)
+	}
+	if d.Threshold(p.TPeak+30) <= min || d.Threshold(p.TPeak-30) <= min {
+		t.Error("threshold should grow away from TPeak")
+	}
+	// Symmetry.
+	if math.Abs(d.Threshold(p.TPeak+20)-d.Threshold(p.TPeak-20)) > 1e-12 {
+		t.Error("threshold parabola should be symmetric")
+	}
+}
+
+func TestSlopeDecay(t *testing.T) {
+	d := device(t)
+	p := d.Params()
+	if got := d.Slope(p.TSRef); got != p.S0 {
+		t.Errorf("slope at TSRef = %g, want %g", got, p.S0)
+	}
+	if got := d.Slope(p.TSRef - 40); got != p.S0 {
+		t.Errorf("slope below TSRef = %g, want saturation at %g", got, p.S0)
+	}
+	if got := d.Slope(p.TSMax); got != 0 {
+		t.Errorf("slope at TSMax = %g, want 0", got)
+	}
+	if got := d.Slope(p.TSMax + 50); got != 0 {
+		t.Errorf("slope beyond TSMax = %g, want 0", got)
+	}
+	// Quartic: decay is slow near TSRef.
+	near := d.Slope(p.TSRef + 0.1*(p.TSMax-p.TSRef))
+	if near < 0.99*p.S0 {
+		t.Errorf("slope 10%% into decay = %g, want > 99%% of S0", near)
+	}
+}
+
+func TestOperateBelowThreshold(t *testing.T) {
+	d := device(t)
+	pt, err := d.Operate(0.1e-3, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.OpticalPower != 0 {
+		t.Errorf("sub-threshold emission %g", pt.OpticalPower)
+	}
+	if pt.Efficiency != 0 {
+		t.Errorf("sub-threshold efficiency %g", pt.Efficiency)
+	}
+	// All electrical power becomes heat.
+	if math.Abs(pt.DissipatedPower-pt.ElectricalPower) > 1e-15 {
+		t.Error("sub-threshold dissipation should equal electrical power")
+	}
+}
+
+func TestOperateZeroCurrent(t *testing.T) {
+	d := device(t)
+	pt, err := d.Operate(0, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.ElectricalPower != 0 || pt.OpticalPower != 0 || pt.JunctionTemp != 25 {
+		t.Errorf("off state wrong: %+v", pt)
+	}
+}
+
+func TestOperateErrors(t *testing.T) {
+	d := device(t)
+	if _, err := d.Operate(-1e-3, 25); err == nil {
+		t.Error("negative current should error")
+	}
+	if _, err := d.Operate(20e-3, 25); err == nil {
+		t.Error("current above max should error")
+	}
+	if _, err := d.Operate(1e-3, math.NaN()); err == nil {
+		t.Error("NaN temperature should error")
+	}
+}
+
+// TestEnergyConservation: optical power never exceeds electrical power and
+// dissipated power is the exact difference.
+func TestEnergyConservation(t *testing.T) {
+	d := device(t)
+	for _, i := range []float64{0.5e-3, 1e-3, 3e-3, 5e-3, 8e-3, 12e-3} {
+		for _, temp := range []float64{0, 25, 50, 75} {
+			pt, err := d.Operate(i, temp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pt.OpticalPower > pt.ElectricalPower {
+				t.Errorf("I=%g T=%g: OP %g > PE %g", i, temp, pt.OpticalPower, pt.ElectricalPower)
+			}
+			if math.Abs(pt.DissipatedPower-(pt.ElectricalPower-pt.OpticalPower)) > 1e-12 {
+				t.Errorf("I=%g T=%g: dissipation mismatch", i, temp)
+			}
+			if pt.Efficiency < 0 || pt.Efficiency > 1 {
+				t.Errorf("I=%g T=%g: efficiency %g outside [0,1]", i, temp, pt.Efficiency)
+			}
+			if pt.JunctionTemp < pt.BaseTemp-1e-9 {
+				t.Errorf("I=%g T=%g: junction cooler than base", i, temp)
+			}
+		}
+	}
+}
+
+// TestThermalRollover: sweeping current upward, the optical power must
+// first rise and eventually fall (the rollover visible in Fig. 8-c).
+func TestThermalRollover(t *testing.T) {
+	d := device(t)
+	var maxOP float64
+	var rolled bool
+	for i := 0.5e-3; i <= 15e-3; i += 0.25e-3 {
+		pt, err := d.Operate(i, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt.OpticalPower > maxOP {
+			maxOP = pt.OpticalPower
+		}
+		if maxOP > 0 && pt.OpticalPower < maxOP*0.5 {
+			rolled = true
+		}
+	}
+	if maxOP <= 0 {
+		t.Fatal("laser never emitted")
+	}
+	if !rolled {
+		t.Error("no thermal rollover observed up to max current")
+	}
+}
+
+func TestOperateAtDissipation(t *testing.T) {
+	d := device(t)
+	for _, target := range []float64{0.5e-3, 1e-3, 3.6e-3, 6e-3} {
+		pt, err := d.OperateAtDissipation(target, 45)
+		if err != nil {
+			t.Fatalf("target %g: %v", target, err)
+		}
+		if math.Abs(pt.DissipatedPower-target) > 1e-6*target+1e-12 {
+			t.Errorf("target %g: got dissipation %g", target, pt.DissipatedPower)
+		}
+	}
+}
+
+func TestOperateAtDissipationEdges(t *testing.T) {
+	d := device(t)
+	pt, err := d.OperateAtDissipation(0, 30)
+	if err != nil || pt.Current != 0 {
+		t.Errorf("zero dissipation should give off state: %+v, %v", pt, err)
+	}
+	if _, err := d.OperateAtDissipation(-1e-3, 30); err == nil {
+		t.Error("negative target should error")
+	}
+	if _, err := d.OperateAtDissipation(1, 30); err == nil {
+		t.Error("unreachable target should error")
+	}
+}
+
+func TestWavelengthDrift(t *testing.T) {
+	d := device(t)
+	p := d.Params()
+	base := d.WavelengthNM(p.TRef)
+	if base != p.LambdaNM {
+		t.Errorf("wavelength at TRef = %g, want %g", base, p.LambdaNM)
+	}
+	// 10 °C hotter → +1 nm at 0.1 nm/°C.
+	if got := d.WavelengthNM(p.TRef + 10); math.Abs(got-(p.LambdaNM+1)) > 1e-9 {
+		t.Errorf("wavelength at TRef+10 = %g, want %g", got, p.LambdaNM+1)
+	}
+}
+
+func TestEfficiencyCurveShape(t *testing.T) {
+	d := device(t)
+	currents := make([]float64, 60)
+	for i := range currents {
+		currents[i] = float64(i+1) * 0.25e-3
+	}
+	effs, err := d.EfficiencyCurve(25, currents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single interior maximum: rises then falls.
+	peakIdx := 0
+	for i, e := range effs {
+		if e > effs[peakIdx] {
+			peakIdx = i
+		}
+	}
+	if peakIdx == 0 || peakIdx == len(effs)-1 {
+		t.Errorf("peak at boundary index %d", peakIdx)
+	}
+	for i := 1; i <= peakIdx; i++ {
+		if effs[i] < effs[i-1]-1e-9 {
+			t.Errorf("efficiency not rising before peak at %d", i)
+		}
+	}
+	for i := peakIdx + 1; i < len(effs); i++ {
+		if effs[i] > effs[i-1]+1e-9 {
+			t.Errorf("efficiency not falling after peak at %d", i)
+		}
+	}
+}
+
+func TestPowerCurve(t *testing.T) {
+	d := device(t)
+	currents := []float64{1e-3, 3e-3, 5e-3}
+	diss, op, err := d.PowerCurve(30, currents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diss) != 3 || len(op) != 3 {
+		t.Fatal("wrong lengths")
+	}
+	for i := 1; i < len(diss); i++ {
+		if diss[i] <= diss[i-1] {
+			t.Error("dissipated power should increase with current")
+		}
+	}
+}
+
+// Property: the self-heating fixed point is consistent: recomputing
+// dissipation at the reported junction temperature reproduces the reported
+// dissipation.
+func TestQuickFixedPointConsistent(t *testing.T) {
+	d := device(t)
+	f := func(iFrac, tFrac float64) bool {
+		i := math.Mod(math.Abs(iFrac), 1) * d.Params().MaxCurrent
+		temp := math.Mod(math.Abs(tFrac), 80)
+		pt, err := d.Operate(i, temp)
+		if err != nil {
+			return false
+		}
+		wantTj := temp + d.Params().Rth*pt.DissipatedPower
+		return math.Abs(pt.JunctionTemp-wantTj) < 1e-6
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: dissipated power is monotone in current (the invariant the
+// OperateAtDissipation bisection relies on).
+func TestQuickDissipationMonotone(t *testing.T) {
+	d := device(t)
+	f := func(aFrac, bFrac, tFrac float64) bool {
+		a := math.Mod(math.Abs(aFrac), 1) * d.Params().MaxCurrent
+		b := math.Mod(math.Abs(bFrac), 1) * d.Params().MaxCurrent
+		if a > b {
+			a, b = b, a
+		}
+		temp := math.Mod(math.Abs(tFrac), 80)
+		pa, err := d.Operate(a, temp)
+		if err != nil {
+			return false
+		}
+		pb, err := d.Operate(b, temp)
+		if err != nil {
+			return false
+		}
+		return pb.DissipatedPower >= pa.DissipatedPower-1e-12
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,107 @@
+// Package waveguide provides the optical loss model for the silicon
+// waveguides connecting ONIs: propagation loss per length, bend loss,
+// waveguide-crossing loss and per-ring pass-by loss. The loss budget also
+// serves the crossbar baseline comparison (ORNoC vs Matrix, λ-router,
+// Snake), which is dominated by crossing counts.
+package waveguide
+
+import (
+	"fmt"
+	"math"
+
+	"vcselnoc/internal/units"
+)
+
+// LossBudget gathers the per-element losses (all in dB, positive numbers).
+type LossBudget struct {
+	// PropagationDBPerCM is the straight-waveguide loss (0.5 dB/cm in the
+	// paper, after Biberman et al.).
+	PropagationDBPerCM float64
+	// BendDB is the loss per 90° bend.
+	BendDB float64
+	// CrossingDB is the loss per waveguide crossing.
+	CrossingDB float64
+	// PassByDB is the parasitic loss each time a signal passes a
+	// non-resonant ring on the bus.
+	PassByDB float64
+	// DropDB is the insertion loss of an on-resonance drop operation.
+	DropDB float64
+}
+
+// DefaultLossBudget returns the technology point used by the paper and its
+// loss-comparison reference [20].
+func DefaultLossBudget() LossBudget {
+	return LossBudget{
+		PropagationDBPerCM: 0.5,
+		BendDB:             0.005,
+		CrossingDB:         0.12,
+		PassByDB:           0.005,
+		DropDB:             0.5,
+	}
+}
+
+// Validate reports budget errors.
+func (b LossBudget) Validate() error {
+	for _, v := range []struct {
+		name string
+		val  float64
+	}{
+		{"propagation", b.PropagationDBPerCM},
+		{"bend", b.BendDB},
+		{"crossing", b.CrossingDB},
+		{"pass-by", b.PassByDB},
+		{"drop", b.DropDB},
+	} {
+		if v.val < 0 || math.IsNaN(v.val) || math.IsInf(v.val, 0) {
+			return fmt.Errorf("waveguide: %s loss %g must be >= 0 and finite", v.name, v.val)
+		}
+	}
+	return nil
+}
+
+// PropagationLossDB returns the propagation loss in dB over a length in
+// metres.
+func (b LossBudget) PropagationLossDB(lengthM float64) (float64, error) {
+	if lengthM < 0 {
+		return 0, fmt.Errorf("waveguide: negative length %g", lengthM)
+	}
+	return b.PropagationDBPerCM * lengthM / units.Centimetre, nil
+}
+
+// PathLossDB sums the loss of a path with the given geometry.
+func (b LossBudget) PathLossDB(lengthM float64, bends, crossings, ringPassBys int, drops int) (float64, error) {
+	if bends < 0 || crossings < 0 || ringPassBys < 0 || drops < 0 {
+		return 0, fmt.Errorf("waveguide: negative element count")
+	}
+	prop, err := b.PropagationLossDB(lengthM)
+	if err != nil {
+		return 0, err
+	}
+	return prop +
+		float64(bends)*b.BendDB +
+		float64(crossings)*b.CrossingDB +
+		float64(ringPassBys)*b.PassByDB +
+		float64(drops)*b.DropDB, nil
+}
+
+// Transmission converts a loss in dB to a linear power transmission
+// fraction in (0, 1].
+func Transmission(lossDB float64) (float64, error) {
+	if lossDB < 0 {
+		return 0, fmt.Errorf("waveguide: negative loss %g dB", lossDB)
+	}
+	return units.FromDB(-lossDB), nil
+}
+
+// Path describes one physical route between a transmitter and a receiver.
+type Path struct {
+	LengthM    float64
+	Bends      int
+	Crossings  int
+	RingPassBy int
+}
+
+// LossDB returns the path loss excluding the final drop.
+func (p Path) LossDB(b LossBudget) (float64, error) {
+	return b.PathLossDB(p.LengthM, p.Bends, p.Crossings, p.RingPassBy, 0)
+}

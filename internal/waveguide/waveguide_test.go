@@ -1,0 +1,134 @@
+package waveguide
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultBudgetValid(t *testing.T) {
+	if err := DefaultLossBudget().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBudgetValidation(t *testing.T) {
+	b := DefaultLossBudget()
+	b.PropagationDBPerCM = -1
+	if err := b.Validate(); err == nil {
+		t.Error("negative propagation loss should fail")
+	}
+	b = DefaultLossBudget()
+	b.CrossingDB = math.NaN()
+	if err := b.Validate(); err == nil {
+		t.Error("NaN crossing loss should fail")
+	}
+}
+
+func TestPropagationLoss(t *testing.T) {
+	b := DefaultLossBudget()
+	// Paper: 0.5 dB/cm. 46.8 mm → 2.34 dB (the longest case in Fig. 11).
+	loss, err := b.PropagationLossDB(46.8e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(loss-2.34) > 1e-9 {
+		t.Errorf("loss over 46.8mm = %g dB, want 2.34", loss)
+	}
+	// 18 mm → 0.9 dB.
+	loss18, err := b.PropagationLossDB(18e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(loss18-0.9) > 1e-9 {
+		t.Errorf("loss over 18mm = %g dB, want 0.9", loss18)
+	}
+	if _, err := b.PropagationLossDB(-1); err == nil {
+		t.Error("negative length should error")
+	}
+}
+
+func TestPathLoss(t *testing.T) {
+	b := DefaultLossBudget()
+	loss, err := b.PathLossDB(1e-2, 2, 3, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5 + 2*0.005 + 3*0.12 + 10*0.005 + 1*0.5
+	if math.Abs(loss-want) > 1e-12 {
+		t.Errorf("path loss = %g, want %g", loss, want)
+	}
+	if _, err := b.PathLossDB(1, -1, 0, 0, 0); err == nil {
+		t.Error("negative count should error")
+	}
+}
+
+func TestTransmission(t *testing.T) {
+	tr, err := Transmission(3.0103)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr-0.5) > 1e-4 {
+		t.Errorf("3 dB transmission = %g, want 0.5", tr)
+	}
+	if tr0, _ := Transmission(0); tr0 != 1 {
+		t.Errorf("0 dB transmission = %g, want 1", tr0)
+	}
+	if _, err := Transmission(-1); err == nil {
+		t.Error("negative loss should error")
+	}
+}
+
+func TestPathLossDB(t *testing.T) {
+	b := DefaultLossBudget()
+	p := Path{LengthM: 2e-2, Bends: 4, Crossings: 2, RingPassBy: 6}
+	loss, err := p.LossDB(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 + 4*0.005 + 2*0.12 + 6*0.005
+	if math.Abs(loss-want) > 1e-12 {
+		t.Errorf("path loss = %g, want %g", loss, want)
+	}
+}
+
+// Property: loss is additive over path concatenation.
+func TestQuickLossAdditive(t *testing.T) {
+	b := DefaultLossBudget()
+	f := func(l1, l2 float64, c1, c2 uint8) bool {
+		la := math.Mod(math.Abs(l1), 0.1)
+		lb := math.Mod(math.Abs(l2), 0.1)
+		x1, err1 := b.PathLossDB(la, 0, int(c1%10), 0, 0)
+		x2, err2 := b.PathLossDB(lb, 0, int(c2%10), 0, 0)
+		both, err3 := b.PathLossDB(la+lb, 0, int(c1%10)+int(c2%10), 0, 0)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return math.Abs(x1+x2-both) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: transmission is in (0, 1] and multiplicative where loss is
+// additive.
+func TestQuickTransmissionMultiplicative(t *testing.T) {
+	f := func(a, b float64) bool {
+		la := math.Mod(math.Abs(a), 30)
+		lb := math.Mod(math.Abs(b), 30)
+		ta, err1 := Transmission(la)
+		tb, err2 := Transmission(lb)
+		tab, err3 := Transmission(la + lb)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		if ta <= 0 || ta > 1 || tb <= 0 || tb > 1 {
+			return false
+		}
+		return math.Abs(ta*tb-tab) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

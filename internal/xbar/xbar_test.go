@@ -1,0 +1,178 @@
+package xbar
+
+import (
+	"math"
+	"testing"
+
+	"vcselnoc/internal/waveguide"
+)
+
+func budget() waveguide.LossBudget { return waveguide.DefaultLossBudget() }
+
+func TestDesignValidation(t *testing.T) {
+	good := Design{Topology: ORNoC, N: 4, Pitch: 2e-3, Budget: budget()}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.N = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("N=1 should fail")
+	}
+	bad = good
+	bad.Pitch = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero pitch should fail")
+	}
+	bad = good
+	bad.Budget.DropDB = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative budget should fail")
+	}
+}
+
+func TestTopologyStrings(t *testing.T) {
+	for _, topo := range AllTopologies() {
+		if topo.String() == "" {
+			t.Errorf("empty string for %d", int(topo))
+		}
+	}
+	if Topology(99).String() == "" {
+		t.Error("unknown topology should stringify")
+	}
+}
+
+func TestAnalyzePairCount(t *testing.T) {
+	for _, topo := range AllTopologies() {
+		a, err := Analyze(Design{Topology: topo, N: 5, Pitch: 2e-3, Budget: budget()})
+		if err != nil {
+			t.Fatalf("%v: %v", topo, err)
+		}
+		if len(a.Paths) != 5*4 {
+			t.Errorf("%v: %d paths, want 20", topo, len(a.Paths))
+		}
+		if a.WorstLossDB < a.AverageLossDB {
+			t.Errorf("%v: worst %.2f below average %.2f", topo, a.WorstLossDB, a.AverageLossDB)
+		}
+		if a.AverageLossDB <= 0 {
+			t.Errorf("%v: non-positive average loss", topo)
+		}
+	}
+}
+
+func TestConnectionErrors(t *testing.T) {
+	d := Design{Topology: ORNoC, N: 4, Pitch: 2e-3, Budget: budget()}
+	if _, err := connection(d, 0, 0); err == nil {
+		t.Error("self connection should error")
+	}
+	if _, err := connection(d, 0, 9); err == nil {
+		t.Error("out-of-range dst should error")
+	}
+	d.Topology = Topology(42)
+	if _, err := connection(d, 0, 1); err == nil {
+		t.Error("unknown topology should error")
+	}
+}
+
+func TestORNoCNoCrossings(t *testing.T) {
+	a, err := Analyze(Design{Topology: ORNoC, N: 8, Pitch: 2e-3, Budget: budget()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range a.Paths {
+		if p.Crossings != 0 {
+			t.Fatalf("ORNoC path %d->%d has %d crossings", p.Src, p.Dst, p.Crossings)
+		}
+		if p.Drops != 1 {
+			t.Fatalf("path %d->%d has %d drops", p.Src, p.Dst, p.Drops)
+		}
+	}
+}
+
+// TestORNoCWinsEverywhere reproduces the motivation for choosing ORNoC
+// (ref [20]): lower worst-case and average insertion loss than Matrix,
+// λ-router and Snake at every evaluated scale.
+func TestORNoCWinsEverywhere(t *testing.T) {
+	for _, n := range []int{4, 8, 16} {
+		c, err := Compare(n, 2e-3, budget())
+		if err != nil {
+			t.Fatal(err)
+		}
+		orn := c.Results[ORNoC]
+		for _, topo := range AllTopologies() {
+			if topo == ORNoC {
+				continue
+			}
+			other := c.Results[topo]
+			if orn.WorstLossDB >= other.WorstLossDB {
+				t.Errorf("n=%d: ORNoC worst %.2f dB not below %v %.2f dB",
+					n, orn.WorstLossDB, topo, other.WorstLossDB)
+			}
+			if orn.AverageLossDB >= other.AverageLossDB {
+				t.Errorf("n=%d: ORNoC avg %.2f dB not below %v %.2f dB",
+					n, orn.AverageLossDB, topo, other.AverageLossDB)
+			}
+		}
+	}
+}
+
+// TestSavingsMagnitude checks the 4×4-scale savings land in the
+// neighbourhood of [20]'s 42.5 % (worst) and 38 % (average). Structural
+// approximations shift the exact figures; see EXPERIMENTS.md.
+func TestSavingsMagnitude(t *testing.T) {
+	c, err := Compare(16, 2e-3, budget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.WorstSaving < 0.25 || c.WorstSaving > 0.70 {
+		t.Errorf("worst-case saving %.1f%%, want 25–70%% (paper: 42.5%%)", c.WorstSaving*100)
+	}
+	if c.AverageSaving < 0.15 || c.AverageSaving > 0.60 {
+		t.Errorf("average saving %.1f%%, want 15–60%% (paper: 38%%)", c.AverageSaving*100)
+	}
+}
+
+func TestLossGrowsWithScale(t *testing.T) {
+	for _, topo := range AllTopologies() {
+		var prev float64
+		for _, n := range []int{4, 8, 16} {
+			a, err := Analyze(Design{Topology: topo, N: n, Pitch: 2e-3, Budget: budget()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.WorstLossDB <= prev {
+				t.Errorf("%v: worst loss %.2f not growing at n=%d", topo, a.WorstLossDB, n)
+			}
+			prev = a.WorstLossDB
+		}
+	}
+}
+
+func TestWorstPairIdentified(t *testing.T) {
+	a, err := Analyze(Design{Topology: Matrix, N: 6, Pitch: 2e-3, Budget: budget()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss, err := a.WorstPair.LossDB(budget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(loss-a.WorstLossDB) > 1e-12 {
+		t.Errorf("worst pair loss %.4f != worst loss %.4f", loss, a.WorstLossDB)
+	}
+	// Matrix worst case should be a maximal-distance pair.
+	if abs(a.WorstPair.Dst-a.WorstPair.Src) != 5 {
+		t.Errorf("matrix worst pair %d->%d not maximal distance", a.WorstPair.Src, a.WorstPair.Dst)
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	if _, err := Compare(1, 2e-3, budget()); err == nil {
+		t.Error("N=1 should error")
+	}
+	bad := budget()
+	bad.CrossingDB = math.NaN()
+	if _, err := Compare(4, 2e-3, bad); err == nil {
+		t.Error("bad budget should error")
+	}
+}
