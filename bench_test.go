@@ -21,6 +21,7 @@ import (
 	"vcselnoc/internal/activity"
 	"vcselnoc/internal/core"
 	"vcselnoc/internal/dse"
+	"vcselnoc/internal/fvm"
 	"vcselnoc/internal/mrr"
 	"vcselnoc/internal/oni"
 	"vcselnoc/internal/ornoc"
@@ -585,6 +586,82 @@ func BenchmarkBasisEvaluate(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSolverBackends races the two sparse backends on the bench
+// model's FVM system at the paper's operating point: same matrix, same
+// RHS, different preconditioner. SSOR-CG trades a triangular sweep per
+// iteration for a substantially lower iteration count.
+func BenchmarkSolverBackends(b *testing.B) {
+	m := benchMethodology(b).Model()
+	power, err := m.PowerVector(thermal.Powers{Chip: 25, VCSEL: 3.6e-3, Driver: 3.6e-3, Heater: 1.08e-3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, backend := range []string{"jacobi-cg", "ssor-cg"} {
+		b.Run(backend, func(b *testing.B) {
+			opts := fvm.SolveOptions{Tolerance: 1e-8, Solver: backend}
+			var iters int
+			for i := 0; i < b.N; i++ {
+				sol, err := m.System().SolveSteady(power, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters = sol.Stats.Iterations
+			}
+			b.ReportMetric(float64(iters), "iters/solve")
+		})
+	}
+}
+
+// BenchmarkBuildBasis contrasts the seed's basis-construction path (a
+// fresh operator assembly inside every one of the four unit solves)
+// against the refactored one (a single cached assembly, the four RHS
+// batched across the worker pool with reused solver workspaces).
+func BenchmarkBuildBasis(b *testing.B) {
+	m := benchMethodology(b).Model()
+	units := []thermal.Powers{
+		{Chip: 1},
+		{VCSEL: 0.5e-3},
+		{Driver: 0.5e-3},
+		{Heater: 0.5e-3},
+	}
+	b.Run("seed-reassemble", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, p := range units {
+				prob, err := m.Problem(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := fvm.SolveSteady(prob, fvm.SolveOptions{Tolerance: 1e-8}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("cached-batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := m.BuildBasis(nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached-batch-ssor", func(b *testing.B) {
+		batch := make([][]float64, len(units))
+		for i, p := range units {
+			power, err := m.PowerVector(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch[i] = power
+		}
+		opts := fvm.SolveOptions{Tolerance: 1e-8, Solver: "ssor-cg"}
+		for i := 0; i < b.N; i++ {
+			if _, err := m.System().SolveSteadyBatch(batch, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkVCSELOperate times the laser self-heating fixed point.

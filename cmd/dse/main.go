@@ -7,6 +7,7 @@
 //
 //	dse [-res fast] [-chip 25] [-activity uniform] [-seed 1]
 //	    [-mode all|temps|heater|feasible]
+//	    [-solver jacobi-cg|ssor-cg] [-workers 0]
 package main
 
 import (
@@ -27,6 +28,8 @@ func main() {
 	act := flag.String("activity", "uniform", "chip activity scenario")
 	seed := flag.Int64("seed", 1, "seed for the random activity")
 	mode := flag.String("mode", "all", "exploration: all, temps, heater, feasible")
+	solver := flag.String("solver", "", "sparse backend: jacobi-cg (default) or ssor-cg")
+	workers := flag.Int("workers", 0, "parallel solver/sweep workers (0 = all CPUs)")
 	flag.Parse()
 
 	log.SetFlags(0)
@@ -46,6 +49,8 @@ func main() {
 	default:
 		log.Fatalf("unknown resolution %q", *res)
 	}
+	spec.Solver = *solver
+	spec.Workers = *workers
 	scenario, err := activity.ByName(*act, *seed)
 	if err != nil {
 		log.Fatal(err)

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	repro [-res coarse|fast|paper] [-experiment all|fig8|fig9a|fig9b|fig10|fig12|xbar|table1]
+//	      [-solver jacobi-cg|ssor-cg] [-workers 0]
 //
 // The fast (10 µm) resolution reproduces the paper's trends in a few
 // minutes; paper (5 µm) matches the published meshing strategy but takes
@@ -33,6 +34,8 @@ import (
 func main() {
 	res := flag.String("res", "fast", "mesh resolution: coarse, fast or paper")
 	exp := flag.String("experiment", "all", "which experiment to run: all, table1, fig5b, fig8, fig9a, fig9b, fig10, fig12, xbar")
+	solver := flag.String("solver", "", "sparse backend: jacobi-cg (default) or ssor-cg")
+	workers := flag.Int("workers", 0, "parallel solver/sweep workers (0 = all CPUs)")
 	flag.Parse()
 
 	log.SetFlags(0)
@@ -52,6 +55,8 @@ func main() {
 	default:
 		log.Fatalf("unknown resolution %q", *res)
 	}
+	spec.Solver = *solver
+	spec.Workers = *workers
 
 	all := *exp == "all"
 	want := func(name string) bool { return all || *exp == name }

@@ -7,6 +7,7 @@
 //	thermalmap [-chip 25] [-pvcsel 3.6e-3] [-pheater 1.08e-3]
 //	           [-activity uniform] [-seed 1] [-res fast]
 //	           [-layer optical] [-csv out.csv] [-width 100]
+//	           [-solver jacobi-cg|ssor-cg] [-workers 0]
 package main
 
 import (
@@ -29,6 +30,8 @@ func main() {
 	layer := flag.String("layer", "optical", "stack layer to render")
 	csvPath := flag.String("csv", "", "write the map as CSV to this path instead of ASCII")
 	width := flag.Int("width", 100, "ASCII map width in characters")
+	solver := flag.String("solver", "", "sparse backend: jacobi-cg (default) or ssor-cg")
+	workers := flag.Int("workers", 0, "parallel solver workers (0 = all CPUs)")
 	flag.Parse()
 
 	log.SetFlags(0)
@@ -48,6 +51,8 @@ func main() {
 	default:
 		log.Fatalf("unknown resolution %q", *res)
 	}
+	spec.Solver = *solver
+	spec.Workers = *workers
 	scenario, err := activity.ByName(*act, *seed)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,3 @@
+module vcselnoc
+
+go 1.24

@@ -108,12 +108,18 @@ func (m *Methodology) BasisFor(act activity.Scenario) (*thermal.Basis, error) {
 }
 
 // Explorer returns a design-space explorer bound to the activity's basis.
+// The spec's Workers knob caps the explorer's sweep parallelism.
 func (m *Methodology) Explorer(act activity.Scenario) (*dse.Explorer, error) {
 	b, err := m.BasisFor(act)
 	if err != nil {
 		return nil, err
 	}
-	return dse.NewExplorer(b)
+	ex, err := dse.NewExplorer(b)
+	if err != nil {
+		return nil, err
+	}
+	ex.SetWorkers(m.spec.Workers)
+	return ex, nil
 }
 
 // ThermalAnalysis runs one steady-state simulation (step 1 of the flow).

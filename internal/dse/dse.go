@@ -13,7 +13,9 @@ package dse
 import (
 	"fmt"
 	"math"
+	"runtime"
 
+	"vcselnoc/internal/parallel"
 	"vcselnoc/internal/thermal"
 )
 
@@ -22,17 +24,53 @@ import (
 // penalty below ~7 %.
 const GradientLimit = 1.0
 
-// Explorer runs sweeps over a prepared thermal basis.
+// Explorer runs sweeps over a prepared thermal basis. Sweep grid cells
+// are independent basis evaluations, so SweepAvgTemp, SweepGradient and
+// HeaterComparison fan them out across a worker pool; sequential searches
+// (OptimalHeater, MaxFeasibleLaserPower) stay serial by nature.
 type Explorer struct {
-	basis *thermal.Basis
+	basis   *thermal.Basis
+	workers int
 }
 
-// NewExplorer wraps a thermal basis.
+// NewExplorer wraps a thermal basis. The worker pool defaults to
+// GOMAXPROCS; tune it with SetWorkers.
 func NewExplorer(b *thermal.Basis) (*Explorer, error) {
 	if b == nil {
 		return nil, fmt.Errorf("dse: nil basis")
 	}
 	return &Explorer{basis: b}, nil
+}
+
+// SetWorkers caps the goroutines used by sweeps; n <= 0 restores the
+// GOMAXPROCS default.
+func (e *Explorer) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.workers = n
+}
+
+// poolSize resolves the worker count for a sweep of n independent cells.
+func (e *Explorer) poolSize(n int) int {
+	w := e.workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// forEach evaluates fn for every index in [0, n) across the worker pool
+// and returns the first error; remaining cells are skipped after a
+// failure.
+func (e *Explorer) forEach(n int, fn func(i int) error) error {
+	return parallel.ForEach(e.poolSize(n), n, func(_, i int) error { return fn(i) })
 }
 
 // AvgTempPoint is one cell of the Fig. 9-a sweep.
@@ -51,15 +89,22 @@ func (e *Explorer) SweepAvgTemp(chipPowers, laserPowers []float64) ([][]AvgTempP
 		return nil, fmt.Errorf("dse: empty sweep axes")
 	}
 	out := make([][]AvgTempPoint, len(chipPowers))
-	for i, chip := range chipPowers {
+	for i := range out {
 		out[i] = make([]AvgTempPoint, len(laserPowers))
-		for j, pv := range laserPowers {
-			res, err := e.basis.Evaluate(thermal.Powers{Chip: chip, VCSEL: pv, Driver: pv})
-			if err != nil {
-				return nil, err
-			}
-			out[i][j] = AvgTempPoint{ChipPower: chip, PVCSEL: pv, MeanONITemp: res.MeanONITemp()}
+	}
+	cols := len(laserPowers)
+	err := e.forEach(len(chipPowers)*cols, func(k int) error {
+		i, j := k/cols, k%cols
+		chip, pv := chipPowers[i], laserPowers[j]
+		res, err := e.basis.Evaluate(thermal.Powers{Chip: chip, VCSEL: pv, Driver: pv})
+		if err != nil {
+			return err
 		}
+		out[i][j] = AvgTempPoint{ChipPower: chip, PVCSEL: pv, MeanONITemp: res.MeanONITemp()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -81,15 +126,21 @@ func (e *Explorer) SweepGradient(chip float64, laserPowers, heaterPowers []float
 		return nil, fmt.Errorf("dse: empty sweep axes")
 	}
 	out := make([][]GradientPoint, len(laserPowers))
-	for i, pv := range laserPowers {
+	for i := range out {
 		out[i] = make([]GradientPoint, len(heaterPowers))
-		for j, ph := range heaterPowers {
-			gp, err := e.gradientAt(chip, pv, ph)
-			if err != nil {
-				return nil, err
-			}
-			out[i][j] = gp
+	}
+	cols := len(heaterPowers)
+	err := e.forEach(len(laserPowers)*cols, func(k int) error {
+		i, j := k/cols, k%cols
+		gp, err := e.gradientAt(chip, laserPowers[i], heaterPowers[j])
+		if err != nil {
+			return err
 		}
+		out[i][j] = gp
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -207,23 +258,28 @@ func (e *Explorer) HeaterComparison(chip float64, laserPowers []float64, ratio f
 	if ratio < 0 {
 		return nil, fmt.Errorf("dse: negative heater ratio %g", ratio)
 	}
-	rows := make([]ComparisonRow, 0, len(laserPowers))
-	for _, pv := range laserPowers {
+	rows := make([]ComparisonRow, len(laserPowers))
+	err := e.forEach(len(laserPowers), func(i int) error {
+		pv := laserPowers[i]
 		off, err := e.basis.Evaluate(thermal.Powers{Chip: chip, VCSEL: pv, Driver: pv})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		on, err := e.basis.Evaluate(thermal.Powers{Chip: chip, VCSEL: pv, Driver: pv, Heater: ratio * pv})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, ComparisonRow{
+		rows[i] = ComparisonRow{
 			PVCSEL:          pv,
 			GradientWithout: meanGradient(off),
 			GradientWith:    meanGradient(on),
 			AvgTempWithout:  off.MeanONITemp(),
 			AvgTempWith:     on.MeanONITemp(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

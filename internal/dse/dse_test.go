@@ -14,6 +14,16 @@ var (
 	sharedErr error
 )
 
+// fullRes skips tests whose assertions (intra-ONI gradients, the 1 °C
+// feasibility constant, V-curve interior minima) are calibrated against
+// the coarse mesh and are not meaningful on the -short preview mesh.
+func fullRes(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("gradient-calibrated assertions need the full coarse mesh; skipped under -short")
+	}
+}
+
 func explorer(t *testing.T) *Explorer {
 	t.Helper()
 	once.Do(func() {
@@ -23,6 +33,9 @@ func explorer(t *testing.T) *Explorer {
 			return
 		}
 		spec.Res = thermal.CoarseResolution()
+		if testing.Short() {
+			spec.Res = thermal.PreviewResolution()
+		}
 		spec.SolverTol = 1e-7
 		model, err := thermal.NewModel(spec)
 		if err != nil {
@@ -96,6 +109,7 @@ func TestSweepAvgTempErrors(t *testing.T) {
 }
 
 func TestSweepGradientVShape(t *testing.T) {
+	fullRes(t)
 	ex := explorer(t)
 	lasers := []float64{2e-3, 4e-3, 6e-3}
 	heaters := []float64{0, 0.4e-3, 0.8e-3, 1.2e-3, 1.6e-3, 2.0e-3, 2.8e-3, 3.6e-3}
@@ -119,6 +133,7 @@ func TestSweepGradientVShape(t *testing.T) {
 }
 
 func TestOptimalHeater(t *testing.T) {
+	fullRes(t)
 	ex := explorer(t)
 	opt, err := ex.OptimalHeater(25, 4e-3, 4e-3)
 	if err != nil {
@@ -149,6 +164,7 @@ func TestOptimalHeaterErrors(t *testing.T) {
 }
 
 func TestHeaterComparison(t *testing.T) {
+	fullRes(t)
 	ex := explorer(t)
 	lasers := []float64{1e-3, 2e-3, 4e-3, 6e-3}
 	rows, err := ex.HeaterComparison(25, lasers, 0.3)
@@ -180,6 +196,7 @@ func TestHeaterComparison(t *testing.T) {
 }
 
 func TestCheckFeasibility(t *testing.T) {
+	fullRes(t)
 	ex := explorer(t)
 	// Tiny laser power: gradient well under 1 °C.
 	low, err := ex.CheckFeasibility(thermal.Powers{Chip: 25, VCSEL: 0.2e-3, Driver: 0.2e-3})
@@ -203,6 +220,7 @@ func TestCheckFeasibility(t *testing.T) {
 }
 
 func TestMaxFeasibleLaserPower(t *testing.T) {
+	fullRes(t)
 	ex := explorer(t)
 	pv, err := ex.MaxFeasibleLaserPower(25, 0.3, 8e-3)
 	if err != nil {

@@ -15,9 +15,11 @@ package fvm
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"vcselnoc/internal/geom"
 	"vcselnoc/internal/mesh"
+	"vcselnoc/internal/parallel"
 	"vcselnoc/internal/sparse"
 )
 
@@ -128,16 +130,48 @@ func (p *Problem) hasFixingBoundary() bool {
 	return false
 }
 
-// assembled holds the discretised operator.
-type assembled struct {
+// System is the discretised steady-state operator, assembled once from a
+// Problem and reusable across every solve that shares the same grid,
+// conductivity field and boundary conditions — only the power (RHS)
+// changes between solves. It is the unit of caching the thermal layer
+// leans on: superposition bases, transient stepping and design-space
+// sweeps all reuse one System instead of re-assembling per solve.
+//
+// A System is immutable after construction and safe for concurrent use;
+// the solve methods create per-call (or per-worker) solver state.
+type System struct {
+	grid   *mesh.Grid
 	matrix *sparse.CSR
-	rhs    []float64
+	// rhsBoundary is the boundary-condition contribution to the RHS
+	// (conductance-weighted boundary temperatures); per-cell power is
+	// added on top at solve time.
+	rhsBoundary []float64
 	// boundaryG[i] is the total boundary conductance of cell i (W/K) and
 	// boundaryGT[i] the conductance-weighted boundary temperature, used for
 	// energy accounting.
 	boundaryG  []float64
 	boundaryGT []float64
+	// heatCap is the per-cell ρc (J/(m³·K)); nil for steady-only systems.
+	heatCap []float64
+	// hasFix records whether any boundary pins the temperature level.
+	hasFix bool
 }
+
+// NewSystem validates the problem and assembles its operator once. The
+// problem's Power field is only length-checked — each solve supplies its
+// own power vector.
+func NewSystem(p *Problem) (*System, error) {
+	return p.assemble()
+}
+
+// Grid returns the system's computational grid.
+func (s *System) Grid() *mesh.Grid { return s.grid }
+
+// Matrix exposes the assembled conduction operator (read-only).
+func (s *System) Matrix() *sparse.CSR { return s.matrix }
+
+// N returns the number of unknowns (cells).
+func (s *System) N() int { return s.matrix.N() }
 
 // faceConductance returns the conductance (W/K) between two adjacent cells
 // with half-widths d1/2 and d2/2, conductivities k1, k2, across face area a.
@@ -160,8 +194,9 @@ func boundaryConductance(b Boundary, a, d, k float64) float64 {
 	}
 }
 
-// assemble builds the SPD system A·T = b for the steady problem.
-func (p *Problem) assemble() (*assembled, error) {
+// assemble builds the SPD operator for the steady problem. The returned
+// system's RHS excludes the per-cell power, which solves add on top.
+func (p *Problem) assemble() (*System, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -331,7 +366,6 @@ func (p *Problem) assemble() (*assembled, error) {
 				}
 
 				values[diagPos] = diag
-				rhs[idx] += p.Power[idx]
 			}
 		}
 	}
@@ -340,17 +374,45 @@ func (p *Problem) assemble() (*assembled, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fvm: assembly produced invalid CSR: %w", err)
 	}
-	return &assembled{matrix: m, rhs: rhs, boundaryG: boundaryG, boundaryGT: boundaryGT}, nil
+	return &System{
+		grid:        g,
+		matrix:      m,
+		rhsBoundary: rhs,
+		boundaryG:   boundaryG,
+		boundaryGT:  boundaryGT,
+		heatCap:     p.HeatCapacity,
+		hasFix:      p.hasFixingBoundary(),
+	}, nil
 }
 
 // SolveOptions configures a steady-state solve.
 type SolveOptions struct {
-	// Tolerance is the CG relative residual target (default 1e-8).
+	// Tolerance is the relative residual target (default 1e-8).
 	Tolerance float64
-	// MaxIterations caps CG iterations (default 10·n).
+	// MaxIterations caps solver iterations (default 10·n).
 	MaxIterations int
 	// InitialGuess optionally warm-starts the solver (length = cells).
 	InitialGuess []float64
+	// Solver selects the sparse backend by name ("jacobi-cg", "ssor-cg");
+	// empty selects jacobi-cg.
+	Solver string
+	// Workers caps the goroutines used for matrix-vector products and for
+	// fanning out batched solves; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// newSolver builds the sparse backend described by the options.
+func (o SolveOptions) newSolver() (sparse.Solver, error) {
+	tol := o.Tolerance
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	return sparse.Config{
+		Backend:       o.Solver,
+		Tolerance:     tol,
+		MaxIterations: o.MaxIterations,
+		Workers:       o.Workers,
+	}.New()
 }
 
 // Solution is a computed temperature field.
@@ -359,42 +421,108 @@ type Solution struct {
 	// T is the per-cell temperature in °C.
 	T []float64
 	// Stats reports solver convergence.
-	Stats sparse.CGResult
+	Stats sparse.Result
 
 	boundaryG  []float64
 	boundaryGT []float64
 	totalPower float64
 }
 
-// SolveSteady solves the steady-state problem.
+// SolveSteady solves the steady-state problem. It assembles the operator
+// per call; repeated solves over the same geometry should assemble once
+// with NewSystem and use System.SolveSteady / System.SolveSteadyBatch.
 func SolveSteady(p *Problem, opts SolveOptions) (*Solution, error) {
-	if !p.hasFixingBoundary() {
-		return nil, fmt.Errorf("fvm: steady problem needs at least one convection or Dirichlet boundary (all faces adiabatic)")
-	}
-	asm, err := p.assemble()
+	sys, err := NewSystem(p)
 	if err != nil {
 		return nil, err
 	}
-	tol := opts.Tolerance
-	if tol <= 0 {
-		tol = 1e-8
+	return sys.SolveSteady(p.Power, opts)
+}
+
+// SolveSteady solves the steady problem for one per-cell power vector
+// (watts per cell, length N) against the cached operator.
+func (s *System) SolveSteady(power []float64, opts SolveOptions) (*Solution, error) {
+	solver, err := opts.newSolver()
+	if err != nil {
+		return nil, err
 	}
-	t, stats, err := sparse.SolveCG(asm.matrix, asm.rhs, sparse.CGOptions{
-		Tolerance:     tol,
-		MaxIterations: opts.MaxIterations,
-		InitialGuess:  opts.InitialGuess,
-	})
+	return s.solveSteadyWith(power, opts, solver, nil)
+}
+
+// solveSteadyWith runs one steady solve with a caller-supplied solver and
+// optional reusable RHS buffer (both enable allocation-free batching).
+func (s *System) solveSteadyWith(power []float64, opts SolveOptions, solver sparse.Solver, rhs []float64) (*Solution, error) {
+	if !s.hasFix {
+		return nil, fmt.Errorf("fvm: steady problem needs at least one convection or Dirichlet boundary (all faces adiabatic)")
+	}
+	n := s.matrix.N()
+	if len(power) != n {
+		return nil, fmt.Errorf("fvm: power vector has %d entries, want %d", len(power), n)
+	}
+	if rhs == nil {
+		rhs = make([]float64, n)
+	}
+	var total float64
+	for i, q := range power {
+		rhs[i] = s.rhsBoundary[i] + q
+		total += q
+	}
+	t := make([]float64, n)
+	if opts.InitialGuess != nil {
+		if len(opts.InitialGuess) != n {
+			return nil, fmt.Errorf("fvm: initial guess has %d entries, want %d", len(opts.InitialGuess), n)
+		}
+		copy(t, opts.InitialGuess)
+	}
+	stats, err := solver.Solve(s.matrix, rhs, t)
 	if err != nil {
 		return nil, fmt.Errorf("fvm: steady solve failed: %w", err)
 	}
-	var total float64
-	for _, q := range p.Power {
-		total += q
-	}
 	return &Solution{
-		Grid: p.Grid, T: t, Stats: stats,
-		boundaryG: asm.boundaryG, boundaryGT: asm.boundaryGT, totalPower: total,
+		Grid: s.grid, T: t, Stats: stats,
+		boundaryG: s.boundaryG, boundaryGT: s.boundaryGT, totalPower: total,
 	}, nil
+}
+
+// SolveSteadyBatch solves the steady problem for many power vectors
+// against the one cached operator, fanning the independent right-hand
+// sides across opts.Workers goroutines (0 means GOMAXPROCS), each with its
+// own solver workspace and RHS buffer. Solutions are returned in input
+// order; the first error aborts the batch (remaining solves are skipped).
+func (s *System) SolveSteadyBatch(powers [][]float64, opts SolveOptions) ([]*Solution, error) {
+	if len(powers) == 0 {
+		return nil, fmt.Errorf("fvm: empty power batch")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(powers) {
+		workers = len(powers)
+	}
+	solvers := make([]sparse.Solver, workers)
+	rhsBufs := make([][]float64, workers)
+	for w := range solvers {
+		solver, err := opts.newSolver()
+		if err != nil {
+			return nil, err
+		}
+		solvers[w] = solver
+		rhsBufs[w] = make([]float64, s.matrix.N())
+	}
+	sols := make([]*Solution, len(powers))
+	err := parallel.ForEach(workers, len(powers), func(w, i int) error {
+		sol, err := s.solveSteadyWith(powers[i], opts, solvers[w], rhsBufs[w])
+		if err != nil {
+			return fmt.Errorf("fvm: batch solve %d: %w", i, err)
+		}
+		sols[i] = sol
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sols, nil
 }
 
 // BoundaryHeatFlow returns the net heat leaving the domain through
@@ -500,17 +628,39 @@ type TransientOptions struct {
 	// InitialUniform is the uniform start temperature used when Initial is
 	// nil (°C).
 	InitialUniform float64
-	// Tolerance is the per-step CG tolerance (default 1e-8).
+	// Tolerance is the per-step solver tolerance (default 1e-8).
 	Tolerance float64
+	// Solver selects the sparse backend by name ("jacobi-cg", "ssor-cg");
+	// empty selects jacobi-cg.
+	Solver string
+	// Workers caps the goroutines used for matrix-vector products; 0 means
+	// GOMAXPROCS.
+	Workers int
 	// Snapshot, if non-nil, is called after every step with the step index
-	// (1-based), the simulated time and the current field (read-only).
+	// (1-based), the simulated time and a fresh copy of the current field,
+	// which the callback may retain.
 	Snapshot func(step int, time float64, t []float64)
 }
 
 // SolveTransient integrates the transient heat equation with implicit
-// Euler and returns the final field.
+// Euler and returns the final field. It assembles the operator per call;
+// repeated runs over the same geometry should assemble once with
+// NewSystem and use System.SolveTransient.
 func SolveTransient(p *Problem, opts TransientOptions) (*Solution, error) {
-	if p.HeatCapacity == nil {
+	sys, err := NewSystem(p)
+	if err != nil {
+		return nil, err
+	}
+	return sys.SolveTransient(p.Power, opts)
+}
+
+// SolveTransient integrates the transient heat equation for one per-cell
+// power vector against the cached operator. The time-stepping loop reuses
+// a single solver workspace and warm-starts every step from the previous
+// field, so the steady operator is assembled exactly once per System, not
+// once per run.
+func (s *System) SolveTransient(power []float64, opts TransientOptions) (*Solution, error) {
+	if s.heatCap == nil {
 		return nil, fmt.Errorf("fvm: transient solve requires HeatCapacity")
 	}
 	if opts.TimeStep <= 0 {
@@ -519,12 +669,11 @@ func SolveTransient(p *Problem, opts TransientOptions) (*Solution, error) {
 	if opts.Steps <= 0 {
 		return nil, fmt.Errorf("fvm: steps %d must be > 0", opts.Steps)
 	}
-	asm, err := p.assemble()
-	if err != nil {
-		return nil, err
-	}
-	g := p.Grid
+	g := s.grid
 	n := g.NumCells()
+	if len(power) != n {
+		return nil, fmt.Errorf("fvm: power vector has %d entries, want %d", len(power), n)
+	}
 
 	// Capacity term C/dt per cell (W/K).
 	cap := make([]float64, n)
@@ -532,7 +681,7 @@ func SolveTransient(p *Problem, opts TransientOptions) (*Solution, error) {
 		for j := 0; j < g.NY(); j++ {
 			for i := 0; i < g.NX(); i++ {
 				idx := g.Index(i, j, k)
-				c := p.HeatCapacity[idx]
+				c := s.heatCap[idx]
 				if c <= 0 {
 					return nil, fmt.Errorf("fvm: cell %d has non-positive heat capacity %g", idx, c)
 				}
@@ -541,9 +690,8 @@ func SolveTransient(p *Problem, opts TransientOptions) (*Solution, error) {
 		}
 	}
 	// Transient matrix = A + diag(C/dt). Build by copying A and bumping the
-	// diagonal.
-	m := asm.matrix
-	diagBumped := sparse.AddDiagonal(m, cap)
+	// diagonal; the structure arrays are shared with the steady matrix.
+	diagBumped := sparse.AddDiagonal(s.matrix, cap)
 
 	t := make([]float64, n)
 	if opts.Initial != nil {
@@ -556,35 +704,39 @@ func SolveTransient(p *Problem, opts TransientOptions) (*Solution, error) {
 			t[i] = opts.InitialUniform
 		}
 	}
-	tol := opts.Tolerance
-	if tol <= 0 {
-		tol = 1e-8
+	solver, err := SolveOptions{
+		Tolerance: opts.Tolerance,
+		Solver:    opts.Solver,
+		Workers:   opts.Workers,
+	}.newSolver()
+	if err != nil {
+		return nil, err
 	}
 	rhs := make([]float64, n)
-	var stats sparse.CGResult
+	var stats sparse.Result
 	for step := 1; step <= opts.Steps; step++ {
 		for i := range rhs {
-			rhs[i] = asm.rhs[i] + cap[i]*t[i]
+			rhs[i] = s.rhsBoundary[i] + power[i] + cap[i]*t[i]
 		}
-		next, st, err := sparse.SolveCG(diagBumped, rhs, sparse.CGOptions{
-			Tolerance:    tol,
-			InitialGuess: t,
-		})
+		// t is both the warm start and the output of the in-place solve.
+		stats, err = solver.Solve(diagBumped, rhs, t)
 		if err != nil {
 			return nil, fmt.Errorf("fvm: transient step %d failed: %w", step, err)
 		}
-		t = next
-		stats = st
 		if opts.Snapshot != nil {
-			opts.Snapshot(step, float64(step)*opts.TimeStep, t)
+			// Hand out a copy: t is the in-place iteration buffer, and
+			// callbacks are allowed to retain their per-step fields.
+			snap := make([]float64, n)
+			copy(snap, t)
+			opts.Snapshot(step, float64(step)*opts.TimeStep, snap)
 		}
 	}
 	var total float64
-	for _, q := range p.Power {
+	for _, q := range power {
 		total += q
 	}
 	return &Solution{
 		Grid: g, T: t, Stats: stats,
-		boundaryG: asm.boundaryG, boundaryGT: asm.boundaryGT, totalPower: total,
+		boundaryG: s.boundaryG, boundaryGT: s.boundaryGT, totalPower: total,
 	}, nil
 }

@@ -1,0 +1,220 @@
+package fvm
+
+import (
+	"math"
+	"testing"
+)
+
+// benchProblem builds a modest 3D conduction problem with convection top
+// and bottom — the same boundary structure the thermal layer produces.
+func systemProblem(t testing.TB, nx, ny, nz int) *Problem {
+	g := uniformGrid(t, nx, ny, nz, 1e-2, 1e-2, 1e-3)
+	n := g.NumCells()
+	power := make([]float64, n)
+	// A few point sources at varying depths.
+	power[g.Index(nx/2, ny/2, nz-1)] = 0.5
+	power[g.Index(nx/4, ny/4, nz/2)] = 0.25
+	power[g.Index(3*nx/4, ny/3, 0)] = 0.1
+	return &Problem{
+		Grid:         g,
+		Conductivity: fill(n, 120),
+		Power:        power,
+		HeatCapacity: fill(n, 1.6e6),
+		ZMin:         Boundary{Type: Convection, H: 15, Value: 25},
+		ZMax:         Boundary{Type: Convection, H: 800, Value: 25},
+	}
+}
+
+// TestBackendsAgreeOnFVMSystem is the acceptance check for the solver
+// refactor: both backends must agree on a finite-volume temperature field
+// to within 1e-6 relative.
+func TestBackendsAgreeOnFVMSystem(t *testing.T) {
+	p := systemProblem(t, 20, 18, 6)
+	sys, err := NewSystem(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := map[string][]float64{}
+	for _, backend := range []string{"jacobi-cg", "ssor-cg"} {
+		sol, err := sys.SolveSteady(p.Power, SolveOptions{Tolerance: 1e-10, Solver: backend})
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if !sol.Stats.Converged {
+			t.Fatalf("%s did not converge", backend)
+		}
+		fields[backend] = sol.T
+	}
+	ja, ss := fields["jacobi-cg"], fields["ssor-cg"]
+	var maxD, maxT float64
+	for i := range ja {
+		if d := math.Abs(ja[i] - ss[i]); d > maxD {
+			maxD = d
+		}
+		if a := math.Abs(ja[i]); a > maxT {
+			maxT = a
+		}
+	}
+	if maxD/maxT > 1e-6 {
+		t.Errorf("backends disagree on temperature field: rel diff %.2e > 1e-6", maxD/maxT)
+	}
+}
+
+// TestSystemMatchesSolveSteady: the cached-operator path must reproduce
+// the one-shot SolveSteady result exactly.
+func TestSystemMatchesSolveSteady(t *testing.T) {
+	p := systemProblem(t, 16, 14, 5)
+	direct, err := SolveSteady(p, SolveOptions{Tolerance: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := sys.SolveSteady(p.Power, SolveOptions{Tolerance: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct.T {
+		if direct.T[i] != cached.T[i] {
+			t.Fatalf("cell %d: direct %g vs cached %g", i, direct.T[i], cached.T[i])
+		}
+	}
+	if math.Abs(direct.BoundaryHeatFlow()-cached.BoundaryHeatFlow()) > 1e-12 {
+		t.Error("boundary heat flow differs between paths")
+	}
+}
+
+// TestSolveSteadyBatchMatchesIndividual: a batch over several power
+// vectors must equal per-vector solves, in order, for every worker count.
+func TestSolveSteadyBatchMatchesIndividual(t *testing.T) {
+	p := systemProblem(t, 14, 12, 5)
+	sys, err := NewSystem(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := sys.N()
+	powers := make([][]float64, 5)
+	for i := range powers {
+		pw := make([]float64, n)
+		pw[(i*97)%n] = 0.3 + 0.1*float64(i)
+		pw[(i*389+41)%n] = 0.05
+		powers[i] = pw
+	}
+	want := make([]*Solution, len(powers))
+	for i, pw := range powers {
+		want[i], err = sys.SolveSteady(pw, SolveOptions{Tolerance: 1e-10})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, workers := range []int{0, 1, 2, 4, 9} {
+		got, err := sys.SolveSteadyBatch(powers, SolveOptions{Tolerance: 1e-10, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range got {
+			for c := range got[i].T {
+				if math.Abs(got[i].T[c]-want[i].T[c]) > 1e-9 {
+					t.Fatalf("workers=%d solution %d cell %d: batch %g vs individual %g",
+						workers, i, c, got[i].T[c], want[i].T[c])
+				}
+			}
+			if math.Abs(got[i].EnergyBalanceError()) > 1e-6 {
+				t.Errorf("workers=%d solution %d: energy balance error %g", workers, i, got[i].EnergyBalanceError())
+			}
+		}
+	}
+}
+
+// TestSystemTransientMatchesProblemLevel: the System transient path must
+// reproduce the package-level SolveTransient.
+func TestSystemTransientMatchesProblemLevel(t *testing.T) {
+	p := systemProblem(t, 10, 10, 4)
+	opts := TransientOptions{TimeStep: 0.01, Steps: 5, InitialUniform: 25, Tolerance: 1e-10}
+	direct, err := SolveTransient(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := sys.SolveTransient(p.Power, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct.T {
+		if math.Abs(direct.T[i]-cached.T[i]) > 1e-9 {
+			t.Fatalf("cell %d: direct %g vs cached %g", i, direct.T[i], cached.T[i])
+		}
+	}
+}
+
+// TestSystemSolverSelection: transient and steady runs must accept both
+// backends and agree across them.
+func TestSystemSolverSelection(t *testing.T) {
+	p := systemProblem(t, 10, 8, 4)
+	sys, err := NewSystem(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev []float64
+	for _, backend := range []string{"jacobi-cg", "ssor-cg"} {
+		sol, err := sys.SolveTransient(p.Power, TransientOptions{
+			TimeStep: 0.01, Steps: 3, InitialUniform: 25, Tolerance: 1e-11, Solver: backend,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if prev != nil {
+			for i := range sol.T {
+				if math.Abs(sol.T[i]-prev[i]) > 1e-6 {
+					t.Fatalf("transient backends disagree at cell %d: %g vs %g", i, sol.T[i], prev[i])
+				}
+			}
+		}
+		prev = sol.T
+	}
+	if _, err := sys.SolveSteady(p.Power, SolveOptions{Solver: "nope"}); err == nil {
+		t.Error("unknown backend should error")
+	}
+}
+
+func TestSystemErrors(t *testing.T) {
+	p := systemProblem(t, 8, 8, 3)
+	sys, err := NewSystem(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.SolveSteady(make([]float64, 3), SolveOptions{}); err == nil {
+		t.Error("wrong power length should error")
+	}
+	if _, err := sys.SolveSteadyBatch(nil, SolveOptions{}); err == nil {
+		t.Error("empty batch should error")
+	}
+	if _, err := sys.SolveSteadyBatch([][]float64{make([]float64, 2)}, SolveOptions{}); err == nil {
+		t.Error("bad batch entry should error")
+	}
+	if _, err := sys.SolveSteady(p.Power, SolveOptions{InitialGuess: make([]float64, 2)}); err == nil {
+		t.Error("bad initial guess length should error")
+	}
+	if _, err := sys.SolveTransient(make([]float64, 2), TransientOptions{TimeStep: 1, Steps: 1}); err == nil {
+		t.Error("wrong transient power length should error")
+	}
+	// All-adiabatic steady problems remain rejected through the System path.
+	g := uniformGrid(t, 4, 4, 2, 1e-3, 1e-3, 1e-4)
+	bad := &Problem{
+		Grid:         g,
+		Conductivity: fill(g.NumCells(), 100),
+		Power:        fill(g.NumCells(), 0.01),
+	}
+	badSys, err := NewSystem(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := badSys.SolveSteady(bad.Power, SolveOptions{}); err == nil {
+		t.Error("all-adiabatic steady solve should error")
+	}
+}

@@ -1,0 +1,60 @@
+// Package parallel provides the tiny worker-pool primitive shared by the
+// batched finite-volume solves and the design-space sweeps: a bounded
+// parallel for-loop with first-error short-circuiting.
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(worker, i) for every i in [0, n), spread across up to
+// `workers` goroutines; worker ∈ [0, workers) identifies the executing
+// goroutine so callers can maintain per-worker state (solver workspaces,
+// scratch buffers). workers ≤ 1 runs serially on worker 0.
+//
+// The first error (lowest index) is returned. Once any call fails, not
+// yet dispatched indices are skipped; calls already in flight finish.
+func ForEach(workers, n int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(worker, i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package parallel
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 17} {
+		n := 100
+		hits := make([]atomic.Int32, n)
+		err := ForEach(workers, n, func(_, i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachWorkerIDsInRange(t *testing.T) {
+	const workers, n = 4, 64
+	var bad atomic.Bool
+	err := ForEach(workers, n, func(w, _ int) error {
+		if w < 0 || w >= workers {
+			bad.Store(true)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Load() {
+		t.Error("worker id outside [0, workers)")
+	}
+}
+
+func TestForEachReturnsFirstErrorAndShortCircuits(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		n := 1000
+		var calls atomic.Int32
+		err := ForEach(workers, n, func(_, i int) error {
+			calls.Add(1)
+			if i == 7 {
+				return fmt.Errorf("boom at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "boom at 7" {
+			t.Fatalf("workers=%d: err = %v, want boom at 7", workers, err)
+		}
+		// After the failure, dispatch must stop well short of n.
+		if c := calls.Load(); int(c) >= n {
+			t.Errorf("workers=%d: %d calls, short-circuit did not engage", workers, c)
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(_, _ int) error { t.Error("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

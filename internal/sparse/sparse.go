@@ -8,8 +8,6 @@ package sparse
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 )
 
 // COO is a matrix under assembly, stored as coordinate triplets with
@@ -220,34 +218,10 @@ func (m *CSR) IsSymmetric(tol float64) bool {
 }
 
 // MulVec computes dst = m · x. dst and x must have length N and must not
-// alias. For large systems the row loop is split across CPUs.
+// alias. For large systems the row loop is split across CPUs; use MulVecN
+// to control the worker count explicitly.
 func (m *CSR) MulVec(dst, x []float64) {
-	if len(dst) != m.n || len(x) != m.n {
-		panic("sparse: MulVec dimension mismatch")
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if m.n < 4096 || workers < 2 {
-		m.mulRange(dst, x, 0, m.n)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (m.n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > m.n {
-			hi = m.n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			m.mulRange(dst, x, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	m.MulVecN(dst, x, 0)
 }
 
 func (m *CSR) mulRange(dst, x []float64, lo, hi int) {
@@ -282,37 +256,21 @@ type CGOptions struct {
 	InitialGuess []float64
 }
 
-// CGResult reports how a solve went.
-type CGResult struct {
-	Iterations int
-	Residual   float64 // final relative residual ‖r‖/‖b‖
-	Converged  bool
-}
+// CGResult reports how a solve went. It is an alias of the Result type
+// shared by all Solver backends.
+type CGResult = Result
 
 // SolveCG solves A·x = b for symmetric positive definite A using the
-// conjugate gradient method with Jacobi (diagonal) preconditioning.
+// conjugate gradient method with Jacobi (diagonal) preconditioning. It is
+// a convenience wrapper over the CG Solver backend that allocates a fresh
+// solution vector per call; hot paths should hold a Solver and reuse its
+// workspace instead.
+//
+// On non-convergence the best iterate reached is returned alongside the
+// populated CGResult and a non-nil error, so callers can inspect partial
+// solutions (for example to relax the tolerance or warm-start a retry).
 func SolveCG(a *CSR, b []float64, opts CGOptions) ([]float64, CGResult, error) {
 	n := a.N()
-	if len(b) != n {
-		return nil, CGResult{}, fmt.Errorf("sparse: rhs length %d != n %d", len(b), n)
-	}
-	maxIter := opts.MaxIterations
-	if maxIter <= 0 {
-		maxIter = 10 * n
-	}
-	tol := opts.Tolerance
-	if tol <= 0 {
-		tol = 1e-9
-	}
-	diag := a.Diag()
-	invDiag := make([]float64, n)
-	for i, d := range diag {
-		if d <= 0 {
-			return nil, CGResult{}, fmt.Errorf("sparse: non-positive diagonal %g at row %d (matrix not SPD?)", d, i)
-		}
-		invDiag[i] = 1 / d
-	}
-
 	x := make([]float64, n)
 	if opts.InitialGuess != nil {
 		if len(opts.InitialGuess) != n {
@@ -320,57 +278,9 @@ func SolveCG(a *CSR, b []float64, opts CGOptions) ([]float64, CGResult, error) {
 		}
 		copy(x, opts.InitialGuess)
 	}
-
-	bNorm := Norm2(b)
-	if bNorm == 0 {
-		return x, CGResult{Converged: true}, nil
-	}
-
-	r := make([]float64, n)
-	ax := make([]float64, n)
-	a.MulVec(ax, x)
-	for i := range r {
-		r[i] = b[i] - ax[i]
-	}
-	z := make([]float64, n)
-	for i := range z {
-		z[i] = invDiag[i] * r[i]
-	}
-	p := make([]float64, n)
-	copy(p, z)
-	rz := Dot(r, z)
-	ap := make([]float64, n)
-
-	var res CGResult
-	for k := 0; k < maxIter; k++ {
-		res.Iterations = k + 1
-		a.MulVec(ap, p)
-		pap := Dot(p, ap)
-		if pap <= 0 {
-			return nil, res, fmt.Errorf("sparse: p·Ap = %g not positive at iteration %d (matrix not SPD)", pap, k)
-		}
-		alpha := rz / pap
-		for i := range x {
-			x[i] += alpha * p[i]
-			r[i] -= alpha * ap[i]
-		}
-		rNorm := Norm2(r)
-		res.Residual = rNorm / bNorm
-		if res.Residual <= tol {
-			res.Converged = true
-			return x, res, nil
-		}
-		for i := range z {
-			z[i] = invDiag[i] * r[i]
-		}
-		rzNew := Dot(r, z)
-		beta := rzNew / rz
-		rz = rzNew
-		for i := range p {
-			p[i] = z[i] + beta*p[i]
-		}
-	}
-	return x, res, fmt.Errorf("sparse: CG did not converge in %d iterations (residual %.3e)", maxIter, res.Residual)
+	s := CG{Tolerance: opts.Tolerance, MaxIterations: opts.MaxIterations}
+	res, err := s.Solve(a, b, x)
+	return x, res, err
 }
 
 // GaussSeidelSweeps applies count symmetric Gauss–Seidel sweeps to the

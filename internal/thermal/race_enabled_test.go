@@ -1,0 +1,8 @@
+//go:build race
+
+package thermal
+
+// raceEnabled mirrors the -race build flag: race runs exercise the
+// concurrent solver paths on the preview mesh, where the detector's
+// instrumentation overhead stays affordable.
+const raceEnabled = true

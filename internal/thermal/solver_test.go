@@ -1,0 +1,123 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+// previewSpec is a tiny-mesh spec for solver-equivalence tests: these
+// assert numerical agreement between code paths, not paper physics, so
+// the coarsest mesh suffices and keeps -race runs quick.
+func previewSpec(t *testing.T) Spec {
+	t.Helper()
+	spec, err := PaperSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Res = PreviewResolution()
+	spec.SolverTol = 1e-9
+	return spec
+}
+
+// TestBuildBasisParallelMatchesSerial: fanning the four unit solves
+// across a worker pool must reproduce the serial basis. Run under -race
+// this is the data-race check for the parallel BuildBasis path.
+func TestBuildBasisParallelMatchesSerial(t *testing.T) {
+	serialSpec := previewSpec(t)
+	serialSpec.Workers = 1
+	ms, err := NewModel(serialSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := ms.BuildBasis(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelSpec := previewSpec(t)
+	parallelSpec.Workers = 4
+	mp, err := NewModel(parallelSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := mp.BuildBasis(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := []struct {
+		name             string
+		serial, parallel []float64
+	}{
+		{"chip", serial.chip, parallel.chip},
+		{"vcsel", serial.vcsel, parallel.vcsel},
+		{"driver", serial.driver, parallel.driver},
+		{"heater", serial.heater, parallel.heater},
+	}
+	for _, pr := range pairs {
+		if len(pr.serial) != len(pr.parallel) {
+			t.Fatalf("%s: length %d vs %d", pr.name, len(pr.serial), len(pr.parallel))
+		}
+		for i := range pr.serial {
+			if math.Abs(pr.serial[i]-pr.parallel[i]) > 1e-9 {
+				t.Fatalf("%s basis differs at cell %d: serial %g vs parallel %g",
+					pr.name, i, pr.serial[i], pr.parallel[i])
+			}
+		}
+	}
+}
+
+// TestSolverBackendsAgreeOnModel: a full system solve must agree between
+// the Jacobi-CG and SSOR-CG backends to 1e-6 relative on the temperature
+// rise.
+func TestSolverBackendsAgreeOnModel(t *testing.T) {
+	p := Powers{Chip: 25, VCSEL: 3e-3, Driver: 3e-3, Heater: 1e-3}
+	fields := map[string][]float64{}
+	var ambient float64
+	for _, backend := range []string{"jacobi-cg", "ssor-cg"} {
+		spec := previewSpec(t)
+		spec.Solver = backend
+		m, err := NewModel(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Solve(p)
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		fields[backend] = res.T
+		ambient = spec.Ambient
+	}
+	ja, ss := fields["jacobi-cg"], fields["ssor-cg"]
+	var maxD, maxRise float64
+	for i := range ja {
+		if d := math.Abs(ja[i] - ss[i]); d > maxD {
+			maxD = d
+		}
+		if r := math.Abs(ja[i] - ambient); r > maxRise {
+			maxRise = r
+		}
+	}
+	if maxD/maxRise > 1e-6 {
+		t.Errorf("backends disagree on the model field: rel diff %.2e > 1e-6", maxD/maxRise)
+	}
+}
+
+// TestSpecSolverValidation: unknown backends and negative worker counts
+// must be rejected at spec level.
+func TestSpecSolverValidation(t *testing.T) {
+	spec := previewSpec(t)
+	spec.Solver = "multigrid"
+	if err := spec.Validate(); err == nil {
+		t.Error("unknown solver backend should fail validation")
+	}
+	spec = previewSpec(t)
+	spec.Workers = -2
+	if err := spec.Validate(); err == nil {
+		t.Error("negative worker count should fail validation")
+	}
+	spec = previewSpec(t)
+	spec.Solver = "ssor-cg"
+	spec.Workers = 2
+	if err := spec.Validate(); err != nil {
+		t.Errorf("valid solver spec rejected: %v", err)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"vcselnoc/internal/mesh"
 	"vcselnoc/internal/oni"
 	"vcselnoc/internal/scc"
+	"vcselnoc/internal/sparse"
 	"vcselnoc/internal/stack"
 )
 
@@ -56,6 +57,14 @@ func CoarseResolution() Resolution {
 	return Resolution{ONICell: 20e-6, DieCell: 2e-3, MaxZCell: 800e-6}
 }
 
+// PreviewResolution is the coarsest usable mesh (40 µm ONI cells): device
+// temperatures are only indicative, but models build and solve in a
+// fraction of a second. Quick-iteration tests (-short) and smoke runs use
+// it.
+func PreviewResolution() Resolution {
+	return Resolution{ONICell: 40e-6, DieCell: 4e-3, MaxZCell: 1.2e-3}
+}
+
 // Validate reports resolution errors.
 func (r Resolution) Validate() error {
 	if r.ONICell <= 0 || r.DieCell <= 0 || r.MaxZCell <= 0 {
@@ -86,8 +95,14 @@ type Spec struct {
 	HeaterFootprintScale float64
 	// Res selects the mesh density.
 	Res Resolution
-	// SolverTol is the CG relative tolerance (default 1e-8).
+	// SolverTol is the solver's relative tolerance (default 1e-8).
 	SolverTol float64
+	// Solver selects the sparse backend by name ("jacobi-cg", "ssor-cg");
+	// empty selects jacobi-cg.
+	Solver string
+	// Workers caps the goroutines used by parallel solves (basis building,
+	// matrix-vector products); 0 means GOMAXPROCS.
+	Workers int
 }
 
 // PaperSpec returns the spec used throughout the reproduction: SCC
@@ -142,6 +157,12 @@ func (s Spec) Validate() error {
 	if math.IsNaN(s.Ambient) || math.IsInf(s.Ambient, 0) {
 		return fmt.Errorf("thermal: invalid ambient %g", s.Ambient)
 	}
+	if s.Workers < 0 {
+		return fmt.Errorf("thermal: negative worker count %d", s.Workers)
+	}
+	if _, err := sparse.NewSolver(s.Solver); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -188,13 +209,18 @@ type deviceProbe struct {
 	isVCSEL bool
 }
 
-// Model is an assembled thermal model: mesh, conductivity and power-group
-// stencils are built once; individual solves only change the RHS.
+// Model is an assembled thermal model: mesh, conductivity, power-group
+// stencils AND the discretised finite-volume operator are built once;
+// individual solves only change the RHS. A Model is immutable after
+// NewModel and safe for concurrent solves.
 type Model struct {
 	spec    Spec
 	grid    *mesh.Grid
 	cond    []float64
 	heatCap []float64
+
+	// sys is the assembled steady operator, shared by every solve.
+	sys *fvm.System
 
 	onis []*oni.Layout
 
@@ -263,6 +289,21 @@ func NewModel(spec Spec) (*Model, error) {
 		return nil, err
 	}
 	m.topH = hEff * spec.HeatSink.BaseArea / spec.Floorplan.Die.Area()
+
+	// Assemble the finite-volume operator once: geometry, conductivity and
+	// boundaries are fixed for the model's lifetime, so every solve —
+	// direct, basis, batch or transient — reuses this System.
+	m.sys, err = fvm.NewSystem(&fvm.Problem{
+		Grid:         m.grid,
+		Conductivity: m.cond,
+		Power:        make([]float64, m.grid.NumCells()),
+		HeatCapacity: m.heatCap,
+		ZMin:         fvm.Boundary{Type: fvm.Convection, H: m.spec.BoardH, Value: m.spec.Ambient},
+		ZMax:         fvm.Boundary{Type: fvm.Convection, H: m.topH, Value: m.spec.Ambient},
+	})
+	if err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 
@@ -496,8 +537,8 @@ func (m *Model) Grid() *mesh.Grid { return m.grid }
 // ONIs exposes the generated ONI layouts.
 func (m *Model) ONIs() []*oni.Layout { return m.onis }
 
-// problem assembles an fvm.Problem for the given powers.
-func (m *Model) problem(p Powers) (*fvm.Problem, error) {
+// powerVector builds the per-cell power (W) for the given powers.
+func (m *Model) powerVector(p Powers) ([]float64, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -519,6 +560,35 @@ func (m *Model) problem(p Powers) (*fvm.Problem, error) {
 	for _, wc := range m.heaterCells {
 		power[wc.idx] += p.Heater * float64(m.heaterCount) * wc.weight
 	}
+	return power, nil
+}
+
+// solveOptions maps the spec's solver knobs onto fvm options.
+func (m *Model) solveOptions() fvm.SolveOptions {
+	return fvm.SolveOptions{
+		Tolerance: m.spec.SolverTol,
+		Solver:    m.spec.Solver,
+		Workers:   m.spec.Workers,
+	}
+}
+
+// System exposes the cached finite-volume operator (diagnostics and
+// benchmarking).
+func (m *Model) System() *fvm.System { return m.sys }
+
+// PowerVector exposes the per-cell power deposition (W per cell) for the
+// given powers — the RHS a steady solve of this model consumes.
+func (m *Model) PowerVector(p Powers) ([]float64, error) { return m.powerVector(p) }
+
+// Problem materialises a standalone fvm.Problem for the given powers.
+// Solving it with fvm.SolveSteady re-assembles the operator every call —
+// the uncached path the cached System replaces; it remains available for
+// raw access and for benchmarking assembly cost.
+func (m *Model) Problem(p Powers) (*fvm.Problem, error) {
+	power, err := m.powerVector(p)
+	if err != nil {
+		return nil, err
+	}
 	return &fvm.Problem{
 		Grid:         m.grid,
 		Conductivity: m.cond,
@@ -529,13 +599,14 @@ func (m *Model) problem(p Powers) (*fvm.Problem, error) {
 	}, nil
 }
 
-// Solve runs a direct steady-state simulation at the given powers.
+// Solve runs a direct steady-state simulation at the given powers against
+// the cached operator.
 func (m *Model) Solve(p Powers) (*Result, error) {
-	prob, err := m.problem(p)
+	power, err := m.powerVector(p)
 	if err != nil {
 		return nil, err
 	}
-	sol, err := fvm.SolveSteady(prob, fvm.SolveOptions{Tolerance: m.spec.SolverTol})
+	sol, err := m.sys.SolveSteady(power, m.solveOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -691,7 +762,7 @@ type TransientSpec struct {
 // fixed powers (e.g. to watch the ONIs warm up after the lasers switch
 // on). It returns the final state.
 func (m *Model) SolveTransient(p Powers, ts TransientSpec) (*Result, error) {
-	prob, err := m.problem(p)
+	power, err := m.powerVector(p)
 	if err != nil {
 		return nil, err
 	}
@@ -700,6 +771,8 @@ func (m *Model) SolveTransient(p Powers, ts TransientSpec) (*Result, error) {
 		Steps:          ts.Steps,
 		InitialUniform: m.spec.Ambient,
 		Tolerance:      m.spec.SolverTol,
+		Solver:         m.spec.Solver,
+		Workers:        m.spec.Workers,
 	}
 	if ts.Initial != nil {
 		if len(ts.Initial.T) != m.grid.NumCells() {
@@ -710,17 +783,15 @@ func (m *Model) SolveTransient(p Powers, ts TransientSpec) (*Result, error) {
 	}
 	if ts.Snapshot != nil {
 		opts.Snapshot = func(step int, tm float64, field []float64) {
-			// Reports are read-only snapshots: copy the field so later
-			// steps cannot mutate it under the callback's feet.
-			snap := make([]float64, len(field))
-			copy(snap, field)
-			r, err := m.report(snap, p)
+			// field is a per-step copy owned by this callback, so the
+			// report can keep it as its T without further copying.
+			r, err := m.report(field, p)
 			if err == nil {
 				ts.Snapshot(step, tm, r)
 			}
 		}
 	}
-	sol, err := fvm.SolveTransient(prob, opts)
+	sol, err := m.sys.SolveTransient(power, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -737,46 +808,52 @@ type Basis struct {
 }
 
 // BuildBasis performs the four unit solves for the given activity shape.
+// The solves share the model's cached operator and are fanned out across
+// the spec's worker pool as one batched multi-RHS solve, each worker
+// reusing its own solver workspace.
 func (m *Model) BuildBasis(act activity.Scenario) (*Basis, error) {
 	if act == nil {
 		act = activity.Uniform{}
 	}
 	b := &Basis{model: m, activity: act}
-	unit := func(p Powers) ([]float64, error) {
-		prob, err := m.problem(p)
+	groups := []struct {
+		name   string
+		powers Powers
+		dst    *[]float64
+	}{
+		{"chip", Powers{Chip: 1, Activity: act}, &b.chip},
+		{"vcsel", Powers{VCSEL: 1 / float64(m.vcselCount)}, &b.vcsel},
+		{"driver", Powers{Driver: 1 / float64(m.vcselCount)}, &b.driver},
+		{"heater", Powers{Heater: 1 / float64(m.heaterCount)}, &b.heater},
+	}
+	batch := make([][]float64, len(groups))
+	for i, g := range groups {
+		power, err := m.powerVector(g.powers)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("thermal: %s basis: %w", g.name, err)
 		}
-		sol, err := fvm.SolveSteady(prob, fvm.SolveOptions{Tolerance: m.spec.SolverTol})
-		if err != nil {
-			return nil, err
-		}
+		batch[i] = power
+	}
+	sols, err := m.sys.SolveSteadyBatch(batch, m.solveOptions())
+	if err != nil {
+		return nil, fmt.Errorf("thermal: basis solves: %w", err)
+	}
+	for i, g := range groups {
 		// Store the rise relative to ambient.
-		rise := make([]float64, len(sol.T))
-		for i, t := range sol.T {
-			rise[i] = t - m.spec.Ambient
+		rise := make([]float64, len(sols[i].T))
+		for j, t := range sols[i].T {
+			rise[j] = t - m.spec.Ambient
 		}
-		return rise, nil
-	}
-	var err error
-	if b.chip, err = unit(Powers{Chip: 1, Activity: act}); err != nil {
-		return nil, fmt.Errorf("thermal: chip basis: %w", err)
-	}
-	if b.vcsel, err = unit(Powers{VCSEL: 1 / float64(m.vcselCount)}); err != nil {
-		return nil, fmt.Errorf("thermal: vcsel basis: %w", err)
-	}
-	if b.driver, err = unit(Powers{Driver: 1 / float64(m.vcselCount)}); err != nil {
-		return nil, fmt.Errorf("thermal: driver basis: %w", err)
-	}
-	if b.heater, err = unit(Powers{Heater: 1 / float64(m.heaterCount)}); err != nil {
-		return nil, fmt.Errorf("thermal: heater basis: %w", err)
+		*g.dst = rise
 	}
 	return b, nil
 }
 
 // Evaluate combines the basis fields for the given powers. The activity
 // shape must match the one the basis was built with; Evaluate enforces the
-// Chip/VCSEL/Driver/Heater scaling only.
+// Chip/VCSEL/Driver/Heater scaling only. Evaluate only reads the basis and
+// model, so it is safe to call concurrently from many goroutines — the
+// property the parallel design-space sweeps rely on.
 func (b *Basis) Evaluate(p Powers) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err

@@ -38,6 +38,7 @@ import (
 	"vcselnoc/internal/photodiode"
 	"vcselnoc/internal/scc"
 	"vcselnoc/internal/snr"
+	"vcselnoc/internal/sparse"
 	"vcselnoc/internal/stack"
 	"vcselnoc/internal/thermal"
 	"vcselnoc/internal/vcsel"
@@ -74,6 +75,40 @@ func New() (*Methodology, error) { return core.New() }
 // NewWithSpec builds the methodology from an explicit specification.
 func NewWithSpec(spec ThermalSpec, cfg SNRConfig) (*Methodology, error) {
 	return core.NewWithSpec(spec, cfg)
+}
+
+// Options tunes the paper's operating point without spelling out a full
+// specification: mesh density, sparse solver backend and parallelism.
+type Options struct {
+	// Res selects the mesh density; the zero value keeps the FastResolution
+	// default of PaperSpec.
+	Res Resolution
+	// Solver selects the sparse backend by name (SolverJacobiCG,
+	// SolverSSORCG); empty selects Jacobi-CG.
+	Solver string
+	// Workers caps the goroutines used by parallel solves and design-space
+	// sweeps; 0 means GOMAXPROCS.
+	Workers int
+	// SolverTol overrides the 1e-8 relative solver tolerance when > 0.
+	SolverTol float64
+}
+
+// NewWithOptions builds the methodology at the paper's operating point
+// with solver and parallelism overrides.
+func NewWithOptions(o Options) (*Methodology, error) {
+	spec, err := thermal.PaperSpec()
+	if err != nil {
+		return nil, err
+	}
+	if o.Res != (Resolution{}) {
+		spec.Res = o.Res
+	}
+	spec.Solver = o.Solver
+	spec.Workers = o.Workers
+	if o.SolverTol > 0 {
+		spec.SolverTol = o.SolverTol
+	}
+	return core.NewWithSpec(spec, snr.DefaultConfig())
 }
 
 // Thermal simulation layer.
@@ -295,14 +330,29 @@ func ActivityByName(name string, seed int64) (ActivityScenario, error) {
 type (
 	// FVMProblem is a raw finite-volume conduction problem.
 	FVMProblem = fvm.Problem
+	// FVMSystem is an assembled conduction operator, reusable across every
+	// solve that shares geometry and boundaries (steady, batch, transient).
+	FVMSystem = fvm.System
 	// FVMSolution is a solved temperature field.
 	FVMSolution = fvm.Solution
 	// FVMBoundary describes one domain face's condition.
 	FVMBoundary = fvm.Boundary
-	// FVMSolveOptions configures a steady solve.
+	// FVMSolveOptions configures a steady solve (tolerance, backend,
+	// workers).
 	FVMSolveOptions = fvm.SolveOptions
 	// FVMTransientOptions configures a raw transient run.
 	FVMTransientOptions = fvm.TransientOptions
+	// SparseSolver is a pluggable SPD linear solver backend.
+	SparseSolver = sparse.Solver
+	// SparseSolverConfig selects and parameterises a solver backend.
+	SparseSolverConfig = sparse.Config
+	// SparseResult reports how an iterative solve went.
+	SparseResult = sparse.Result
+	// SparseWorkspace is reusable solver scratch space for allocation-free
+	// repeated solves.
+	SparseWorkspace = sparse.Workspace
+	// SparseCSR is a compressed-sparse-row matrix.
+	SparseCSR = sparse.CSR
 	// MeshGrid is a structured non-uniform grid.
 	MeshGrid = mesh.Grid
 	// MeshAxisBuilder accumulates breakpoints/refinements for one axis.
@@ -327,6 +377,22 @@ const (
 	Convection = fvm.Convection
 	Dirichlet  = fvm.Dirichlet
 )
+
+// Sparse solver backends.
+const (
+	SolverJacobiCG = sparse.BackendJacobiCG
+	SolverSSORCG   = sparse.BackendSSORCG
+)
+
+// SolverBackends lists the available sparse solver backends.
+func SolverBackends() []string { return sparse.Backends() }
+
+// NewSparseSolver builds a configured sparse solver backend.
+func NewSparseSolver(c SparseSolverConfig) (SparseSolver, error) { return c.New() }
+
+// NewFVMSystem assembles a problem's conduction operator once for reuse
+// across many solves (steady, batched multi-RHS, transient).
+func NewFVMSystem(p *FVMProblem) (*FVMSystem, error) { return fvm.NewSystem(p) }
 
 // SolveSteady solves a raw steady-state conduction problem.
 func SolveSteady(p *FVMProblem, opts fvm.SolveOptions) (*FVMSolution, error) {
