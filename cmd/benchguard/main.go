@@ -1,0 +1,224 @@
+// Command benchguard turns `go test -bench` output into a machine-readable
+// benchmark artifact and gates performance regressions against a committed
+// baseline. CI runs the solver benchmarks at preview resolution, feeds the
+// text output through this tool, uploads the resulting BENCH_*.json, and
+// fails the build when any benchmark slowed down by more than the allowed
+// ratio relative to bench/BENCH_baseline.json.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Solver|BuildBasis' -benchtime 1x . | \
+//	    benchguard -baseline bench/BENCH_baseline.json -out BENCH_preview.json
+//
+// Flags:
+//
+//	-input      bench output file ("-" or empty reads stdin)
+//	-baseline   committed baseline JSON; "" skips the comparison
+//	-out        artifact to write; "" skips writing
+//	-max-ratio  failure threshold on ns/op vs baseline (default 2.0)
+//	-max-metric-ratio  threshold on custom metrics like iters/solve (1.5)
+//	-resolution mesh-resolution tag stamped into the artifact
+//	-write-baseline  overwrite the baseline with this run and exit
+//
+// Wall-clock (ns/op) gets the loose 2x gate because the committed
+// baseline and the CI runner are different machines; the iters/solve
+// metric the solver benches emit is machine-independent, so it gets the
+// tight gate and is the reliable solver-regression signal. Benchmarks
+// present in only one of run/baseline are reported but never fail the
+// gate, so adding or retiring benchmarks does not require lockstep
+// baseline updates.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's measurements: ns/op plus any custom metrics
+// (e.g. the solver benches' iters/solve).
+type Entry struct {
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Artifact is the JSON document benchguard reads and writes.
+type Artifact struct {
+	// Resolution records the mesh resolution the benches ran at (from
+	// VCSELNOC_BENCH_RES), so artifacts from different tiers are never
+	// compared by accident.
+	Resolution string           `json:"resolution"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+func main() {
+	input := flag.String("input", "", "bench output file (empty or - = stdin)")
+	baseline := flag.String("baseline", "", "baseline JSON to compare against")
+	out := flag.String("out", "", "artifact JSON to write")
+	maxRatio := flag.Float64("max-ratio", 2.0, "fail when ns/op exceeds baseline by this ratio")
+	maxMetricRatio := flag.Float64("max-metric-ratio", 1.5, "fail when a custom metric (e.g. iters/solve) exceeds baseline by this ratio")
+	resolution := flag.String("resolution", benchRes(), "mesh resolution tag recorded in the artifact (defaults to VCSELNOC_BENCH_RES or fast)")
+	writeBaseline := flag.Bool("write-baseline", false, "overwrite the baseline with this run and exit")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("benchguard: ")
+
+	var r io.Reader = os.Stdin
+	if *input != "" && *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	art, err := parse(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	art.Resolution = *resolution
+	if len(art.Benchmarks) == 0 {
+		log.Fatal("no benchmark lines found in input")
+	}
+	if *writeBaseline {
+		if *baseline == "" {
+			log.Fatal("-write-baseline needs -baseline")
+		}
+		if err := writeJSON(*baseline, art); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("baseline %s rewritten with %d benchmarks\n", *baseline, len(art.Benchmarks))
+		return
+	}
+	if *out != "" {
+		if err := writeJSON(*out, art); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *baseline == "" {
+		return
+	}
+	base, err := readJSON(*baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if base.Resolution != art.Resolution {
+		log.Fatalf("baseline resolution %q does not match run resolution %q", base.Resolution, art.Resolution)
+	}
+	failed := false
+	for name, e := range art.Benchmarks {
+		b, ok := base.Benchmarks[name]
+		if !ok {
+			fmt.Printf("NEW   %-45s %12.0f ns/op (no baseline)\n", name, e.NsPerOp)
+			continue
+		}
+		ratio := e.NsPerOp / b.NsPerOp
+		verdict := "ok   "
+		if ratio > *maxRatio {
+			verdict = "FAIL "
+			failed = true
+		}
+		fmt.Printf("%s %-45s %12.0f ns/op  baseline %12.0f  ratio %.2fx\n", verdict, name, e.NsPerOp, b.NsPerOp, ratio)
+		// Custom metrics (iters/solve) are machine-independent, so they
+		// get a tighter gate than wall-clock — an iteration-count jump is
+		// a solver regression regardless of runner speed.
+		for unit, v := range e.Metrics {
+			bv, ok := b.Metrics[unit]
+			if !ok || bv == 0 {
+				continue
+			}
+			mr := v / bv
+			if mr > *maxMetricRatio {
+				failed = true
+				fmt.Printf("FAIL  %-45s %12.3f %s  baseline %12.3f  ratio %.2fx\n", name, v, unit, bv, mr)
+			}
+		}
+	}
+	for name := range base.Benchmarks {
+		if _, ok := art.Benchmarks[name]; !ok {
+			fmt.Printf("GONE  %-45s (in baseline, not in run)\n", name)
+		}
+	}
+	if failed {
+		log.Fatalf("benchmark regression over %.1fx detected", *maxRatio)
+	}
+}
+
+// parse extracts benchmark result lines of the form
+//
+//	BenchmarkName/sub-8   1   123456 ns/op   5.000 iters/solve
+//
+// from go test output. The trailing -N GOMAXPROCS suffix is stripped so
+// results compare across machines with different core counts.
+func parse(r io.Reader) (*Artifact, error) {
+	art := &Artifact{Resolution: benchRes(), Benchmarks: map[string]Entry{}}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		e := Entry{Metrics: map[string]float64{}}
+		ok := false
+		// fields[1] is the iteration count; value/unit pairs follow.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				e.NsPerOp = v
+				ok = true
+			default:
+				e.Metrics[unit] = v
+			}
+		}
+		if ok {
+			if len(e.Metrics) == 0 {
+				e.Metrics = nil
+			}
+			art.Benchmarks[name] = e
+		}
+	}
+	return art, sc.Err()
+}
+
+func benchRes() string {
+	if res := os.Getenv("VCSELNOC_BENCH_RES"); res != "" {
+		return res
+	}
+	return "fast"
+}
+
+func readJSON(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	art := &Artifact{}
+	if err := json.Unmarshal(data, art); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return art, nil
+}
+
+func writeJSON(path string, art *Artifact) error {
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

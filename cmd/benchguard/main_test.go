@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: vcselnoc
+BenchmarkSolverBackends/mg-cg-8         	       1	 543166938 ns/op	         5.000 iters/solve
+BenchmarkBuildBasis/cached-batch-16     	       2	 710932192 ns/op
+BenchmarkWeird	garbage line that must be skipped
+PASS
+ok  	vcselnoc	4.958s
+`
+	art, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(art.Benchmarks), art.Benchmarks)
+	}
+	mg, ok := art.Benchmarks["BenchmarkSolverBackends/mg-cg"]
+	if !ok {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+	if mg.NsPerOp != 543166938 {
+		t.Errorf("ns/op = %g", mg.NsPerOp)
+	}
+	if mg.Metrics["iters/solve"] != 5 {
+		t.Errorf("iters/solve metric = %g", mg.Metrics["iters/solve"])
+	}
+	bb := art.Benchmarks["BenchmarkBuildBasis/cached-batch"]
+	if bb.NsPerOp != 710932192 || bb.Metrics != nil {
+		t.Errorf("cached-batch entry wrong: %+v", bb)
+	}
+}

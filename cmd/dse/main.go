@@ -7,18 +7,20 @@
 //
 //	dse [-res fast] [-chip 25] [-activity uniform] [-seed 1]
 //	    [-mode all|temps|heater|feasible]
-//	    [-solver jacobi-cg|ssor-cg] [-workers 0]
+//	    [-solver jacobi-cg|ssor-cg|mg-cg] [-workers 0]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"vcselnoc/internal/activity"
 	"vcselnoc/internal/core"
 	"vcselnoc/internal/dse"
 	"vcselnoc/internal/snr"
+	"vcselnoc/internal/sparse"
 	"vcselnoc/internal/thermal"
 )
 
@@ -28,7 +30,7 @@ func main() {
 	act := flag.String("activity", "uniform", "chip activity scenario")
 	seed := flag.Int64("seed", 1, "seed for the random activity")
 	mode := flag.String("mode", "all", "exploration: all, temps, heater, feasible")
-	solver := flag.String("solver", "", "sparse backend: jacobi-cg (default) or ssor-cg")
+	solver := flag.String("solver", "", "sparse backend: one of "+strings.Join(sparse.Backends(), ", ")+" (default jacobi-cg)")
 	workers := flag.Int("workers", 0, "parallel solver/sweep workers (0 = all CPUs)")
 	flag.Parse()
 

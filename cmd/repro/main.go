@@ -4,7 +4,7 @@
 // Usage:
 //
 //	repro [-res coarse|fast|paper] [-experiment all|fig8|fig9a|fig9b|fig10|fig12|xbar|table1]
-//	      [-solver jacobi-cg|ssor-cg] [-workers 0]
+//	      [-solver jacobi-cg|ssor-cg|mg-cg] [-workers 0]
 //
 // The fast (10 µm) resolution reproduces the paper's trends in a few
 // minutes; paper (5 µm) matches the published meshing strategy but takes
@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"vcselnoc/internal/activity"
@@ -25,6 +26,7 @@ import (
 	"vcselnoc/internal/ornoc"
 	"vcselnoc/internal/photodiode"
 	"vcselnoc/internal/snr"
+	"vcselnoc/internal/sparse"
 	"vcselnoc/internal/thermal"
 	"vcselnoc/internal/vcsel"
 	"vcselnoc/internal/waveguide"
@@ -34,7 +36,7 @@ import (
 func main() {
 	res := flag.String("res", "fast", "mesh resolution: coarse, fast or paper")
 	exp := flag.String("experiment", "all", "which experiment to run: all, table1, fig5b, fig8, fig9a, fig9b, fig10, fig12, xbar")
-	solver := flag.String("solver", "", "sparse backend: jacobi-cg (default) or ssor-cg")
+	solver := flag.String("solver", "", "sparse backend: one of "+strings.Join(sparse.Backends(), ", ")+" (default jacobi-cg)")
 	workers := flag.Int("workers", 0, "parallel solver/sweep workers (0 = all CPUs)")
 	flag.Parse()
 

@@ -7,7 +7,7 @@
 //	thermalmap [-chip 25] [-pvcsel 3.6e-3] [-pheater 1.08e-3]
 //	           [-activity uniform] [-seed 1] [-res fast]
 //	           [-layer optical] [-csv out.csv] [-width 100]
-//	           [-solver jacobi-cg|ssor-cg] [-workers 0]
+//	           [-solver jacobi-cg|ssor-cg|mg-cg] [-workers 0]
 package main
 
 import (
@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"vcselnoc/internal/activity"
+	"vcselnoc/internal/sparse"
 	"vcselnoc/internal/thermal"
 )
 
@@ -30,7 +32,7 @@ func main() {
 	layer := flag.String("layer", "optical", "stack layer to render")
 	csvPath := flag.String("csv", "", "write the map as CSV to this path instead of ASCII")
 	width := flag.Int("width", 100, "ASCII map width in characters")
-	solver := flag.String("solver", "", "sparse backend: jacobi-cg (default) or ssor-cg")
+	solver := flag.String("solver", "", "sparse backend: one of "+strings.Join(sparse.Backends(), ", ")+" (default jacobi-cg)")
 	workers := flag.Int("workers", 0, "parallel solver workers (0 = all CPUs)")
 	flag.Parse()
 

@@ -13,12 +13,15 @@
 package fvm
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"sync"
 
 	"vcselnoc/internal/geom"
 	"vcselnoc/internal/mesh"
+	"vcselnoc/internal/mg"
 	"vcselnoc/internal/parallel"
 	"vcselnoc/internal/sparse"
 )
@@ -155,6 +158,16 @@ type System struct {
 	heatCap []float64
 	// hasFix records whether any boundary pins the temperature level.
 	hasFix bool
+
+	// hint carries the grid geometry to geometry-aware sparse backends
+	// (geometric multigrid needs the mesh behind the matrix).
+	hint sparse.GridHint
+	// mgOnce/mgHier/mgErr lazily cache one multigrid hierarchy for the
+	// steady operator, shared by every mg-cg solve of this system —
+	// batched, blocked and repeated solves pay the Galerkin setup once.
+	mgOnce sync.Once
+	mgHier *mg.Hierarchy
+	mgErr  error
 }
 
 // NewSystem validates the problem and assembles its operator once. The
@@ -382,6 +395,7 @@ func (p *Problem) assemble() (*System, error) {
 		boundaryGT:  boundaryGT,
 		heatCap:     p.HeatCapacity,
 		hasFix:      p.hasFixingBoundary(),
+		hint:        sparse.GridHint{X: g.X, Y: g.Y, Z: g.Z},
 	}, nil
 }
 
@@ -393,8 +407,8 @@ type SolveOptions struct {
 	MaxIterations int
 	// InitialGuess optionally warm-starts the solver (length = cells).
 	InitialGuess []float64
-	// Solver selects the sparse backend by name ("jacobi-cg", "ssor-cg");
-	// empty selects jacobi-cg.
+	// Solver selects the sparse backend by name ("jacobi-cg", "ssor-cg",
+	// "mg-cg"); empty selects jacobi-cg.
 	Solver string
 	// Workers caps the goroutines used for matrix-vector products and for
 	// fanning out batched solves; 0 means GOMAXPROCS.
@@ -413,6 +427,40 @@ func (o SolveOptions) newSolver() (sparse.Solver, error) {
 		MaxIterations: o.MaxIterations,
 		Workers:       o.Workers,
 	}.New()
+}
+
+// hierarchy lazily builds the system's shared multigrid hierarchy (default
+// coarsening options, matching the solvers newSolver constructs).
+func (s *System) hierarchy() (*mg.Hierarchy, error) {
+	s.mgOnce.Do(func() {
+		s.mgHier, s.mgErr = mg.BuildHierarchy(s.matrix, s.hint, mg.Options{})
+	})
+	return s.mgHier, s.mgErr
+}
+
+// solverFor builds the backend described by the options and wires the
+// system's geometry into it: grid-aware solvers receive the mesh hint,
+// and mg-cg solvers of the steady operator additionally share the
+// system's cached hierarchy so parallel workers do not each redo the
+// Galerkin setup. Transient solves pass shareHierarchy=false — they run
+// on the diagonal-bumped matrix, for which the steady hierarchy is
+// useless; the mg backend builds its own from the grid hint instead.
+func (s *System) solverFor(opts SolveOptions, shareHierarchy bool) (sparse.Solver, error) {
+	solver, err := opts.newSolver()
+	if err != nil {
+		return nil, err
+	}
+	if gs, ok := solver.(sparse.GridSolver); ok {
+		gs.SetGridHint(s.hint)
+	}
+	if ms, ok := solver.(*mg.Solver); ok && shareHierarchy {
+		h, err := s.hierarchy()
+		if err != nil {
+			return nil, err
+		}
+		ms.SetHierarchy(h)
+	}
+	return solver, nil
 }
 
 // Solution is a computed temperature field.
@@ -442,7 +490,7 @@ func SolveSteady(p *Problem, opts SolveOptions) (*Solution, error) {
 // SolveSteady solves the steady problem for one per-cell power vector
 // (watts per cell, length N) against the cached operator.
 func (s *System) SolveSteady(power []float64, opts SolveOptions) (*Solution, error) {
-	solver, err := opts.newSolver()
+	solver, err := s.solverFor(opts, true)
 	if err != nil {
 		return nil, err
 	}
@@ -503,7 +551,7 @@ func (s *System) SolveSteadyBatch(powers [][]float64, opts SolveOptions) ([]*Sol
 	solvers := make([]sparse.Solver, workers)
 	rhsBufs := make([][]float64, workers)
 	for w := range solvers {
-		solver, err := opts.newSolver()
+		solver, err := s.solverFor(opts, true)
 		if err != nil {
 			return nil, err
 		}
@@ -521,6 +569,104 @@ func (s *System) SolveSteadyBatch(powers [][]float64, opts SolveOptions) ([]*Sol
 	})
 	if err != nil {
 		return nil, err
+	}
+	return sols, nil
+}
+
+// SolveSteadyBlock solves many power vectors against the cached operator
+// as ONE block-Krylov solve: all right-hand sides advance through a shared
+// block conjugate gradient, so every matrix pass feeds every column
+// (sparse.MulVecBlockN) and the columns exchange search directions — the
+// batched basis build converges in fewer, cheaper iterations than
+// len(powers) independent solves. Every column gets its own multigrid
+// V-cycle preconditioner — all sharing the system's cached hierarchy — and
+// the applications run concurrently inside each block iteration.
+//
+// Block Krylov pays off when the preconditioner dominates the iteration
+// and the iteration count is small, which is the mg-cg profile; for the
+// cheap Jacobi/SSOR preconditioners the hundreds of interleaved block
+// iterations cost more than len(powers) embarrassingly parallel solves,
+// so every other backend transparently delegates to SolveSteadyBatch (as
+// does a block whose search directions lose rank mid-solve — numerically
+// dependent right-hand sides). The result contract is identical either
+// way: one Solution per power vector, in input order.
+func (s *System) SolveSteadyBlock(powers [][]float64, opts SolveOptions) ([]*Solution, error) {
+	if len(powers) == 0 {
+		return nil, fmt.Errorf("fvm: empty power block")
+	}
+	if !s.hasFix {
+		return nil, fmt.Errorf("fvm: steady problem needs at least one convection or Dirichlet boundary (all faces adiabatic)")
+	}
+	probe, err := opts.newSolver()
+	if err != nil {
+		return nil, err
+	}
+	if _, isMG := probe.(*mg.Solver); !isMG {
+		// Cheap-preconditioner backend: the parallel batch is faster.
+		return s.SolveSteadyBatch(powers, opts)
+	}
+	n := s.matrix.N()
+	if opts.InitialGuess != nil && len(opts.InitialGuess) != n {
+		return nil, fmt.Errorf("fvm: initial guess has %d entries, want %d", len(opts.InitialGuess), n)
+	}
+	bs := make([][]float64, len(powers))
+	xs := make([][]float64, len(powers))
+	totals := make([]float64, len(powers))
+	for c, power := range powers {
+		if len(power) != n {
+			return nil, fmt.Errorf("fvm: block power %d has %d entries, want %d", c, len(power), n)
+		}
+		rhs := make([]float64, n)
+		var total float64
+		for i, q := range power {
+			rhs[i] = s.rhsBoundary[i] + q
+			total += q
+		}
+		bs[c], totals[c] = rhs, total
+		xs[c] = make([]float64, n)
+		if opts.InitialGuess != nil {
+			copy(xs[c], opts.InitialGuess)
+		}
+	}
+	// One preconditioner per column lets BlockCG apply the V-cycles
+	// concurrently; Workers == 1 keeps the solve single-threaded by
+	// sharing one instance (applied serially), honouring the knob's
+	// CPU-bounding contract.
+	numPreconds := len(powers)
+	if opts.Workers == 1 {
+		numPreconds = 1
+	}
+	preconds := make([]func(z, r []float64), numPreconds)
+	for c := range preconds {
+		solver, err := s.solverFor(opts, true)
+		if err != nil {
+			return nil, err
+		}
+		pc := solver.(sparse.Preconditioned) // probed above; same opts
+		preconds[c], err = pc.Preconditioner(s.matrix)
+		if err != nil {
+			return nil, fmt.Errorf("fvm: block steady solve: %w", err)
+		}
+	}
+	tol := opts.Tolerance
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	stats, err := sparse.BlockCG(s.matrix, bs, xs, preconds, tol, opts.MaxIterations, opts.Workers)
+	if err != nil {
+		if errors.Is(err, sparse.ErrBlockBreakdown) {
+			// Rank loss: the columns' Krylov spaces merged. Independent
+			// solves cannot break down this way.
+			return s.SolveSteadyBatch(powers, opts)
+		}
+		return nil, fmt.Errorf("fvm: block steady solve failed: %w", err)
+	}
+	sols := make([]*Solution, len(powers))
+	for c := range sols {
+		sols[c] = &Solution{
+			Grid: s.grid, T: xs[c], Stats: stats[c],
+			boundaryG: s.boundaryG, boundaryGT: s.boundaryGT, totalPower: totals[c],
+		}
 	}
 	return sols, nil
 }
@@ -630,8 +776,8 @@ type TransientOptions struct {
 	InitialUniform float64
 	// Tolerance is the per-step solver tolerance (default 1e-8).
 	Tolerance float64
-	// Solver selects the sparse backend by name ("jacobi-cg", "ssor-cg");
-	// empty selects jacobi-cg.
+	// Solver selects the sparse backend by name ("jacobi-cg", "ssor-cg",
+	// "mg-cg"); empty selects jacobi-cg.
 	Solver string
 	// Workers caps the goroutines used for matrix-vector products; 0 means
 	// GOMAXPROCS.
@@ -704,11 +850,11 @@ func (s *System) SolveTransient(power []float64, opts TransientOptions) (*Soluti
 			t[i] = opts.InitialUniform
 		}
 	}
-	solver, err := SolveOptions{
+	solver, err := s.solverFor(SolveOptions{
 		Tolerance: opts.Tolerance,
 		Solver:    opts.Solver,
 		Workers:   opts.Workers,
-	}.newSolver()
+	}, false)
 	if err != nil {
 		return nil, err
 	}

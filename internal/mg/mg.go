@@ -1,0 +1,809 @@
+// Package mg implements a geometric-multigrid preconditioned conjugate
+// gradient backend ("mg-cg") for the structured-grid SPD systems the FVM
+// thermal solver assembles. One V-cycle over a semicoarsened mesh
+// hierarchy per CG iteration makes the iteration count roughly independent
+// of mesh resolution, turning paper-resolution steady solves from
+// O(n·√κ) into near-O(n).
+//
+// The hierarchy semicoarsens the lateral axes only — x and y grid lines
+// are thinned 2:1 while the thin, strongly non-uniform z stack (BCB,
+// copper, heater layers) is kept at full resolution, which preserves the
+// vertical material structure the paper's package model lives on. Coarse
+// operators are Galerkin (RAP) products of the assembled fine matrix, so
+// material discontinuities are carried down the hierarchy without any
+// re-discretisation; transfer operators are tensor-product linear
+// interpolation between cell centres (prolongation) and its transpose
+// (full-weighting restriction). Levels are smoothed with symmetric z-line
+// relaxation by default — exact tridiagonal (Thomas) solves along each
+// vertical cell column, the robust partner of lateral semicoarsening on
+// stacks whose µm-thin layers couple far more strongly in z than in the
+// plane — with the ssor-cg backend's point-SSOR sweep available as an
+// alternative. The coarsest level is solved nearly exactly with SSOR-CG
+// so the V-cycle stays a fixed SPD operator, as the outer CG requires.
+//
+// The backend registers itself with the sparse solver registry under
+// sparse.BackendMGCG; it needs the mesh geometry behind the matrix, which
+// callers supply through sparse.GridSolver.SetGridHint (fvm.System does
+// this automatically and additionally shares one cached Hierarchy across
+// batched and blocked solves).
+package mg
+
+import (
+	"fmt"
+	"sort"
+
+	"vcselnoc/internal/sparse"
+)
+
+func init() {
+	sparse.RegisterBackend(sparse.BackendMGCG, func(c sparse.Config) (sparse.Solver, error) {
+		return New(Options{
+			Tolerance:     c.Tolerance,
+			MaxIterations: c.MaxIterations,
+			Workers:       c.Workers,
+			Omega:         c.Omega,
+			Levels:        c.MGLevels,
+			Smooth:        c.MGSmooth,
+			CoarseTol:     c.MGCoarseTol,
+		}), nil
+	})
+}
+
+// Options parameterises the mg-cg backend. The zero value is a good
+// default for FVM conduction systems.
+type Options struct {
+	// Tolerance is the outer CG relative residual target; 0 means 1e-9.
+	Tolerance float64
+	// MaxIterations bounds the outer CG iterations; 0 means 10·n.
+	MaxIterations int
+	// Workers caps the goroutines used by matrix-vector products; 0 means
+	// GOMAXPROCS. Smoother sweeps are inherently serial.
+	Workers int
+	// Levels caps the hierarchy depth including the finest level; 0
+	// coarsens until the lateral grid is a few cells wide. Levels = 1
+	// degenerates into a (costly) near-exact solve of the fine system per
+	// V-cycle — useful for debugging only.
+	Levels int
+	// Smooth is the number of pre- and post-smoothing sweeps per V-cycle
+	// side; 0 means 1.
+	Smooth int
+	// Smoother selects the relaxation scheme: SmootherZLine (default)
+	// solves each vertical cell column exactly per sweep — the robust
+	// partner of lateral semicoarsening on strongly z-coupled stacks —
+	// while SmootherSSOR is the point sweep the ssor-cg backend uses.
+	Smoother string
+	// Omega is the SSOR smoother relaxation factor in (0, 2); 0 means 1.0
+	// (symmetric Gauss–Seidel), the robust choice for smoothing. Ignored
+	// by the z-line smoother.
+	Omega float64
+	// CoarseTol is the relative tolerance of the coarsest-level SSOR-CG
+	// solve; 0 means 1e-12, effectively exact.
+	CoarseTol float64
+	// Cycle is the cycle index γ: 1 is a V-cycle (default), 2 a W-cycle —
+	// each level visits the next coarser one twice, which stops
+	// convergence from degrading with hierarchy depth at modest extra
+	// cost (semicoarsening shrinks levels 4×, so γ=2 still geometrically
+	// decreases work per level).
+	Cycle int
+}
+
+// Smoother names accepted by Options.Smoother.
+const (
+	SmootherZLine = "zline"
+	SmootherSSOR  = "ssor"
+)
+
+func (o Options) withDefaults() Options {
+	if o.Smooth <= 0 {
+		o.Smooth = 1
+	}
+	if o.Smoother == "" {
+		o.Smoother = SmootherZLine
+	}
+	if o.Cycle <= 0 {
+		o.Cycle = 1
+	}
+	if o.Omega == 0 {
+		o.Omega = 1.0
+	}
+	if o.CoarseTol <= 0 {
+		o.CoarseTol = 1e-12
+	}
+	if o.Levels <= 0 {
+		o.Levels = 64 // effectively unlimited; coarsening stops geometrically
+	}
+	return o
+}
+
+// minCoarsenCells is the per-axis cell count below which an axis is no
+// longer coarsened, and lateralTargetCells stops the hierarchy once the
+// x-y plane is small enough that the near-exact coarse solve (lateral ×
+// the fixed z stack) is cheap.
+const (
+	minCoarsenCells    = 4
+	lateralTargetCells = 20
+)
+
+// axisInterp is the 1D cell-centred transfer operator of one axis: fine
+// cell i interpolates linearly between the two coarse cells whose centres
+// bracket it. It doubles as its own adjoint via the rev lists
+// (full-weighting restriction).
+type axisInterp struct {
+	nc int
+	// lo/hi are the coarse source cells of each fine cell; hi == lo with
+	// whi == 0 where a single source suffices (domain ends, identity).
+	lo, hi   []int32
+	wlo, whi []float64
+	// rev lists the fine contributors of each coarse cell (the transpose
+	// structure, used by restriction and the Galerkin product).
+	rev  [][]int32
+	revW [][]float64
+}
+
+// centersOf returns the cell-centre coordinates of a line set.
+func centersOf(lines []float64) []float64 {
+	c := make([]float64, len(lines)-1)
+	for i := range c {
+		c[i] = (lines[i] + lines[i+1]) / 2
+	}
+	return c
+}
+
+// coarsenLines merges adjacent cells pairwise, keeping coarse lines a
+// subset of fine ones. The merge is size-adaptive: a pair only fuses while
+// both cells are within pairRatioCap of the axis' current finest cell, so
+// on the strongly graded floorplan meshes this code exists for (runs of
+// ~10 µm device cells separated by ~900 µm gap cells) the fine runs halve
+// level by level while the already-coarse gap cells stay untouched until
+// the fine cells have grown comparable. Merging the gap cells early was
+// measured to destroy convergence on the thermal model (5 → ~120 CG
+// iterations): their fused centres drift further from the device regions
+// whose error the coarse grid must represent, and plain every-other-line
+// coarsening fails the same way for the same reason. On a uniform axis
+// the rule degenerates to the classic 2:1 coarsening.
+func coarsenLines(lines []float64) []float64 {
+	n := len(lines) - 1
+	out := make([]float64, 0, n/2+2)
+	out = append(out, lines[0])
+	minW := lines[1] - lines[0]
+	for i := 1; i < n; i++ {
+		if w := lines[i+1] - lines[i]; w < minW {
+			minW = w
+		}
+	}
+	for i := 0; i < n; {
+		if i+1 < n {
+			w0 := lines[i+1] - lines[i]
+			w1 := lines[i+2] - lines[i+1]
+			hi := w0
+			if w1 > hi {
+				hi = w1
+			}
+			if hi <= pairRatioCap*minW {
+				out = append(out, lines[i+2])
+				i += 2
+				continue
+			}
+		}
+		out = append(out, lines[i+1])
+		i++
+	}
+	return out
+}
+
+// pairRatioCap is the largest multiple of the axis' finest cell a cell may
+// reach and still merge. 4 tolerates the 2:1 remainders greedy pairing
+// leaves (an odd-length fine run keeps one half-width cell) and smoothly
+// graded meshes, while deferring the merge of hard size jumps until the
+// levels below have evened them out.
+const pairRatioCap = 4.0
+
+// newAxisInterp builds the linear interpolation from coarse cell centres
+// to fine cell centres. Passing identical line sets yields the identity.
+func newAxisInterp(fineLines, coarseLines []float64) *axisInterp {
+	cf := centersOf(fineLines)
+	cc := centersOf(coarseLines)
+	nf, nc := len(cf), len(cc)
+	a := &axisInterp{
+		nc:   nc,
+		lo:   make([]int32, nf),
+		hi:   make([]int32, nf),
+		wlo:  make([]float64, nf),
+		whi:  make([]float64, nf),
+		rev:  make([][]int32, nc),
+		revW: make([][]float64, nc),
+	}
+	for i, x := range cf {
+		j := sort.SearchFloat64s(cc, x) // first coarse centre ≥ x
+		var lo, hi int
+		var wlo, whi float64
+		switch {
+		case j == 0:
+			lo, hi, wlo, whi = 0, 0, 1, 0
+		case j == nc:
+			lo, hi, wlo, whi = nc-1, nc-1, 1, 0
+		default:
+			lo, hi = j-1, j
+			w := (x - cc[lo]) / (cc[hi] - cc[lo])
+			wlo, whi = 1-w, w
+			// Collapse (near-)degenerate weights so identity axes and
+			// coincident centres store a single clean entry.
+			if whi == 0 {
+				hi = lo
+			} else if wlo == 0 {
+				lo, wlo, whi = hi, whi, 0
+				hi = lo
+			}
+		}
+		a.lo[i], a.hi[i] = int32(lo), int32(hi)
+		a.wlo[i], a.whi[i] = wlo, whi
+		a.rev[lo] = append(a.rev[lo], int32(i))
+		a.revW[lo] = append(a.revW[lo], wlo)
+		if whi != 0 {
+			a.rev[hi] = append(a.rev[hi], int32(i))
+			a.revW[hi] = append(a.revW[hi], whi)
+		}
+	}
+	return a
+}
+
+// level is one rung of the hierarchy: its operator plus the transfer maps
+// to the next coarser rung (nil on the coarsest).
+type level struct {
+	a          *sparse.CSR
+	diag       []float64
+	nx, ny, nz int
+	ix, iy, iz *axisInterp
+	ls         *lineSmoother
+}
+
+// lineSmoother holds the precomputed Thomas factorisation of every
+// vertical cell column of one level. Because z is never coarsened and the
+// operator's z-coupling is confined to the same lateral position, the
+// entries at column offsets ±stride form an exact tridiagonal system per
+// (i, j) line on every Galerkin level; solving it exactly per sweep
+// removes the strongly-coupled vertical error components a point smoother
+// crawls through. The struct is immutable after construction and shared
+// (read-only) by all solvers of a hierarchy.
+type lineSmoother struct {
+	stride, nz int
+	// sub[idx] is the coupling to idx−stride (zero on the bottom layer);
+	// cp[idx] and inv[idx] are the precomputed forward-elimination
+	// coefficients c′_k and 1/(d_k − sub_k·c′_{k−1}) of the Thomas solve.
+	sub, cp, inv []float64
+}
+
+// newLineSmoother factorises the vertical tridiagonal of every lateral
+// line. A non-positive pivot means the operator is not SPD.
+func newLineSmoother(a *sparse.CSR, nx, ny, nz int) (*lineSmoother, error) {
+	stride := nx * ny
+	n := a.N()
+	ls := &lineSmoother{
+		stride: stride, nz: nz,
+		sub: make([]float64, n), cp: make([]float64, n), inv: make([]float64, n),
+	}
+	for l := 0; l < stride; l++ {
+		prevCp := 0.0
+		for k := 0; k < nz; k++ {
+			idx := k*stride + l
+			var sub, diag, sup float64
+			cols, vals := a.Row(idx)
+			for p, c := range cols {
+				switch int(c) {
+				case idx - stride:
+					sub = vals[p]
+				case idx:
+					diag = vals[p]
+				case idx + stride:
+					sup = vals[p]
+				}
+			}
+			if k == 0 {
+				sub = 0
+			}
+			denom := diag - sub*prevCp
+			if denom <= 0 {
+				return nil, fmt.Errorf("mg: z-line pivot %g at cell %d (matrix not SPD?)", denom, idx)
+			}
+			ls.sub[idx] = sub
+			ls.inv[idx] = 1 / denom
+			prevCp = sup / denom
+			ls.cp[idx] = prevCp
+		}
+	}
+	return ls, nil
+}
+
+// lineSweep runs one block Gauss–Seidel pass over the lateral lines
+// (ascending or descending order), updating x in place towards A·x = b:
+// each line's vertical tridiagonal is solved exactly against the current
+// values of every other line. d is caller scratch of length nz. A forward
+// followed by a backward pass is symmetric block Gauss–Seidel, keeping the
+// V-cycle an SPD preconditioner.
+func (lv *level) lineSweep(x, b, d []float64, reverse bool) {
+	ls := lv.ls
+	stride, nz := ls.stride, ls.nz
+	for li := 0; li < stride; li++ {
+		l := li
+		if reverse {
+			l = stride - 1 - li
+		}
+		// Forward elimination, building the line RHS on the fly: every
+		// off-line entry (different lateral position) is moved to the
+		// right-hand side at its current value.
+		prev := 0.0
+		for k := 0; k < nz; k++ {
+			idx := k*stride + l
+			s := b[idx]
+			cols, vals := lv.a.Row(idx)
+			for p, c := range cols {
+				ci := int(c)
+				if ci != idx && ci != idx-stride && ci != idx+stride {
+					s -= vals[p] * x[ci]
+				}
+			}
+			prev = (s - ls.sub[idx]*prev) * ls.inv[idx]
+			d[k] = prev
+		}
+		// Back substitution straight into x.
+		x[(nz-1)*stride+l] = d[nz-1]
+		for k := nz - 2; k >= 0; k-- {
+			idx := k*stride + l
+			x[idx] = d[k] - ls.cp[idx]*x[idx+stride]
+		}
+	}
+}
+
+func (lv *level) n() int { return lv.nx * lv.ny * lv.nz }
+
+// coarseN returns the cell count of the next coarser level.
+func (lv *level) coarseN() int { return lv.ix.nc * lv.iy.nc * lv.iz.nc }
+
+// Hierarchy is an immutable semicoarsened multigrid hierarchy for one
+// matrix. Building one costs a few matrix passes (Galerkin products); it
+// is safe for concurrent use by many Solvers, so batched multi-RHS solves
+// share a single instance.
+type Hierarchy struct {
+	levels []*level
+}
+
+// Fine returns the matrix the hierarchy was built for.
+func (h *Hierarchy) Fine() *sparse.CSR { return h.levels[0].a }
+
+// Depth returns the number of levels including the finest.
+func (h *Hierarchy) Depth() int { return len(h.levels) }
+
+// LevelSize returns the unknown count of level l (0 = finest).
+func (h *Hierarchy) LevelSize(l int) int { return h.levels[l].n() }
+
+// BuildHierarchy semicoarsens the grid behind a and assembles the Galerkin
+// coarse operators. The hint must describe the structured grid a was
+// assembled on (cell counts multiplying to a.N()).
+func BuildHierarchy(a *sparse.CSR, hint sparse.GridHint, opts Options) (*Hierarchy, error) {
+	opts = opts.withDefaults()
+	if hint.Empty() {
+		return nil, fmt.Errorf("mg: no grid geometry — pass the mesh behind the matrix with SetGridHint (fvm.System does this automatically)")
+	}
+	nx, ny, nz := hint.NX(), hint.NY(), hint.NZ()
+	if nx < 1 || ny < 1 || nz < 1 || nx*ny*nz != a.N() {
+		return nil, fmt.Errorf("mg: grid hint %d×%d×%d does not match matrix size %d", nx, ny, nz, a.N())
+	}
+	h := &Hierarchy{}
+	xl, yl, zl := hint.X, hint.Y, hint.Z
+	cur := a
+	for {
+		lv := &level{a: cur, diag: cur.Diag(), nx: len(xl) - 1, ny: len(yl) - 1, nz: len(zl) - 1}
+		for i, d := range lv.diag {
+			if d <= 0 {
+				return nil, fmt.Errorf("mg: non-positive diagonal %g at row %d of level %d (matrix not SPD?)", d, i, len(h.levels))
+			}
+		}
+		// The z-line factorisation is cheap (one matrix pass) and always
+		// built, so solvers sharing this hierarchy may pick either smoother.
+		ls, err := newLineSmoother(cur, lv.nx, lv.ny, lv.nz)
+		if err != nil {
+			return nil, fmt.Errorf("mg: level %d: %w", len(h.levels), err)
+		}
+		lv.ls = ls
+		h.levels = append(h.levels, lv)
+		if len(h.levels) >= opts.Levels || lv.nx*lv.ny <= lateralTargetCells {
+			break
+		}
+		coarsenX := lv.nx >= minCoarsenCells
+		coarsenY := lv.ny >= minCoarsenCells
+		if !coarsenX && !coarsenY {
+			break
+		}
+		cxl, cyl := xl, yl
+		if coarsenX {
+			cxl = coarsenLines(xl)
+		}
+		if coarsenY {
+			cyl = coarsenLines(yl)
+		}
+		if len(cxl) == len(xl) && len(cyl) == len(yl) {
+			// The size-adaptive merge found no fusible pair on either
+			// axis (pathologically graded mesh): the hierarchy cannot
+			// deepen, so the current level becomes the coarsest.
+			break
+		}
+		lv.ix = newAxisInterp(xl, cxl)
+		lv.iy = newAxisInterp(yl, cyl)
+		lv.iz = newAxisInterp(zl, zl) // z stack kept at full resolution
+		coarse, err := galerkin(lv)
+		if err != nil {
+			return nil, fmt.Errorf("mg: level %d Galerkin product: %w", len(h.levels), err)
+		}
+		cur = coarse
+		xl, yl = cxl, cyl
+	}
+	return h, nil
+}
+
+// galerkin assembles the coarse operator A_c = Pᵀ·A·P of one level, where
+// P is the tensor-product interpolation lv.ix ⊗ lv.iy ⊗ lv.iz. Rows are
+// built coarse-row-major with a dense scatter buffer (Gustavson's
+// algorithm), so the cost is proportional to the number of triple-product
+// terms, not to any matrix dimension squared.
+func galerkin(lv *level) (*sparse.CSR, error) {
+	ix, iy, iz := lv.ix, lv.iy, lv.iz
+	nxf, nyf := lv.nx, lv.ny
+	nxc, nyc, nzc := ix.nc, iy.nc, iz.nc
+	nc := nxc * nyc * nzc
+
+	scratch := make([]float64, nc)
+	marked := make([]bool, nc)
+	var touched []int32
+
+	rowPtr := make([]int, 1, nc+1)
+	var cols []int32
+	var vals []float64
+
+	// scatter adds w·a into the coarse column derived from fine column c.
+	scatter := func(c int, w float64) {
+		fi := c % nxf
+		rem := c / nxf
+		fj := rem % nyf
+		fk := rem / nyf
+		xw := [2]float64{ix.wlo[fi], ix.whi[fi]}
+		xj := [2]int32{ix.lo[fi], ix.hi[fi]}
+		yw := [2]float64{iy.wlo[fj], iy.whi[fj]}
+		yj := [2]int32{iy.lo[fj], iy.hi[fj]}
+		zw := [2]float64{iz.wlo[fk], iz.whi[fk]}
+		zj := [2]int32{iz.lo[fk], iz.hi[fk]}
+		for zi := 0; zi < 2; zi++ {
+			if zw[zi] == 0 {
+				continue
+			}
+			for yi := 0; yi < 2; yi++ {
+				if yw[yi] == 0 {
+					continue
+				}
+				for xi := 0; xi < 2; xi++ {
+					if xw[xi] == 0 {
+						continue
+					}
+					J := (int(zj[zi])*nyc+int(yj[yi]))*nxc + int(xj[xi])
+					if !marked[J] {
+						marked[J] = true
+						touched = append(touched, int32(J))
+					}
+					scratch[J] += w * zw[zi] * yw[yi] * xw[xi]
+				}
+			}
+		}
+	}
+
+	for ck := 0; ck < nzc; ck++ {
+		for cj := 0; cj < nyc; cj++ {
+			for ci := 0; ci < nxc; ci++ {
+				touched = touched[:0]
+				// Fine rows contributing to this coarse row: the adjoint
+				// stencils of the three axes.
+				for zi, fk := range iz.rev[ck] {
+					wz := iz.revW[ck][zi]
+					for yi, fj := range iy.rev[cj] {
+						wy := iy.revW[cj][yi] * wz
+						for xi, fi := range ix.rev[ci] {
+							rw := ix.revW[ci][xi] * wy
+							r := (int(fk)*nyf+int(fj))*nxf + int(fi)
+							rc, rv := lv.a.Row(r)
+							for p := range rc {
+								scatter(int(rc[p]), rw*rv[p])
+							}
+						}
+					}
+				}
+				// Gather the scattered row in sorted column order.
+				sortInt32(touched)
+				for _, J := range touched {
+					cols = append(cols, J)
+					vals = append(vals, scratch[J])
+					scratch[J] = 0
+					marked[J] = false
+				}
+				rowPtr = append(rowPtr, len(vals))
+			}
+		}
+	}
+	return sparse.NewCSRFromParts(nc, rowPtr, cols, vals)
+}
+
+// sortInt32 insertion-sorts a short slice (coarse stencils are ≤ a few
+// dozen entries, below the crossover where library sorts pay off).
+func sortInt32(s []int32) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}
+
+// restrict computes bc = Pᵀ·r (full weighting).
+func (lv *level) restrict(bc, r []float64) {
+	for i := range bc {
+		bc[i] = 0
+	}
+	ix, iy, iz := lv.ix, lv.iy, lv.iz
+	nxc, nyc := ix.nc, iy.nc
+	idx := 0
+	for fk := 0; fk < lv.nz; fk++ {
+		zl, zh := int(iz.lo[fk]), int(iz.hi[fk])
+		zwl, zwh := iz.wlo[fk], iz.whi[fk]
+		for fj := 0; fj < lv.ny; fj++ {
+			yl, yh := int(iy.lo[fj]), int(iy.hi[fj])
+			ywl, ywh := iy.wlo[fj], iy.whi[fj]
+			for fi := 0; fi < lv.nx; fi++ {
+				v := r[idx]
+				idx++
+				if v == 0 {
+					continue
+				}
+				xl, xh := int(ix.lo[fi]), int(ix.hi[fi])
+				xwl, xwh := ix.wlo[fi], ix.whi[fi]
+				accumulate(bc, nxc, nyc, v,
+					zl, zh, zwl, zwh, yl, yh, ywl, ywh, xl, xh, xwl, xwh)
+			}
+		}
+	}
+}
+
+func accumulate(dst []float64, nxc, nyc int, v float64,
+	zl, zh int, zwl, zwh float64, yl, yh int, ywl, ywh float64, xl, xh int, xwl, xwh float64) {
+	add := func(zk int, wz float64) {
+		base := zk * nyc
+		addY := func(yj int, wy float64) {
+			row := (base + yj) * nxc
+			dst[row+xl] += v * wz * wy * xwl
+			if xwh != 0 {
+				dst[row+xh] += v * wz * wy * xwh
+			}
+		}
+		addY(yl, ywl)
+		if ywh != 0 {
+			addY(yh, ywh)
+		}
+	}
+	add(zl, zwl)
+	if zwh != 0 {
+		add(zh, zwh)
+	}
+}
+
+// prolongAdd computes x += P·xc (linear interpolation of the coarse
+// correction).
+func (lv *level) prolongAdd(x, xc []float64) {
+	ix, iy, iz := lv.ix, lv.iy, lv.iz
+	nxc, nyc := ix.nc, iy.nc
+	idx := 0
+	for fk := 0; fk < lv.nz; fk++ {
+		zl, zh := int(iz.lo[fk]), int(iz.hi[fk])
+		zwl, zwh := iz.wlo[fk], iz.whi[fk]
+		for fj := 0; fj < lv.ny; fj++ {
+			yl, yh := int(iy.lo[fj]), int(iy.hi[fj])
+			ywl, ywh := iy.wlo[fj], iy.whi[fj]
+			rowLL := (zl*nyc + yl) * nxc
+			for fi := 0; fi < lv.nx; fi++ {
+				xl, xh := int(ix.lo[fi]), int(ix.hi[fi])
+				xwl, xwh := ix.wlo[fi], ix.whi[fi]
+				sum := zwl * ywl * lerp(xc[rowLL+xl], xc[rowLL+xh], xwl, xwh)
+				if ywh != 0 {
+					row := (zl*nyc + yh) * nxc
+					sum += zwl * ywh * lerp(xc[row+xl], xc[row+xh], xwl, xwh)
+				}
+				if zwh != 0 {
+					row := (zh*nyc + yl) * nxc
+					sum += zwh * ywl * lerp(xc[row+xl], xc[row+xh], xwl, xwh)
+					if ywh != 0 {
+						row = (zh*nyc + yh) * nxc
+						sum += zwh * ywh * lerp(xc[row+xl], xc[row+xh], xwl, xwh)
+					}
+				}
+				x[idx] += sum
+				idx++
+			}
+		}
+	}
+}
+
+func lerp(vlo, vhi, wlo, whi float64) float64 {
+	if whi == 0 {
+		return vlo * wlo
+	}
+	return vlo*wlo + vhi*whi
+}
+
+// workspace holds the per-level scratch of one Solver. Not shared.
+type workspace struct {
+	forHier *Hierarchy
+	r, z    [][]float64 // per level
+	xc, bc  [][]float64 // correction problem per coarser level
+	line    [][]float64 // Thomas scratch per level (length nz)
+	coarse  *sparse.SSORCG
+}
+
+func newWorkspace(h *Hierarchy, opts Options) *workspace {
+	ws := &workspace{forHier: h}
+	for l, lv := range h.levels {
+		ws.r = append(ws.r, make([]float64, lv.n()))
+		ws.z = append(ws.z, make([]float64, lv.n()))
+		ws.line = append(ws.line, make([]float64, lv.nz))
+		if l < len(h.levels)-1 {
+			ws.xc = append(ws.xc, make([]float64, lv.coarseN()))
+			ws.bc = append(ws.bc, make([]float64, lv.coarseN()))
+		}
+	}
+	coarseN := h.levels[len(h.levels)-1].n()
+	ws.coarse = &sparse.SSORCG{
+		Tolerance:     opts.CoarseTol,
+		MaxIterations: 20 * coarseN,
+		Workers:       1,
+	}
+	return ws
+}
+
+// Solver is the mg-cg backend: CG preconditioned by one multigrid V-cycle.
+// Like every Solver it owns reusable scratch and is NOT safe for
+// concurrent use; hierarchies, in contrast, are immutable and may be
+// shared across instances with SetHierarchy.
+type Solver struct {
+	opts  Options
+	hint  sparse.GridHint
+	hier  *Hierarchy
+	ws    *workspace
+	outer *sparse.Workspace
+}
+
+// New builds an mg-cg solver. Geometry arrives later via SetGridHint or
+// SetHierarchy.
+func New(opts Options) *Solver { return &Solver{opts: opts} }
+
+// Name implements sparse.Solver.
+func (s *Solver) Name() string { return sparse.BackendMGCG }
+
+// SetGridHint implements sparse.GridSolver: it supplies the structured
+// grid behind upcoming matrices. The hierarchy is (re)built lazily on the
+// next Solve of a new matrix.
+func (s *Solver) SetGridHint(h sparse.GridHint) { s.hint = h }
+
+// SetHierarchy injects a prebuilt hierarchy, sharing its (immutable)
+// coarse operators with other solver instances. Solves of matrices other
+// than h.Fine() fall back to building from the grid hint.
+func (s *Solver) SetHierarchy(h *Hierarchy) {
+	if h != nil {
+		s.hier = h
+	}
+}
+
+// ensureHierarchy returns a hierarchy for a, building and caching one when
+// the current hierarchy belongs to a different matrix.
+func (s *Solver) ensureHierarchy(a *sparse.CSR) (*Hierarchy, error) {
+	if s.hier != nil && s.hier.Fine() == a {
+		return s.hier, nil
+	}
+	h, err := BuildHierarchy(a, s.hint, s.opts)
+	if err != nil {
+		return nil, err
+	}
+	s.hier = h
+	return h, nil
+}
+
+// Preconditioner implements sparse.Preconditioned: it prepares the V-cycle
+// for a and returns its application z = M⁻¹·r. Block solves share it
+// across right-hand sides.
+func (s *Solver) Preconditioner(a *sparse.CSR) (func(z, r []float64), error) {
+	h, err := s.ensureHierarchy(a)
+	if err != nil {
+		return nil, err
+	}
+	if s.ws == nil || s.ws.forHier != h {
+		s.ws = newWorkspace(h, s.opts.withDefaults())
+	}
+	ws := s.ws
+	opts := s.opts.withDefaults()
+	return func(z, r []float64) {
+		for i := range z {
+			z[i] = 0
+		}
+		h.vcycle(ws, opts, 0, z, r)
+	}, nil
+}
+
+// Solve implements sparse.Solver: conjugate gradient with one V-cycle per
+// iteration as the preconditioner.
+func (s *Solver) Solve(a *sparse.CSR, b, x []float64) (sparse.Result, error) {
+	precond, err := s.Preconditioner(a)
+	if err != nil {
+		return sparse.Result{}, err
+	}
+	if s.outer == nil {
+		s.outer = sparse.NewWorkspace(a.N())
+	}
+	return sparse.PCG(a, b, x, s.outer, precond, s.opts.Tolerance, s.opts.MaxIterations, s.opts.Workers)
+}
+
+// vcycle runs one V-cycle on level l, improving x (which must arrive
+// zeroed at preconditioner entry) towards A·x = b.
+func (h *Hierarchy) vcycle(ws *workspace, opts Options, l int, x, b []float64) {
+	lv := h.levels[l]
+	if l == len(h.levels)-1 {
+		// Near-exact coarse solve; on the (unlikely) iteration-budget
+		// overrun the best iterate is still a valid, slightly weaker
+		// preconditioner, so the error is deliberately dropped.
+		ws.coarse.Solve(lv.a, b, x) //nolint:errcheck
+		return
+	}
+	r, z := ws.r[l], ws.z[l]
+	// smooth runs opts.Smooth symmetric relaxation passes on x. The z-line
+	// smoother operates on A·x = b directly (each pass is a forward plus a
+	// backward line Gauss–Seidel sweep, together symmetric); the SSOR
+	// smoother is applied in residual-correction form. Pre- and
+	// post-smoothing use the identical symmetric operation, keeping the
+	// V-cycle an SPD preconditioner.
+	smooth := func(first bool) {
+		for sweep := 0; sweep < opts.Smooth; sweep++ {
+			if opts.Smoother == SmootherZLine {
+				lv.lineSweep(x, b, ws.line[l], false)
+				lv.lineSweep(x, b, ws.line[l], true)
+				continue
+			}
+			if first && sweep == 0 {
+				// x starts at zero, so the first residual is b itself.
+				lv.a.SSORApply(z, b, lv.diag, opts.Omega)
+				copy(x, z)
+				continue
+			}
+			lv.residual(r, b, x, opts.Workers)
+			lv.a.SSORApply(z, r, lv.diag, opts.Omega)
+			for i := range x {
+				x[i] += z[i]
+			}
+		}
+	}
+	smooth(true)
+	// Coarse-grid correction, visited γ times (V- or W-cycle).
+	xc, bc := ws.xc[l], ws.bc[l]
+	for visit := 0; visit < opts.Cycle; visit++ {
+		lv.residual(r, b, x, opts.Workers)
+		lv.restrict(bc, r)
+		for i := range xc {
+			xc[i] = 0
+		}
+		h.vcycle(ws, opts, l+1, xc, bc)
+		lv.prolongAdd(x, xc)
+	}
+	smooth(false)
+}
+
+// residual computes r = b − A·x.
+func (lv *level) residual(r, b, x []float64, workers int) {
+	lv.a.MulVecN(r, x, workers)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+}

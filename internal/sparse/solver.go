@@ -6,6 +6,55 @@ import (
 	"sync"
 )
 
+// GridHint carries the structured-grid geometry a matrix was assembled on:
+// the grid-line coordinates of a tensor-product mesh (len = cells+1 per
+// axis). Geometry-aware backends (geometric multigrid) need it to build
+// their mesh hierarchy; algebraic backends ignore it.
+type GridHint struct {
+	X, Y, Z []float64
+}
+
+// NX returns the cell count along x (0 for an empty hint).
+func (h GridHint) NX() int { return max0(len(h.X) - 1) }
+
+// NY returns the cell count along y (0 for an empty hint).
+func (h GridHint) NY() int { return max0(len(h.Y) - 1) }
+
+// NZ returns the cell count along z (0 for an empty hint).
+func (h GridHint) NZ() int { return max0(len(h.Z) - 1) }
+
+// Empty reports whether no geometry was provided.
+func (h GridHint) Empty() bool { return len(h.X) == 0 && len(h.Y) == 0 && len(h.Z) == 0 }
+
+func max0(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// GridSolver is implemented by backends that exploit grid geometry.
+// Callers that know the mesh behind a matrix (the FVM layer does) should
+// pass it down before the first Solve; solving a grid-dependent backend
+// without a hint fails with a descriptive error.
+type GridSolver interface {
+	Solver
+	// SetGridHint supplies the structured-grid geometry of upcoming
+	// matrices. The product of the axis cell counts must match N of every
+	// matrix later passed to Solve.
+	SetGridHint(h GridHint)
+}
+
+// Preconditioned is implemented by backends whose preconditioner can be
+// prepared once and applied standalone. Block (multi-RHS) Krylov solves
+// use it to share one preconditioner across all right-hand sides.
+type Preconditioned interface {
+	// Preconditioner prepares M⁻¹ for a and returns its application
+	// z = M⁻¹·r. The closure may share the solver's workspace and is NOT
+	// safe for concurrent use.
+	Preconditioner(a *CSR) (func(z, r []float64), error)
+}
+
 // Result reports how an iterative solve went. It is the common currency of
 // every Solver backend.
 type Result struct {
@@ -32,14 +81,54 @@ type Solver interface {
 	Solve(a *CSR, b, x []float64) (Result, error)
 }
 
-// Backend names accepted by Config and NewSolver.
+// Backend names accepted by Config and NewSolver. BackendMGCG is only
+// available once its package (internal/mg) has been linked in — it
+// registers itself via RegisterBackend; the FVM layer imports it, so any
+// program using the thermal stack has all three.
 const (
 	BackendJacobiCG = "jacobi-cg"
 	BackendSSORCG   = "ssor-cg"
+	BackendMGCG     = "mg-cg"
 )
 
-// Backends lists the available solver backends.
-func Backends() []string { return []string{BackendJacobiCG, BackendSSORCG} }
+// BackendFactory builds a Solver from a Config. The Config's Backend field
+// matches the name the factory was registered under.
+type BackendFactory func(Config) (Solver, error)
+
+var (
+	registryMu    sync.RWMutex
+	registryNames []string
+	registry      = map[string]BackendFactory{}
+)
+
+// RegisterBackend makes an external solver backend constructible through
+// Config.New and visible in Backends. Registering a built-in or duplicate
+// name panics: backend names are package-level constants, so a collision
+// is a programming error.
+func RegisterBackend(name string, f BackendFactory) {
+	if name == "" || f == nil {
+		panic("sparse: RegisterBackend with empty name or nil factory")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if name == BackendJacobiCG || name == BackendSSORCG {
+		panic(fmt.Sprintf("sparse: backend %q is built in", name))
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("sparse: backend %q registered twice", name))
+	}
+	registry[name] = f
+	registryNames = append(registryNames, name)
+}
+
+// Backends lists the available solver backends: the built-ins followed by
+// registered ones in registration order.
+func Backends() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := []string{BackendJacobiCG, BackendSSORCG}
+	return append(names, registryNames...)
+}
 
 // Config selects and parameterises a solver backend.
 type Config struct {
@@ -52,24 +141,83 @@ type Config struct {
 	// Workers caps the goroutines used by matrix-vector products; 0 means
 	// GOMAXPROCS, 1 forces serial execution.
 	Workers int
-	// Omega is the SSOR relaxation factor in (0, 2); 0 means 1.2. Ignored
-	// by the Jacobi backend.
+	// Omega is the SSOR relaxation factor in (0, 2); 0 means 1.2 for the
+	// SSOR-CG backend and 1.0 for the multigrid smoother. Ignored by the
+	// Jacobi backend.
 	Omega float64
+
+	// MGLevels caps the multigrid hierarchy depth; 0 coarsens until the
+	// level is small. Ignored by non-multigrid backends.
+	MGLevels int
+	// MGSmooth is the number of pre- and post-smoothing sweeps per V-cycle
+	// side; 0 means 1. Ignored by non-multigrid backends.
+	MGSmooth int
+	// MGCoarseTol is the relative tolerance of the coarsest-level solve;
+	// 0 means 1e-12 (effectively exact, keeping the V-cycle a fixed SPD
+	// operator as CG requires). Ignored by non-multigrid backends.
+	MGCoarseTol float64
+}
+
+// Validate checks the configuration without building a solver: the backend
+// must be known (the error lists the valid names) and every set parameter
+// must be in range.
+func (c Config) Validate() error {
+	known := c.Backend == "" || c.Backend == "cg" || c.Backend == "jacobi" || c.Backend == "ssor"
+	if !known {
+		for _, b := range Backends() {
+			if c.Backend == b {
+				known = true
+				break
+			}
+		}
+	}
+	if !known {
+		return fmt.Errorf("sparse: unknown solver backend %q (have %v)", c.Backend, Backends())
+	}
+	if c.Omega != 0 && (c.Omega <= 0 || c.Omega >= 2) {
+		return fmt.Errorf("sparse: relaxation omega %g outside (0, 2)", c.Omega)
+	}
+	if c.Tolerance < 0 {
+		return fmt.Errorf("sparse: negative tolerance %g", c.Tolerance)
+	}
+	if c.MaxIterations < 0 {
+		return fmt.Errorf("sparse: negative iteration cap %d", c.MaxIterations)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("sparse: negative worker count %d", c.Workers)
+	}
+	if c.MGLevels < 0 {
+		return fmt.Errorf("sparse: negative multigrid level cap %d", c.MGLevels)
+	}
+	if c.MGSmooth < 0 {
+		return fmt.Errorf("sparse: negative smoothing sweep count %d", c.MGSmooth)
+	}
+	if c.MGCoarseTol < 0 {
+		return fmt.Errorf("sparse: negative coarse-solve tolerance %g", c.MGCoarseTol)
+	}
+	return nil
 }
 
 // New builds the configured solver.
 func (c Config) New() (Solver, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
 	switch c.Backend {
 	case "", BackendJacobiCG, "cg", "jacobi":
 		return &CG{Tolerance: c.Tolerance, MaxIterations: c.MaxIterations, Workers: c.Workers}, nil
 	case BackendSSORCG, "ssor":
-		if c.Omega != 0 && (c.Omega <= 0 || c.Omega >= 2) {
-			return nil, fmt.Errorf("sparse: SSOR omega %g outside (0, 2)", c.Omega)
-		}
 		return &SSORCG{Tolerance: c.Tolerance, MaxIterations: c.MaxIterations, Workers: c.Workers, Omega: c.Omega}, nil
-	default:
+	}
+	registryMu.RLock()
+	f := registry[c.Backend]
+	registryMu.RUnlock()
+	if f == nil {
+		// Validate accepted the name, so the factory was unregistered
+		// concurrently — treat as unknown.
 		return nil, fmt.Errorf("sparse: unknown solver backend %q (have %v)", c.Backend, Backends())
 	}
+	return f(c)
 }
 
 // NewSolver builds a solver by backend name with default parameters.
@@ -183,8 +331,9 @@ type CG struct {
 // Name implements Solver.
 func (s *CG) Name() string { return BackendJacobiCG }
 
-// Solve implements Solver.
-func (s *CG) Solve(a *CSR, b, x []float64) (Result, error) {
+// Preconditioner implements Preconditioned: it prepares the inverse
+// diagonal for a and returns its application.
+func (s *CG) Preconditioner(a *CSR) (func(z, r []float64), error) {
 	if s.Workspace == nil {
 		s.Workspace = &Workspace{}
 	}
@@ -194,20 +343,28 @@ func (s *CG) Solve(a *CSR, b, x []float64) (Result, error) {
 		for i := 0; i < a.n; i++ {
 			d := a.diagAt(i)
 			if d <= 0 {
-				return Result{}, fmt.Errorf("sparse: non-positive diagonal %g at row %d (matrix not SPD?)", d, i)
+				return nil, fmt.Errorf("sparse: non-positive diagonal %g at row %d (matrix not SPD?)", d, i)
 			}
 			w.precond[i] = 1 / d
 		}
 		w.precondFor = a
 		w.precondKind = precondJacobi
 	}
-	precond := func(z, r []float64) {
+	return func(z, r []float64) {
 		inv := w.precond
 		for i := range z {
 			z[i] = inv[i] * r[i]
 		}
+	}, nil
+}
+
+// Solve implements Solver.
+func (s *CG) Solve(a *CSR, b, x []float64) (Result, error) {
+	precond, err := s.Preconditioner(a)
+	if err != nil {
+		return Result{}, err
 	}
-	return pcg(a, b, x, w, precond, s.Tolerance, s.MaxIterations, s.Workers)
+	return pcg(a, b, x, s.Workspace, precond, s.Tolerance, s.MaxIterations, s.Workers)
 }
 
 // SSORCG is a symmetric-successive-over-relaxation preconditioned
@@ -236,14 +393,15 @@ type SSORCG struct {
 // Name implements Solver.
 func (s *SSORCG) Name() string { return BackendSSORCG }
 
-// Solve implements Solver.
-func (s *SSORCG) Solve(a *CSR, b, x []float64) (Result, error) {
+// Preconditioner implements Preconditioned: it caches the diagonal of a
+// and returns the SSOR forward+backward sweep application.
+func (s *SSORCG) Preconditioner(a *CSR) (func(z, r []float64), error) {
 	omega := s.Omega
 	if omega == 0 {
 		omega = 1.2
 	}
 	if omega <= 0 || omega >= 2 {
-		return Result{}, fmt.Errorf("sparse: SSOR omega %g outside (0, 2)", omega)
+		return nil, fmt.Errorf("sparse: SSOR omega %g outside (0, 2)", omega)
 	}
 	if s.Workspace == nil {
 		s.Workspace = &Workspace{}
@@ -254,17 +412,32 @@ func (s *SSORCG) Solve(a *CSR, b, x []float64) (Result, error) {
 		for i := 0; i < a.n; i++ {
 			d := a.diagAt(i)
 			if d <= 0 {
-				return Result{}, fmt.Errorf("sparse: non-positive diagonal %g at row %d (matrix not SPD?)", d, i)
+				return nil, fmt.Errorf("sparse: non-positive diagonal %g at row %d (matrix not SPD?)", d, i)
 			}
 			w.precond[i] = d
 		}
 		w.precondFor = a
 		w.precondKind = precondSSOR
 	}
-	precond := func(z, r []float64) {
+	return func(z, r []float64) {
 		a.ssorApply(z, r, w.precond, omega)
+	}, nil
+}
+
+// Solve implements Solver.
+func (s *SSORCG) Solve(a *CSR, b, x []float64) (Result, error) {
+	precond, err := s.Preconditioner(a)
+	if err != nil {
+		return Result{}, err
 	}
-	return pcg(a, b, x, w, precond, s.Tolerance, s.MaxIterations, s.Workers)
+	return pcg(a, b, x, s.Workspace, precond, s.Tolerance, s.MaxIterations, s.Workers)
+}
+
+// SSORApply computes z = M⁻¹·r for the SSOR preconditioner of m with the
+// given relaxation factor; diag must hold m's diagonal (see Diag). It is
+// the smoother primitive geometry-aware backends reuse per grid level.
+func (m *CSR) SSORApply(z, r, diag []float64, omega float64) {
+	m.ssorApply(z, r, diag, omega)
 }
 
 // diagAt returns the stored diagonal of row i (0 if absent).
@@ -315,6 +488,20 @@ func (m *CSR) ssorApply(z, r, diag []float64, omega float64) {
 	for i := range z {
 		z[i] *= scale
 	}
+}
+
+// PCG runs the shared preconditioned conjugate gradient engine with a
+// caller-supplied preconditioner application z = M⁻¹·r. It is the
+// extension point external backends (geometric multigrid) build on so
+// every Solver shares one Krylov loop. x is warm-start input and solution
+// output; the best iterate is always left in x, converged or not. A nil
+// workspace allocates a fresh one.
+func PCG(a *CSR, b, x []float64, w *Workspace, precond func(z, r []float64), tol float64, maxIter, workers int) (Result, error) {
+	if w == nil {
+		w = &Workspace{}
+	}
+	w.ensure(a.n)
+	return pcg(a, b, x, w, precond, tol, maxIter, workers)
 }
 
 // pcg is the shared preconditioned conjugate gradient engine. precond must

@@ -129,6 +129,15 @@ func (m *CSR) N() int { return m.n }
 // NNZ returns the number of stored entries.
 func (m *CSR) NNZ() int { return len(m.values) }
 
+// Row returns read-only views of row i's column indices (sorted ascending)
+// and values. Callers must not modify the returned slices; they alias the
+// matrix storage. This is the raw access triple-product assembly (Galerkin
+// coarse-grid operators) is built on.
+func (m *CSR) Row(i int) (cols []int32, vals []float64) {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	return m.colIdx[lo:hi], m.values[lo:hi]
+}
+
 // AddDiagonal returns a copy of m with d[i] added to each diagonal entry.
 // Every row of m must already store its diagonal (guaranteed for matrices
 // built by COO.ToCSR or the FVM assembler).

@@ -97,8 +97,8 @@ type Spec struct {
 	Res Resolution
 	// SolverTol is the solver's relative tolerance (default 1e-8).
 	SolverTol float64
-	// Solver selects the sparse backend by name ("jacobi-cg", "ssor-cg");
-	// empty selects jacobi-cg.
+	// Solver selects the sparse backend by name ("jacobi-cg", "ssor-cg",
+	// "mg-cg"); empty selects jacobi-cg.
 	Solver string
 	// Workers caps the goroutines used by parallel solves (basis building,
 	// matrix-vector products); 0 means GOMAXPROCS.
@@ -808,9 +808,11 @@ type Basis struct {
 }
 
 // BuildBasis performs the four unit solves for the given activity shape.
-// The solves share the model's cached operator and are fanned out across
-// the spec's worker pool as one batched multi-RHS solve, each worker
-// reusing its own solver workspace.
+// The solves share the model's cached operator. Under the mg-cg backend
+// they run as one block-Krylov solve: all four right-hand sides advance
+// through a shared block CG whose matrix passes feed every column and
+// whose per-column multigrid V-cycles share one cached hierarchy; other
+// backends fan the solves across the spec's worker pool.
 func (m *Model) BuildBasis(act activity.Scenario) (*Basis, error) {
 	if act == nil {
 		act = activity.Uniform{}
@@ -834,7 +836,7 @@ func (m *Model) BuildBasis(act activity.Scenario) (*Basis, error) {
 		}
 		batch[i] = power
 	}
-	sols, err := m.sys.SolveSteadyBatch(batch, m.solveOptions())
+	sols, err := m.sys.SolveSteadyBlock(batch, m.solveOptions())
 	if err != nil {
 		return nil, fmt.Errorf("thermal: basis solves: %w", err)
 	}

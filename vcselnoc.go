@@ -84,7 +84,7 @@ type Options struct {
 	// default of PaperSpec.
 	Res Resolution
 	// Solver selects the sparse backend by name (SolverJacobiCG,
-	// SolverSSORCG); empty selects Jacobi-CG.
+	// SolverSSORCG, SolverMGCG); empty selects Jacobi-CG.
 	Solver string
 	// Workers caps the goroutines used by parallel solves and design-space
 	// sweeps; 0 means GOMAXPROCS.
@@ -378,10 +378,15 @@ const (
 	Dirichlet  = fvm.Dirichlet
 )
 
-// Sparse solver backends.
+// Sparse solver backends. SolverMGCG is the geometric-multigrid
+// preconditioned CG: on the paper's graded chip meshes its iteration count
+// is independent of resolution, making it the backend of choice for
+// fine-mesh (fast/paper resolution) thermal solves and batched basis
+// builds; the simpler backends win on small preview/coarse meshes.
 const (
 	SolverJacobiCG = sparse.BackendJacobiCG
 	SolverSSORCG   = sparse.BackendSSORCG
+	SolverMGCG     = sparse.BackendMGCG
 )
 
 // SolverBackends lists the available sparse solver backends.
