@@ -14,9 +14,14 @@ package vcselnoc
 import (
 	"fmt"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"vcselnoc/internal/activity"
 	"vcselnoc/internal/core"
@@ -25,6 +30,7 @@ import (
 	"vcselnoc/internal/mrr"
 	"vcselnoc/internal/oni"
 	"vcselnoc/internal/ornoc"
+	"vcselnoc/internal/serve"
 	"vcselnoc/internal/snr"
 	"vcselnoc/internal/sparse"
 	"vcselnoc/internal/thermal"
@@ -704,5 +710,56 @@ func BenchmarkVCSELOperate(b *testing.B) {
 func BenchmarkDBConversions(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = units.FromDB(units.DB(0.5))
+	}
+}
+
+// BenchmarkServeGradientQueries measures the warm thermal-analysis
+// service's query throughput: concurrent /v1/gradient requests against a
+// prebuilt basis, with the micro-batcher on (concurrent requests within
+// the window evaluate as one worker-pool fan-out) and off (each request
+// evaluates inline). Every request uses a fresh operating point so the
+// LRU never short-circuits the evaluation; ns/op is the per-query cost
+// under concurrency — invert for queries/sec.
+func BenchmarkServeGradientQueries(b *testing.B) {
+	spec, err := thermal.PaperSpec()
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.Res = benchResolution()
+	for _, mode := range []struct {
+		name   string
+		window time.Duration
+	}{
+		{"batched", serve.DefaultBatchWindow},
+		{"unbatched", -1},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			srv, err := serve.New(serve.Config{
+				Specs:       map[string]thermal.Spec{serve.DefaultSpec: spec},
+				BatchWindow: mode.window,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := srv.Warm(serve.DefaultSpec); err != nil {
+				b.Fatal(err)
+			}
+			var seq atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					// A fresh laser power per query defeats the LRU
+					// while staying on the same warm basis.
+					pv := 1e-3 + float64(seq.Add(1))*1e-9
+					body := fmt.Sprintf(`{"chip": 25, "pvcsel": %g, "pheater": 1e-3}`, pv)
+					req := httptest.NewRequest(http.MethodPost, "/v1/gradient", strings.NewReader(body))
+					w := httptest.NewRecorder()
+					srv.ServeHTTP(w, req)
+					if w.Code != http.StatusOK {
+						b.Fatalf("HTTP %d: %s", w.Code, w.Body.String())
+					}
+				}
+			})
+		})
 	}
 }

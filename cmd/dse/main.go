@@ -1,13 +1,19 @@
 // Command dse runs the paper's design-space explorations from the command
-// line: the Fig. 9-a temperature sweep, the Fig. 9-b/10 heater
-// exploration, the feasibility frontier under the 1 °C gradient
-// constraint, and the per-activity optimal heater ratio.
+// line: the Fig. 9-a temperature sweep, the Fig. 9-b gradient grid, the
+// Fig. 9-b/10 heater exploration, the feasibility frontier under the 1 °C
+// gradient constraint, and the per-activity optimal heater ratio.
 //
 // Usage:
 //
 //	dse [-res fast] [-chip 25] [-activity uniform] [-seed 1]
-//	    [-mode all|temps|heater|feasible]
+//	    [-mode all|temps|grid|heater|feasible]
 //	    [-solver jacobi-cg|ssor-cg|mg-cg] [-workers 0]
+//	    [-shards host1:8080,host2:8080]
+//
+// With -shards, the temps and grid sweeps scatter their row windows
+// across the named vcseld workers and gather the rows back in order;
+// chunks whose worker fails are recomputed locally, so the run always
+// completes. The sequential searches (heater, feasible) stay local.
 package main
 
 import (
@@ -15,23 +21,33 @@ import (
 	"fmt"
 	"log"
 	"strings"
+	"sync"
 
 	"vcselnoc/internal/activity"
 	"vcselnoc/internal/core"
 	"vcselnoc/internal/dse"
+	"vcselnoc/internal/serve"
 	"vcselnoc/internal/snr"
 	"vcselnoc/internal/sparse"
 	"vcselnoc/internal/thermal"
 )
 
+// sweeper is the grid-evaluation surface shared by the in-process
+// Explorer and the sharded scatter/gather client.
+type sweeper interface {
+	SweepAvgTemp(chips, lasers []float64) ([][]dse.AvgTempPoint, error)
+	SweepGradient(chip float64, lasers, heaters []float64) ([][]dse.GradientPoint, error)
+}
+
 func main() {
-	res := flag.String("res", "fast", "mesh resolution: coarse, fast or paper")
+	res := flag.String("res", "fast", "mesh resolution: preview, coarse, fast or paper")
 	chip := flag.Float64("chip", 25, "total chip power in watts")
 	act := flag.String("activity", "uniform", "chip activity scenario")
 	seed := flag.Int64("seed", 1, "seed for the random activity")
-	mode := flag.String("mode", "all", "exploration: all, temps, heater, feasible")
-	solver := flag.String("solver", "", "sparse backend: one of "+strings.Join(sparse.Backends(), ", ")+" (default jacobi-cg)")
+	mode := flag.String("mode", "all", "exploration: all, temps, grid, heater, feasible")
+	solver := flag.String("solver", "", "sparse backend: one of "+strings.Join(sparse.Backends(), ", ")+" (default auto-selects per resolution)")
 	workers := flag.Int("workers", 0, "parallel solver/sweep workers (0 = all CPUs)")
+	shards := flag.String("shards", "", "comma-separated vcseld workers to scatter sweeps across (e.g. host1:8080,host2:8080)")
 	flag.Parse()
 
 	log.SetFlags(0)
@@ -41,15 +57,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	switch *res {
-	case "coarse":
-		spec.Res = thermal.CoarseResolution()
-	case "fast":
-		spec.Res = thermal.FastResolution()
-	case "paper":
-		spec.Res = thermal.PaperResolution()
-	default:
-		log.Fatalf("unknown resolution %q", *res)
+	if spec.Res, err = thermal.ResolutionByName(*res); err != nil {
+		log.Fatal(err)
 	}
 	spec.Solver = *solver
 	spec.Workers = *workers
@@ -58,32 +67,76 @@ func main() {
 		log.Fatal(err)
 	}
 
-	m, err := core.NewWithSpec(spec, snr.DefaultConfig())
-	if err != nil {
-		log.Fatal(err)
+	// localExplorer builds the in-process model + basis on first use: the
+	// default evaluation path, the sequential-search engine, and the
+	// sharded client's retry fallback. Lazy so a fully sharded sweep run
+	// never pays the local basis build.
+	var once sync.Once
+	var lex *dse.Explorer
+	var lerr error
+	localExplorer := func() (*dse.Explorer, error) {
+		once.Do(func() {
+			m, err := core.NewWithSpec(spec, snr.DefaultConfig())
+			if err != nil {
+				lerr = err
+				return
+			}
+			fmt.Printf("model: %d cells; building %s basis...\n", m.Model().NumCells(), scenario.Name())
+			lex, lerr = m.Explorer(scenario)
+		})
+		return lex, lerr
 	}
-	fmt.Printf("model: %d cells; building %s basis...\n", m.Model().NumCells(), scenario.Name())
-	ex, err := m.Explorer(scenario)
-	if err != nil {
-		log.Fatal(err)
+
+	var grids sweeper
+	if *shards == "" {
+		if grids, err = localExplorer(); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		client, err := serve.NewShardClient(*shards, serve.Scenario{
+			Activity: *act,
+			Seed:     *seed,
+		}, localExplorer)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Refuse to merge rows from workers meshing at a different
+		// resolution, or solving with a different backend, than this
+		// run — locally retried chunks must be exchangeable with fleet
+		// rows.
+		client.ExpectRes = &spec.Res
+		client.ExpectSolver = spec.EffectiveSolver()
+		fmt.Printf("scattering sweeps across %d workers: %s\n", len(client.Workers), strings.Join(client.Workers, ", "))
+		grids = client
 	}
 
 	all := *mode == "all"
 	if all || *mode == "temps" {
-		temps(ex, *chip)
+		temps(grids, *chip)
+	}
+	if all || *mode == "grid" {
+		grid(grids, *chip)
 	}
 	if all || *mode == "heater" {
+		ex, err := localExplorer()
+		if err != nil {
+			log.Fatal(err)
+		}
 		heater(ex, *chip)
 	}
 	if all || *mode == "feasible" {
+		ex, err := localExplorer()
+		if err != nil {
+			log.Fatal(err)
+		}
 		feasible(ex, *chip)
 	}
 }
 
-func temps(ex *dse.Explorer, chip float64) {
+func temps(sw sweeper, chip float64) {
 	chips := []float64{chip * 0.5, chip * 0.75, chip, chip * 1.25}
 	lasers := []float64{0, 2e-3, 4e-3, 6e-3}
-	table, err := ex.SweepAvgTemp(chips, lasers)
+	table, err := sw.SweepAvgTemp(chips, lasers)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -93,6 +146,28 @@ func temps(ex *dse.Explorer, chip float64) {
 		fmt.Printf("  %6.2f W    ", chips[i])
 		for _, pt := range row {
 			fmt.Printf(" %6.2f", pt.MeanONITemp)
+		}
+		fmt.Println()
+	}
+}
+
+func grid(sw sweeper, chip float64) {
+	lasers := []float64{1e-3, 2e-3, 3e-3, 4e-3, 5e-3, 6e-3}
+	heaters := []float64{0, 0.5e-3, 1e-3, 1.5e-3, 2e-3}
+	table, err := sw.SweepGradient(chip, lasers, heaters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmean intra-ONI gradient (°C):")
+	fmt.Print("  Pv\\Ph(mW):  ")
+	for _, ph := range heaters {
+		fmt.Printf(" %6.1f", ph*1e3)
+	}
+	fmt.Println()
+	for i, row := range table {
+		fmt.Printf("  %4.0f mW     ", lasers[i]*1e3)
+		for _, pt := range row {
+			fmt.Printf(" %6.2f", pt.MeanGradient)
 		}
 		fmt.Println()
 	}

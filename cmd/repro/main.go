@@ -34,9 +34,9 @@ import (
 )
 
 func main() {
-	res := flag.String("res", "fast", "mesh resolution: coarse, fast or paper")
+	res := flag.String("res", "fast", "mesh resolution: preview, coarse, fast or paper")
 	exp := flag.String("experiment", "all", "which experiment to run: all, table1, fig5b, fig8, fig9a, fig9b, fig10, fig12, xbar")
-	solver := flag.String("solver", "", "sparse backend: one of "+strings.Join(sparse.Backends(), ", ")+" (default jacobi-cg)")
+	solver := flag.String("solver", "", "sparse backend: one of "+strings.Join(sparse.Backends(), ", ")+" (default auto-selects per resolution)")
 	workers := flag.Int("workers", 0, "parallel solver/sweep workers (0 = all CPUs)")
 	flag.Parse()
 
@@ -47,15 +47,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	switch *res {
-	case "coarse":
-		spec.Res = thermal.CoarseResolution()
-	case "fast":
-		spec.Res = thermal.FastResolution()
-	case "paper":
-		spec.Res = thermal.PaperResolution()
-	default:
-		log.Fatalf("unknown resolution %q", *res)
+	if spec.Res, err = thermal.ResolutionByName(*res); err != nil {
+		log.Fatal(err)
 	}
 	spec.Solver = *solver
 	spec.Workers = *workers

@@ -28,11 +28,11 @@ func main() {
 	ph := flag.Float64("pheater", 1.08e-3, "per-MR heater power in watts")
 	act := flag.String("activity", "uniform", "chip activity: uniform, diagonal, random, hotspot, checkerboard")
 	seed := flag.Int64("seed", 1, "seed for the random activity")
-	res := flag.String("res", "fast", "mesh resolution: coarse, fast or paper")
+	res := flag.String("res", "fast", "mesh resolution: preview, coarse, fast or paper")
 	layer := flag.String("layer", "optical", "stack layer to render")
 	csvPath := flag.String("csv", "", "write the map as CSV to this path instead of ASCII")
 	width := flag.Int("width", 100, "ASCII map width in characters")
-	solver := flag.String("solver", "", "sparse backend: one of "+strings.Join(sparse.Backends(), ", ")+" (default jacobi-cg)")
+	solver := flag.String("solver", "", "sparse backend: one of "+strings.Join(sparse.Backends(), ", ")+" (default auto-selects per resolution)")
 	workers := flag.Int("workers", 0, "parallel solver workers (0 = all CPUs)")
 	flag.Parse()
 
@@ -43,15 +43,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	switch *res {
-	case "coarse":
-		spec.Res = thermal.CoarseResolution()
-	case "fast":
-		spec.Res = thermal.FastResolution()
-	case "paper":
-		spec.Res = thermal.PaperResolution()
-	default:
-		log.Fatalf("unknown resolution %q", *res)
+	if spec.Res, err = thermal.ResolutionByName(*res); err != nil {
+		log.Fatal(err)
 	}
 	spec.Solver = *solver
 	spec.Workers = *workers

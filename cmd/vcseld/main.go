@@ -1,0 +1,95 @@
+// Command vcseld is the warm thermal-analysis daemon: it keeps assembled
+// thermal models and superposition bases alive across requests and
+// answers JSON design queries — gradients, feasibility, heater optima,
+// SNR scenarios, thermal-map slices and paginated sweep grids. It also
+// serves as the shard worker behind `dse -shards`.
+//
+// Usage:
+//
+//	vcseld [-addr :8080] [-res fast] [-solver mg-cg] [-workers 0]
+//	       [-batch-window 1ms] [-cache 4096] [-warm]
+//
+// Endpoints (all JSON):
+//
+//	GET  /healthz            liveness + warm-state statistics
+//	GET  /v1/specs           registered spec registry
+//	POST /v1/gradient        batched superposition gradient query
+//	POST /v1/feasibility     same body, 1 °C constraint verdict
+//	POST /v1/heater/optimal  golden-section heater optimisation
+//	POST /v1/snr             worst-case SNR for a placement case
+//	POST /v1/map             lateral temperature slice of a stack layer
+//	POST /v1/sweep/gradient  paginated Fig. 9-b laser × heater grid
+//	POST /v1/sweep/avgtemp   paginated Fig. 9-a chip × laser grid
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, and
+// in-flight requests (including sweep chunks) drain before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"vcselnoc/internal/serve"
+	"vcselnoc/internal/sparse"
+	"vcselnoc/internal/thermal"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	res := flag.String("res", "fast", "mesh resolution: preview, coarse, fast or paper")
+	solver := flag.String("solver", "", "sparse backend: one of "+strings.Join(sparse.Backends(), ", ")+" (default auto-selects per resolution)")
+	workers := flag.Int("workers", 0, "parallel solver/sweep workers (0 = all CPUs)")
+	batchWindow := flag.Duration("batch-window", serve.DefaultBatchWindow, "micro-batch collection window (negative disables batching)")
+	cacheSize := flag.Int("cache", serve.DefaultCacheSize, "query LRU capacity")
+	maxBases := flag.Int("max-bases", serve.DefaultMaxBases, "distinct activity shapes to hold warm bases for (requests beyond get HTTP 429)")
+	warm := flag.Bool("warm", false, "build the model and uniform basis before accepting traffic")
+	shutdownTimeout := flag.Duration("shutdown-timeout", serve.DefaultShutdownTimeout, "grace period for in-flight requests on shutdown")
+	flag.Parse()
+
+	log.SetFlags(0)
+	log.SetPrefix("vcseld: ")
+
+	spec, err := thermal.PaperSpec()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if spec.Res, err = thermal.ResolutionByName(*res); err != nil {
+		log.Fatal(err)
+	}
+	spec.Solver = *solver
+	spec.Workers = *workers
+
+	srv, err := serve.New(serve.Config{
+		Specs:       map[string]thermal.Spec{serve.DefaultSpec: spec},
+		BatchWindow: *batchWindow,
+		CacheSize:   *cacheSize,
+		MaxBases:    *maxBases,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *warm {
+		log.Printf("warming %s spec (%s resolution, %s solver)...", serve.DefaultSpec, *res, spec.EffectiveSolver())
+		start := time.Now()
+		if err := srv.Warm(serve.DefaultSpec); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("warm in %.1f s", time.Since(start).Seconds())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	err = serve.ListenAndRun(ctx, *addr, srv, *shutdownTimeout, func(a net.Addr) {
+		log.Printf("listening on %s (%s resolution, %s solver)", a, *res, spec.EffectiveSolver())
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Print("shut down cleanly")
+}

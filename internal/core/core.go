@@ -13,6 +13,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"vcselnoc/internal/activity"
 	"vcselnoc/internal/dse"
@@ -45,13 +47,39 @@ func (p CommPattern) String() string {
 	}
 }
 
-// Methodology is a configured instance of the paper's design flow.
+// Methodology is a configured instance of the paper's design flow. It is
+// safe for concurrent use: basis builds are serialised per activity with
+// single-flight deduplication (concurrent requests for a cold activity
+// share one build), and everything else only reads immutable state.
 type Methodology struct {
 	spec   thermal.Spec
 	snrCfg snr.Config
 
 	model *thermal.Model
-	bases map[string]*thermal.Basis
+
+	mu     sync.Mutex
+	bases  map[string]*basisEntry
+	builds atomic.Int64
+}
+
+// basisEntry is one activity's basis slot: the once gates the build so
+// concurrent BasisFor calls for the same activity share a single solve;
+// done publishes b/err to goroutines that only peek (ThermalAnalysis)
+// without joining the flight.
+type basisEntry struct {
+	once sync.Once
+	done atomic.Bool
+	b    *thermal.Basis
+	err  error
+}
+
+// ready returns the completed basis, or nil when the entry is still
+// building or its build failed.
+func (e *basisEntry) ready() *thermal.Basis {
+	if e == nil || !e.done.Load() || e.err != nil {
+		return nil
+	}
+	return e.b
 }
 
 // New builds the methodology at the paper's operating point (SCC case
@@ -77,7 +105,7 @@ func NewWithSpec(spec thermal.Spec, cfg snr.Config) (*Methodology, error) {
 		spec:   spec,
 		snrCfg: cfg,
 		model:  model,
-		bases:  make(map[string]*thermal.Basis),
+		bases:  make(map[string]*basisEntry),
 	}, nil
 }
 
@@ -90,22 +118,55 @@ func (m *Methodology) SNRConfig() snr.Config { return m.snrCfg }
 // Model exposes the assembled thermal model.
 func (m *Methodology) Model() *thermal.Model { return m.model }
 
+// basisKey identifies a scenario for basis caching. Name() alone is not
+// enough for a long-lived Methodology: parameterised scenarios (Random's
+// seed, Hotspot's tile) share a Name, and a warm server must not answer a
+// seed-2 query from a seed-1 basis. The key therefore appends the
+// scenario's field values.
+func basisKey(act activity.Scenario) string {
+	if act == nil {
+		act = activity.Uniform{}
+	}
+	return fmt.Sprintf("%s|%+v", act.Name(), act)
+}
+
 // BasisFor returns (building and caching on first use) the superposition
-// basis for an activity shape.
+// basis for an activity shape. Concurrent calls for the same cold
+// activity are deduplicated: exactly one build runs, the rest wait for
+// and share its result. Failed builds are not cached, so a later call may
+// retry.
 func (m *Methodology) BasisFor(act activity.Scenario) (*thermal.Basis, error) {
 	if act == nil {
 		act = activity.Uniform{}
 	}
-	if b, ok := m.bases[act.Name()]; ok {
-		return b, nil
+	name := basisKey(act)
+	m.mu.Lock()
+	e, ok := m.bases[name]
+	if !ok {
+		e = &basisEntry{}
+		m.bases[name] = e
 	}
-	b, err := m.model.BuildBasis(act)
-	if err != nil {
-		return nil, err
+	m.mu.Unlock()
+	e.once.Do(func() {
+		m.builds.Add(1)
+		e.b, e.err = m.model.BuildBasis(act)
+		e.done.Store(true)
+	})
+	if e.err != nil {
+		m.mu.Lock()
+		if m.bases[name] == e {
+			delete(m.bases, name)
+		}
+		m.mu.Unlock()
+		return nil, e.err
 	}
-	m.bases[act.Name()] = b
-	return b, nil
+	return e.b, nil
 }
+
+// BasisBuilds returns the number of basis builds actually executed — the
+// observable the single-flight tests and the service's stats endpoint
+// use: N concurrent cold queries must report exactly one build.
+func (m *Methodology) BasisBuilds() int64 { return m.builds.Load() }
 
 // Explorer returns a design-space explorer bound to the activity's basis.
 // The spec's Workers knob caps the explorer's sweep parallelism.
@@ -126,11 +187,10 @@ func (m *Methodology) Explorer(act activity.Scenario) (*dse.Explorer, error) {
 // When a basis exists for the powers' activity it is used; otherwise a
 // direct solve runs.
 func (m *Methodology) ThermalAnalysis(p thermal.Powers) (*thermal.Result, error) {
-	name := "uniform"
-	if p.Activity != nil {
-		name = p.Activity.Name()
-	}
-	if b, ok := m.bases[name]; ok {
+	m.mu.Lock()
+	e := m.bases[basisKey(p.Activity)]
+	m.mu.Unlock()
+	if b := e.ready(); b != nil {
 		return b.Evaluate(p)
 	}
 	return m.model.Solve(p)

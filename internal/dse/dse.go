@@ -150,15 +150,10 @@ func (e *Explorer) gradientAt(chip, pv, ph float64) (GradientPoint, error) {
 	if err != nil {
 		return GradientPoint{}, err
 	}
-	var mean float64
-	for _, o := range res.ONIs {
-		mean += o.Gradient
-	}
-	mean /= float64(len(res.ONIs))
 	return GradientPoint{
 		PVCSEL:       pv,
 		PHeater:      ph,
-		MeanGradient: mean,
+		MeanGradient: res.MeanONIGradient(),
 		MaxGradient:  res.MaxONIGradient(),
 	}, nil
 }
@@ -284,13 +279,7 @@ func (e *Explorer) HeaterComparison(chip float64, laserPowers []float64, ratio f
 	return rows, nil
 }
 
-func meanGradient(r *thermal.Result) float64 {
-	var s float64
-	for _, o := range r.ONIs {
-		s += o.Gradient
-	}
-	return s / float64(len(r.ONIs))
-}
+func meanGradient(r *thermal.Result) float64 { return r.MeanONIGradient() }
 
 // Feasibility reports whether an operating point satisfies the 1 °C
 // intra-ONI gradient constraint and records the margins.

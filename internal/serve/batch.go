@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vcselnoc/internal/parallel"
+	"vcselnoc/internal/thermal"
+)
+
+// batcher micro-batches cheap superposition evaluations: requests
+// arriving within one collection window are gathered and evaluated as a
+// group through the worker pool, so a burst of concurrent queries costs
+// one coordinated fan-out instead of a goroutine stampede, and the pool
+// bound applies across requests rather than per request.
+//
+// A window of zero disables batching — each submission evaluates inline —
+// which is both the low-latency single-client mode and the "unbatched"
+// arm of BenchmarkServeGradientQueries.
+type batcher struct {
+	window  time.Duration
+	workers int
+	// flushAt flushes a batch as soon as it can saturate the worker
+	// pool — waiting out the rest of the window past that point only
+	// adds latency.
+	flushAt int
+
+	mu      sync.Mutex
+	pending []*evalJob
+
+	batches, queries atomic.Int64
+}
+
+// evalJob is one queued evaluation. The basis rides along because a spec
+// serves many activity shapes: one flush may mix bases.
+type evalJob struct {
+	basis  *thermal.Basis
+	powers thermal.Powers
+	res    *thermal.Result
+	err    error
+	done   chan struct{}
+}
+
+func newBatcher(window time.Duration, workers int) *batcher {
+	flushAt := workers
+	if flushAt <= 0 {
+		flushAt = runtime.GOMAXPROCS(0)
+	}
+	return &batcher{window: window, workers: workers, flushAt: flushAt}
+}
+
+// Submit evaluates powers against basis, possibly sharing a batch with
+// concurrent submissions, and blocks until the result is ready.
+func (b *batcher) Submit(basis *thermal.Basis, powers thermal.Powers) (*thermal.Result, error) {
+	b.queries.Add(1)
+	if b.window <= 0 {
+		b.batches.Add(1)
+		return basis.Evaluate(powers)
+	}
+	job := &evalJob{basis: basis, powers: powers, done: make(chan struct{})}
+	b.mu.Lock()
+	b.pending = append(b.pending, job)
+	n := len(b.pending)
+	if n == 1 {
+		// First job of a new batch: schedule its flush. Later arrivals
+		// inside the window join this batch for free. (The timer may
+		// fire after an early flush already drained the batch; flush on
+		// an empty pending list is a no-op.)
+		time.AfterFunc(b.window, b.flush)
+	}
+	b.mu.Unlock()
+	if n >= b.flushAt {
+		b.flush()
+	}
+	<-job.done
+	return job.res, job.err
+}
+
+// flush drains the pending batch and evaluates it across the worker
+// pool. Each job gets its own error; one bad scenario never poisons its
+// batchmates.
+func (b *batcher) flush() {
+	b.mu.Lock()
+	jobs := b.pending
+	b.pending = nil
+	b.mu.Unlock()
+	if len(jobs) == 0 {
+		return
+	}
+	b.batches.Add(1)
+	workers := b.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Errors are per-job, so ForEach itself never fails.
+	_ = parallel.ForEach(workers, len(jobs), func(_, i int) error {
+		jobs[i].res, jobs[i].err = jobs[i].basis.Evaluate(jobs[i].powers)
+		close(jobs[i].done)
+		return nil
+	})
+}
+
+// Stats reports cumulative flush and query counts.
+func (b *batcher) Stats() (batches, queries int64) {
+	return b.batches.Load(), b.queries.Load()
+}

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// lruCache is a bounded, mutex-guarded LRU keyed on canonicalised
+// scenario strings. Values are small query summaries (never full
+// temperature fields), so a few thousand entries cost kilobytes.
+type lruCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recent; values are *lruEntry
+	entries map[string]*list.Element
+
+	hits, misses atomic.Int64
+}
+
+type lruEntry struct {
+	key string
+	val QueryResponse
+}
+
+func newLRUCache(capacity int) *lruCache {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &lruCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached response and promotes the entry.
+func (c *lruCache) Get(key string) (QueryResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Add(1)
+		return QueryResponse{}, false
+	}
+	c.hits.Add(1)
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Add inserts or refreshes an entry, evicting the least recently used
+// entry beyond capacity.
+func (c *lruCache) Add(key string, val QueryResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Len reports the live entry count.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats reports cumulative hit/miss counters.
+func (c *lruCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"vcselnoc/internal/thermal"
+)
+
+// TestLRUEviction: capacity bounds the cache and evicts least recently
+// used first.
+func TestLRUEviction(t *testing.T) {
+	c := newLRUCache(2)
+	c.Add("a", QueryResponse{MeanONITemp: 1})
+	c.Add("b", QueryResponse{MeanONITemp: 2})
+	if _, ok := c.Get("a"); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Add("c", QueryResponse{MeanONITemp: 3}) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted wrongly", k)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+// TestLRURefresh: re-adding a key updates in place without growing.
+func TestLRURefresh(t *testing.T) {
+	c := newLRUCache(2)
+	c.Add("a", QueryResponse{MeanONITemp: 1})
+	c.Add("a", QueryResponse{MeanONITemp: 9})
+	v, ok := c.Get("a")
+	if !ok || v.MeanONITemp != 9 {
+		t.Fatalf("refresh lost: %+v ok=%v", v, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d after refresh", c.Len())
+	}
+}
+
+// TestLRUConcurrent hammers the cache from many goroutines (-race).
+func TestLRUConcurrent(t *testing.T) {
+	c := newLRUCache(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (w*7+i)%32)
+				if i%3 == 0 {
+					c.Add(k, QueryResponse{MeanONITemp: float64(i)})
+				} else {
+					c.Get(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("cache grew past capacity: %d", c.Len())
+	}
+}
+
+// TestCacheKeyCanonicalisation: the driver default and float spellings
+// collapse; distinct scenarios stay distinct.
+func TestCacheKeyCanonicalisation(t *testing.T) {
+	base := Scenario{Chip: 25, PVCSEL: 2e-3, PHeater: 6e-4}
+	explicit := base
+	d := 2e-3
+	explicit.PDriver = &d
+	if base.cacheKey() != explicit.cacheKey() {
+		t.Fatal("defaulted and explicit driver produce different keys")
+	}
+	uniform := base
+	uniform.Activity = "uniform"
+	if base.cacheKey() != uniform.cacheKey() {
+		t.Fatal("empty and explicit uniform activity produce different keys")
+	}
+	seeded := uniform
+	seeded.Seed = 7 // uniform ignores the seed
+	if uniform.cacheKey() != seeded.cacheKey() {
+		t.Fatal("stray seed on a non-random activity splits the key")
+	}
+	distinct := []Scenario{
+		{Chip: 25, PVCSEL: 2e-3},
+		{Chip: 25, PVCSEL: 3e-3},
+		{Chip: 25, PVCSEL: 2e-3, PHeater: 1e-3},
+		{Chip: 25, PVCSEL: 2e-3, Activity: "diagonal"},
+		{Chip: 25, PVCSEL: 2e-3, Activity: "random", Seed: 7},
+		{Chip: 25, PVCSEL: 2e-3, Spec: "other"},
+	}
+	seen := map[string]int{}
+	for i, sc := range distinct {
+		k := sc.cacheKey()
+		if j, dup := seen[k]; dup {
+			t.Fatalf("scenarios %d and %d collide on %q", i, j, k)
+		}
+		seen[k] = i
+	}
+}
+
+// TestBatcherWindowCollects: submissions inside one window share a
+// flush.
+func TestBatcherWindowCollects(t *testing.T) {
+	skipShort(t)
+	spec, err := thermal.PaperSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Res = thermal.PreviewResolution()
+	model, err := thermal.NewModel(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basis, err := model.BuildBasis(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Explicit pool of 4: the early-flush threshold stays below the job
+	// count even on single-CPU machines (workers 0 would resolve the
+	// threshold to GOMAXPROCS).
+	b := newBatcher(20*time.Millisecond, 4)
+	const n = 6
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := b.Submit(basis, thermal.Powers{Chip: 25, VCSEL: float64(i+1) * 1e-3})
+			if err == nil && res.MeanONITemp() <= 25 {
+				err = fmt.Errorf("implausible temp %g", res.MeanONITemp())
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+	batches, queries := b.Stats()
+	if queries != n {
+		t.Fatalf("queries = %d, want %d", queries, n)
+	}
+	if batches >= n {
+		t.Fatalf("no batching happened: %d batches for %d queries", batches, n)
+	}
+
+	// Unbatched mode answers inline, one "batch" per query.
+	ub := newBatcher(0, 0)
+	if _, err := ub.Submit(basis, thermal.Powers{Chip: 25}); err != nil {
+		t.Fatal(err)
+	}
+	if batches, queries := ub.Stats(); batches != 1 || queries != 1 {
+		t.Fatalf("unbatched stats = %d/%d", batches, queries)
+	}
+}
+
+// TestBatcherIsolatesErrors: one invalid job must not poison its
+// batchmates.
+func TestBatcherIsolatesErrors(t *testing.T) {
+	skipShort(t)
+	spec, err := thermal.PaperSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Res = thermal.PreviewResolution()
+	model, err := thermal.NewModel(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basis, err := model.BuildBasis(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newBatcher(20*time.Millisecond, 0)
+	var wg sync.WaitGroup
+	var goodErr, badErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, goodErr = b.Submit(basis, thermal.Powers{Chip: 25, VCSEL: 2e-3})
+	}()
+	go func() {
+		defer wg.Done()
+		_, badErr = b.Submit(basis, thermal.Powers{Chip: -1}) // invalid
+	}()
+	wg.Wait()
+	if goodErr != nil {
+		t.Fatalf("good job failed alongside bad batchmate: %v", goodErr)
+	}
+	if badErr == nil {
+		t.Fatal("invalid powers accepted")
+	}
+}

@@ -1,0 +1,315 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vcselnoc/internal/activity"
+	"vcselnoc/internal/core"
+	"vcselnoc/internal/dse"
+	"vcselnoc/internal/snr"
+	"vcselnoc/internal/thermal"
+)
+
+// previewSpec is the shared worker/in-process spec for shard tests.
+func previewSpec(t *testing.T) thermal.Spec {
+	t.Helper()
+	spec, err := thermal.PaperSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Res = thermal.PreviewResolution()
+	return spec
+}
+
+// localExplorer builds the in-process reference explorer.
+func localExplorer(t *testing.T, spec thermal.Spec) *dse.Explorer {
+	t.Helper()
+	m, err := core.NewWithSpec(spec, snr.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := m.Explorer(activity.Uniform{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex
+}
+
+// startWorker spins one warm vcseld-equivalent on an httptest listener.
+// Warming up front (the daemon's -warm flow) keeps the cold basis build
+// out of the request path, whose client timeout a -race build would
+// otherwise blow.
+func startWorker(t *testing.T, spec thermal.Spec) *httptest.Server {
+	t.Helper()
+	s, err := New(Config{Specs: map[string]thermal.Spec{DefaultSpec: spec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Warm(DefaultSpec); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// patientClient widens the HTTP timeout for instrumented (-race) runs.
+func patientClient(c *ShardClient) *ShardClient {
+	c.HTTPClient = &http.Client{Timeout: 3 * time.Minute}
+	return c
+}
+
+// TestShardedSweepMatchesInProcess is the acceptance test of the sharded
+// DSE path: a SweepGradient and a SweepAvgTemp scattered across two live
+// workers must reproduce the in-process Explorer grids exactly — same
+// values (bit-for-bit), same row order.
+func TestShardedSweepMatchesInProcess(t *testing.T) {
+	skipShort(t)
+	spec := previewSpec(t)
+	ex := localExplorer(t, spec)
+	w1 := startWorker(t, spec)
+	w2 := startWorker(t, spec)
+
+	client, err := NewShardClient(w1.URL+","+w2.URL, Scenario{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patientClient(client)
+	if len(client.Workers) != 2 {
+		t.Fatalf("parsed %d workers", len(client.Workers))
+	}
+
+	chip := 25.0
+	lasers := []float64{1e-3, 2e-3, 3e-3, 4e-3, 5e-3}
+	heaters := []float64{0, 0.5e-3, 1e-3, 1.5e-3}
+
+	want, err := ex.SweepGradient(chip, lasers, heaters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.SweepGradient(chip, lasers, heaters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("sharded SweepGradient differs from in-process grid")
+	}
+
+	chips := []float64{20, 25, 30}
+	wantT, err := ex.SweepAvgTemp(chips, lasers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotT, err := client.SweepAvgTemp(chips, lasers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotT, wantT) {
+		t.Fatal("sharded SweepAvgTemp differs from in-process grid")
+	}
+}
+
+// TestShardLocalRetry: chunks landing on a dead worker are recomputed
+// locally and the merged grid stays exact.
+func TestShardLocalRetry(t *testing.T) {
+	skipShort(t)
+	spec := previewSpec(t)
+	ex := localExplorer(t, spec)
+	alive := startWorker(t, spec)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // connection refused from now on
+
+	var fallbacks atomic.Int32
+	client, err := NewShardClient(alive.URL+","+dead.URL, Scenario{}, func() (*dse.Explorer, error) {
+		fallbacks.Add(1)
+		return ex, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	patientClient(client)
+	// Two chunks of one row each: one lands on the dead worker.
+	client.ChunkRows = 1
+
+	chip := 25.0
+	lasers := []float64{2e-3, 4e-3}
+	heaters := []float64{0, 1e-3}
+	want, err := ex.SweepGradient(chip, lasers, heaters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.SweepGradient(chip, lasers, heaters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("grid with local retry differs from in-process grid")
+	}
+	if fallbacks.Load() != 1 {
+		t.Fatalf("fallback built %d times, want 1 (single-flight)", fallbacks.Load())
+	}
+}
+
+// TestShardNoFallbackPropagates: without a local fallback, a dead worker
+// fails the sweep with its error.
+func TestShardNoFallbackPropagates(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	client, err := NewShardClient(dead.URL, Scenario{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.SweepGradient(25, []float64{1e-3}, []float64{0}); err == nil {
+		t.Fatal("sweep against a dead fleet succeeded")
+	}
+}
+
+// TestShardWorkerErrorEnvelope: a worker's 4xx JSON error surfaces in
+// the client error rather than a bare status code.
+func TestShardWorkerErrorEnvelope(t *testing.T) {
+	skipShort(t)
+	spec := previewSpec(t)
+	w := startWorker(t, spec)
+	client, err := NewShardClient(w.URL, Scenario{Activity: "volcano"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patientClient(client)
+	_, err = client.SweepGradient(25, []float64{1e-3}, []float64{0})
+	if err == nil {
+		t.Fatal("unknown activity accepted")
+	}
+	if !strings.Contains(err.Error(), "volcano") {
+		t.Fatalf("error %q does not surface the worker message", err)
+	}
+}
+
+// TestNewShardClientParsing pins the -shards flag format.
+func TestNewShardClientParsing(t *testing.T) {
+	c, err := NewShardClient(" host1:8080 , http://host2:9090/ ", Scenario{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://host1:8080", "http://host2:9090"}
+	if !reflect.DeepEqual(c.Workers, want) {
+		t.Fatalf("workers = %v, want %v", c.Workers, want)
+	}
+	if _, err := NewShardClient(" , ", Scenario{}, nil); err == nil {
+		t.Fatal("empty shard list accepted")
+	}
+}
+
+// TestChunking pins the partition: contiguous, covering, capped.
+func TestChunking(t *testing.T) {
+	c := &ShardClient{Workers: []string{"a", "b"}}
+	for _, tc := range []struct {
+		total, chunkRows int
+		want             []chunk
+	}{
+		{5, 0, []chunk{{0, 3}, {3, 5}}},
+		{4, 1, []chunk{{0, 1}, {1, 2}, {2, 3}, {3, 4}}},
+		{3, 10, []chunk{{0, 3}}},
+	} {
+		c.ChunkRows = tc.chunkRows
+		got := c.chunks(tc.total)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("chunks(%d) with ChunkRows=%d = %v, want %v", tc.total, tc.chunkRows, got, tc.want)
+		}
+	}
+}
+
+// TestShardClientSpecMismatch: a worker that does not know the requested
+// spec rejects the chunk; with a fallback the sweep still completes.
+func TestShardClientSpecMismatch(t *testing.T) {
+	skipShort(t)
+	spec := previewSpec(t)
+	ex := localExplorer(t, spec)
+	w := startWorker(t, spec)
+	client, err := NewShardClient(w.URL, Scenario{Spec: "exotic"}, func() (*dse.Explorer, error) {
+		return ex, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	patientClient(client)
+	want, err := ex.SweepGradient(25, []float64{1e-3, 2e-3}, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.SweepGradient(25, []float64{1e-3, 2e-3}, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("fallback grid differs from in-process grid")
+	}
+}
+
+// TestShardPreflightResolutionMismatch: a reachable worker meshing at a
+// different resolution must fail the sweep outright — merging rows from
+// two discretisations would be silently wrong data.
+func TestShardPreflightResolutionMismatch(t *testing.T) {
+	skipShort(t)
+	spec := previewSpec(t)
+	w := startWorker(t, spec)
+	client, err := NewShardClient(w.URL, Scenario{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patientClient(client)
+	fastRes := thermal.FastResolution()
+	client.ExpectRes = &fastRes
+	_, err = client.SweepGradient(25, []float64{1e-3}, []float64{0})
+	if err == nil || !strings.Contains(err.Error(), "refusing to merge") {
+		t.Fatalf("resolution mismatch not rejected: %v", err)
+	}
+
+	// A solver mismatch is rejected the same way: locally retried
+	// chunks would differ from fleet rows at the solve tolerance.
+	solverClient, err := NewShardClient(w.URL, Scenario{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patientClient(solverClient)
+	solverClient.ExpectSolver = "ssor-cg" // worker auto-selects jacobi-cg at preview
+	_, err = solverClient.SweepGradient(25, []float64{1e-3}, []float64{0})
+	if err == nil || !strings.Contains(err.Error(), "ssor-cg") {
+		t.Fatalf("solver mismatch not rejected: %v", err)
+	}
+
+	// Matching expectations pass preflight and sweep normally.
+	match, err := NewShardClient(w.URL, Scenario{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patientClient(match)
+	res := spec.Res
+	match.ExpectRes = &res
+	match.ExpectSolver = spec.EffectiveSolver()
+	if _, err := match.SweepGradient(25, []float64{1e-3}, []float64{0}); err != nil {
+		t.Fatalf("matching preflight rejected: %v", err)
+	}
+}
+
+// verify the error message includes the failed row range for operators.
+func TestShardErrorNamesRows(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	client, err := NewShardClient(dead.URL, Scenario{}, func() (*dse.Explorer, error) {
+		return nil, fmt.Errorf("no local model")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = client.SweepGradient(25, []float64{1e-3}, []float64{0})
+	if err == nil || !strings.Contains(err.Error(), "rows [0,1)") {
+		t.Fatalf("error %v does not name the failed rows", err)
+	}
+}

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// DefaultShutdownTimeout bounds how long Run waits for in-flight
+// requests after the context is cancelled. Sweep chunks at preview/fast
+// resolution finish in well under this.
+const DefaultShutdownTimeout = 30 * time.Second
+
+// Run serves handler on ln until ctx is cancelled, then shuts down
+// gracefully: the listener closes immediately (shard clients dialling in
+// see clean refusals), in-flight requests — including sweep chunks — get
+// up to timeout to finish, and Run returns nil on a clean drain. A
+// timeout ≤ 0 selects DefaultShutdownTimeout.
+//
+// cmd/vcseld drives this with a signal.NotifyContext; tests drive it
+// with a plain cancelable context.
+func Run(ctx context.Context, ln net.Listener, handler http.Handler, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = DefaultShutdownTimeout
+	}
+	// Read-side timeouts keep a long-lived daemon safe from clients that
+	// hold connections open without completing requests (headers or a
+	// trickled body); requests here carry small JSON bodies, so a minute
+	// is generous. No WriteTimeout: the long-running side is legitimate
+	// response computation — sweep chunks on cold fast/paper-resolution
+	// specs run for minutes.
+	hs := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// The listener died on its own (port stolen, ln closed): that is
+		// a failure, not a shutdown.
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	err := hs.Shutdown(sctx)
+	// Serve always returns ErrServerClosed after Shutdown; drain it.
+	if serr := <-serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+		err = serr
+	}
+	return err
+}
+
+// ListenAndRun binds addr and calls Run. The bound address (useful with
+// ":0") is reported through onListen when non-nil.
+func ListenAndRun(ctx context.Context, addr string, handler http.Handler, timeout time.Duration, onListen func(net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if onListen != nil {
+		onListen(ln.Addr())
+	}
+	return Run(ctx, ln, handler, timeout)
+}

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestGracefulShutdown: cancelling the context must stop new connections
+// immediately but let the in-flight request finish and be answered
+// before Run returns — the property that lets shard clients drain
+// cleanly when a worker is being rotated out.
+func TestGracefulShutdown(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		fmt.Fprint(w, "drained")
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- Run(ctx, ln, handler, 10*time.Second) }()
+
+	// In-flight request that will straddle the shutdown.
+	type result struct {
+		body string
+		err  error
+	}
+	reqDone := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/slow")
+		if err != nil {
+			reqDone <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		reqDone <- result{body: string(b), err: err}
+	}()
+	<-entered
+
+	cancel()
+
+	// Run must still be draining the in-flight request.
+	select {
+	case err := <-runDone:
+		t.Fatalf("Run returned (%v) before the in-flight request finished", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// New connections are refused once shutdown begins (allow a moment
+	// for the listener to close).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err != nil {
+			break
+		}
+		conn.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting connections after cancel")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	close(release)
+	res := <-reqDone
+	if res.err != nil {
+		t.Fatalf("in-flight request failed across shutdown: %v", res.err)
+	}
+	if res.body != "drained" {
+		t.Fatalf("in-flight response = %q, want %q", res.body, "drained")
+	}
+	if err := <-runDone; err != nil {
+		t.Fatalf("Run returned %v after clean drain, want nil", err)
+	}
+}
+
+// TestRunReturnsListenerError: a listener dying outside a shutdown is a
+// failure, not a clean exit.
+func TestRunReturnsListenerError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDone := make(chan error, 1)
+	go func() {
+		runDone <- Run(context.Background(), ln, http.NotFoundHandler(), time.Second)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	ln.Close()
+	select {
+	case err := <-runDone:
+		if err == nil {
+			t.Fatal("Run returned nil after the listener died")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after the listener died")
+	}
+}
+
+// TestListenAndRunReportsAddr: the onListen hook sees the bound address
+// (the ":0" workflow the smoke tests and local fleets use).
+func TestListenAndRunReportsAddr(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan net.Addr, 1)
+	runDone := make(chan error, 1)
+	go func() {
+		runDone <- ListenAndRun(ctx, "127.0.0.1:0", http.NotFoundHandler(), time.Second, func(a net.Addr) {
+			got <- a
+		})
+	}()
+	select {
+	case a := <-got:
+		if a.(*net.TCPAddr).Port == 0 {
+			t.Fatal("onListen reported port 0")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("onListen never fired")
+	}
+	cancel()
+	if err := <-runDone; err != nil {
+		t.Fatalf("ListenAndRun = %v", err)
+	}
+}

@@ -1,0 +1,629 @@
+// Package serve is the warm thermal-analysis service: a long-lived HTTP
+// layer over the solver stack that keeps expensive state — assembled
+// thermal.Model operators, superposition Basis fields, the shared
+// multigrid hierarchy behind them — alive across requests, so every
+// design query after the first costs a superposition evaluation instead
+// of an 11–167 s basis build.
+//
+// The server answers JSON queries for intra-ONI gradients and
+// feasibility, heater optimisation, worst-case SNR scenarios,
+// thermal-map slices and paginated sweep grids. Cheap superposition
+// queries are micro-batched (concurrent requests within ~1 ms evaluate
+// as one worker-pool fan-out) and memoised in a bounded LRU keyed on the
+// canonicalised scenario; basis builds are deduplicated single-flight so
+// a cold spec never builds twice however many clients hit it at once.
+//
+// The same package holds the scatter/gather ShardClient that partitions
+// design-space sweep grids across a fleet of these servers (see
+// client.go), closing the loop for sharded DSE.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vcselnoc/internal/activity"
+	"vcselnoc/internal/core"
+	"vcselnoc/internal/dse"
+	"vcselnoc/internal/snr"
+	"vcselnoc/internal/stack"
+	"vcselnoc/internal/thermal"
+)
+
+// DefaultSpec is the registry name a scenario with an empty Spec field
+// addresses.
+const DefaultSpec = "default"
+
+// DefaultBatchWindow is the micro-batch collection window: long enough
+// to gather a concurrent burst, short enough to be invisible next to a
+// basis evaluation.
+const DefaultBatchWindow = time.Millisecond
+
+// DefaultCacheSize bounds the per-spec query LRU.
+const DefaultCacheSize = 4096
+
+// DefaultMaxBases bounds the distinct activity shapes a spec will build
+// bases for. Each basis costs a multi-solve build and ~4 fields ×
+// NumCells × 8 bytes retained for the server's lifetime, and the random
+// activity's seed is client-controlled — without a bound, looping seeds
+// is a trivial memory/CPU exhaustion attack on the daemon.
+const DefaultMaxBases = 8
+
+// maxBodyBytes bounds request bodies; sweep axes are the largest
+// legitimate payload and fit comfortably.
+const maxBodyBytes = 1 << 20
+
+// Config configures a Server.
+type Config struct {
+	// Specs registers the system specifications the server owns warm
+	// state for, by name. Empty registers PaperSpec under DefaultSpec.
+	Specs map[string]thermal.Spec
+	// SNR is the technology configuration for SNR queries; the zero
+	// value selects snr.DefaultConfig.
+	SNR snr.Config
+	// BatchWindow is the micro-batch collection window; 0 selects
+	// DefaultBatchWindow, negative disables batching.
+	BatchWindow time.Duration
+	// CacheSize bounds each spec's query LRU; 0 selects
+	// DefaultCacheSize, negative disables caching (capacity 1).
+	CacheSize int
+	// MaxBases bounds the distinct activity shapes (name + seed) each
+	// spec builds bases for; 0 selects DefaultMaxBases. Requests for an
+	// additional shape beyond the bound get HTTP 429.
+	MaxBases int
+}
+
+// Server owns the warm per-spec state and implements http.Handler.
+type Server struct {
+	mux   *http.ServeMux
+	specs map[string]*specState
+	start time.Time
+	// sweepSem bounds concurrent sweep evaluations server-wide: each
+	// sweep fans out across a full worker pool, so without a bound N
+	// concurrent sweep requests oversubscribe the CPU N-fold. Cheap
+	// point queries go through the micro-batcher instead and are not
+	// gated here.
+	sweepSem chan struct{}
+}
+
+// specState is one registered spec's warm state. The Methodology (model,
+// bases, single-flight) builds lazily on first use so registering many
+// specs is free until they are queried.
+type specState struct {
+	name string
+	spec thermal.Spec
+
+	once  sync.Once
+	ready atomic.Bool // publishes meth/err to stats-only readers
+	meth  *core.Methodology
+	err   error
+
+	snrCfg snr.Config
+	cache  *lruCache
+	batch  *batcher
+
+	// basisMu/basisKeys bound how many distinct activity shapes this
+	// spec will hold warm bases for (client-controlled seeds must not
+	// grow server memory without limit).
+	basisMu   sync.Mutex
+	basisKeys map[string]struct{}
+	maxBases  int
+}
+
+// methodology builds (once) and returns the spec's warm methodology.
+// The sync.Once is the model-level single-flight: concurrent cold
+// requests share one mesh assembly.
+func (st *specState) methodology() (*core.Methodology, error) {
+	st.once.Do(func() {
+		st.meth, st.err = core.NewWithSpec(st.spec, st.snrCfg)
+		st.ready.Store(true)
+	})
+	return st.meth, st.err
+}
+
+// New validates the configuration and builds a Server. Models and bases
+// are not built yet: the first query (or an explicit Warm) pays that
+// cost.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Specs) == 0 {
+		spec, err := thermal.PaperSpec()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Specs = map[string]thermal.Spec{DefaultSpec: spec}
+	}
+	if cfg.SNR == (snr.Config{}) {
+		cfg.SNR = snr.DefaultConfig()
+	}
+	if cfg.BatchWindow == 0 {
+		cfg.BatchWindow = DefaultBatchWindow
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = DefaultCacheSize
+	}
+	if cfg.MaxBases <= 0 {
+		cfg.MaxBases = DefaultMaxBases
+	}
+	s := &Server{
+		mux:      http.NewServeMux(),
+		specs:    make(map[string]*specState, len(cfg.Specs)),
+		start:    time.Now(),
+		sweepSem: make(chan struct{}, 2),
+	}
+	for name, spec := range cfg.Specs {
+		if name == "" {
+			return nil, fmt.Errorf("serve: empty spec name in registry")
+		}
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: spec %q: %w", name, err)
+		}
+		s.specs[name] = &specState{
+			name:      name,
+			spec:      spec,
+			snrCfg:    cfg.SNR,
+			cache:     newLRUCache(cfg.CacheSize),
+			batch:     newBatcher(cfg.BatchWindow, spec.Workers),
+			basisKeys: make(map[string]struct{}),
+			maxBases:  cfg.MaxBases,
+		}
+	}
+	s.routes()
+	return s, nil
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/specs", s.handleSpecs)
+	s.mux.HandleFunc("POST /v1/gradient", s.handleGradient)
+	s.mux.HandleFunc("POST /v1/feasibility", s.handleGradient) // same evaluation, same body
+	s.mux.HandleFunc("POST /v1/heater/optimal", s.handleHeater)
+	s.mux.HandleFunc("POST /v1/snr", s.handleSNR)
+	s.mux.HandleFunc("POST /v1/map", s.handleMap)
+	s.mux.HandleFunc("POST /v1/sweep/gradient", s.handleGradientSweep)
+	s.mux.HandleFunc("POST /v1/sweep/avgtemp", s.handleAvgTempSweep)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Warm forces the named spec's model and uniform-activity basis to build
+// now (daemon startup with -warm), so the first client query is already
+// cheap.
+func (s *Server) Warm(name string) error {
+	st, err := s.state(name)
+	if err != nil {
+		return err
+	}
+	_, err = st.basisFor(nil, Scenario{}.basisSlotKey())
+	return err
+}
+
+// basisFor builds (or returns) the basis for one activity shape,
+// enforcing the per-spec bound on distinct shapes: seeds arrive from
+// the network, and every new shape is a multi-solve build plus
+// NumCells-sized fields retained for the server's lifetime.
+func (st *specState) basisFor(act activity.Scenario, slot string) (*thermal.Basis, error) {
+	meth, err := st.methodology()
+	if err != nil {
+		return nil, err
+	}
+	st.basisMu.Lock()
+	if _, known := st.basisKeys[slot]; !known {
+		if len(st.basisKeys) >= st.maxBases {
+			st.basisMu.Unlock()
+			return nil, &statusError{
+				code: http.StatusTooManyRequests,
+				err: fmt.Errorf("serve: spec %q already holds bases for %d activity shapes; refusing to build one for %q (raise Config.MaxBases)",
+					st.name, st.maxBases, slot),
+			}
+		}
+		st.basisKeys[slot] = struct{}{}
+	}
+	st.basisMu.Unlock()
+	b, err := meth.BasisFor(act)
+	if err != nil {
+		// Release the slot: failed builds are not cached by the
+		// methodology either, so a later request may retry.
+		st.basisMu.Lock()
+		delete(st.basisKeys, slot)
+		st.basisMu.Unlock()
+		return nil, err
+	}
+	return b, nil
+}
+
+// state resolves a registry name.
+func (s *Server) state(name string) (*specState, error) {
+	if name == "" {
+		name = DefaultSpec
+	}
+	st, ok := s.specs[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown spec %q", name)
+	}
+	return st, nil
+}
+
+// statusError carries an HTTP status through the handler helpers.
+type statusError struct {
+	code int
+	err  error
+}
+
+func (e *statusError) Error() string { return e.err.Error() }
+
+func badRequest(err error) error { return &statusError{code: http.StatusBadRequest, err: err} }
+func notFound(err error) error   { return &statusError{code: http.StatusNotFound, err: err} }
+
+// writeJSON emits a 200 JSON body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr emits the JSON error envelope with the mapped status code.
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var se *statusError
+	if errors.As(err, &se) {
+		code = se.code
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+}
+
+// decode strictly parses the request body into v: unknown fields and
+// trailing garbage are client errors, not silent drops.
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest(fmt.Errorf("serve: bad request body: %w", err))
+	}
+	if dec.More() {
+		return badRequest(fmt.Errorf("serve: trailing data after JSON body"))
+	}
+	return nil
+}
+
+// resolve maps a wire scenario onto the warm state it needs: spec state,
+// methodology and (building on first use, single-flight) the basis for
+// its activity shape.
+func (s *Server) resolve(sc Scenario) (*specState, *thermal.Basis, error) {
+	st, err := s.state(sc.specName())
+	if err != nil {
+		return nil, nil, notFound(err)
+	}
+	act, err := sc.activityScenario()
+	if err != nil {
+		return nil, nil, badRequest(err)
+	}
+	if err := sc.powers().Validate(); err != nil {
+		return nil, nil, badRequest(err)
+	}
+	basis, err := st.basisFor(act, sc.basisSlotKey())
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, basis, nil
+}
+
+// handleGradient answers the cheap superposition query: LRU first, then
+// a micro-batched basis evaluation.
+func (s *Server) handleGradient(w http.ResponseWriter, r *http.Request) {
+	var sc Scenario
+	if err := decode(r, &sc); err != nil {
+		writeErr(w, err)
+		return
+	}
+	st, basis, err := s.resolve(sc)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	key := sc.cacheKey()
+	if resp, ok := st.cache.Get(key); ok {
+		resp.Cached = true
+		writeJSON(w, resp)
+		return
+	}
+	// The scenario was fully validated in resolve, so an evaluation
+	// error here is the server's fault, not the client's.
+	res, err := st.batch.Submit(basis, sc.powers())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp := summarise(res)
+	st.cache.Add(key, resp)
+	writeJSON(w, resp)
+}
+
+// summarise reduces a full evaluation to the cacheable query answer.
+func summarise(res *thermal.Result) QueryResponse {
+	maxGrad := res.MaxONIGradient()
+	return QueryResponse{
+		MeanONITemp:  res.MeanONITemp(),
+		MeanGradient: res.MeanONIGradient(),
+		MaxGradient:  maxGrad,
+		Feasible:     maxGrad <= dse.GradientLimit,
+		ChipMax:      res.ChipMax,
+		ChipAvg:      res.ChipAvg,
+	}
+}
+
+// handleHeater runs the sequential golden-section heater optimisation.
+func (s *Server) handleHeater(w http.ResponseWriter, r *http.Request) {
+	var req HeaterRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	_, basis, err := s.resolve(req.Scenario)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	ex, err := dse.NewExplorer(basis)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	maxHeater := req.MaxHeater
+	if maxHeater == 0 {
+		maxHeater = req.PVCSEL
+	}
+	opt, err := ex.OptimalHeater(req.Chip, req.PVCSEL, maxHeater)
+	if err != nil {
+		writeErr(w, badRequest(err))
+		return
+	}
+	writeJSON(w, HeaterResponse{
+		PVCSEL:           opt.PVCSEL,
+		PHeater:          opt.PHeater,
+		Ratio:            opt.Ratio,
+		MeanGradient:     opt.MeanGradient,
+		GradientNoHeater: opt.GradientNoHeater,
+	})
+}
+
+// handleSNR runs the full methodology chain for one placement case.
+func (s *Server) handleSNR(w http.ResponseWriter, r *http.Request) {
+	var req SNRRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	st, err := s.state(req.specName())
+	if err != nil {
+		writeErr(w, notFound(err))
+		return
+	}
+	cs, err := parseCase(req.Case)
+	if err != nil {
+		writeErr(w, badRequest(err))
+		return
+	}
+	pat, err := parsePattern(req.Pattern)
+	if err != nil {
+		writeErr(w, badRequest(err))
+		return
+	}
+	act, err := req.activityScenario()
+	if err != nil {
+		writeErr(w, badRequest(err))
+		return
+	}
+	meth, err := st.methodology()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	// Warm the basis so SNRAnalysis evaluates by superposition instead of
+	// falling back to a direct solve per request.
+	if _, err := st.basisFor(act, req.basisSlotKey()); err != nil {
+		writeErr(w, err)
+		return
+	}
+	res, err := meth.SNRAnalysis(core.SNRScenario{
+		Case:      cs,
+		Activity:  act,
+		ChipPower: req.Chip,
+		PVCSEL:    req.PVCSEL,
+		PHeater:   req.PHeater,
+		Pattern:   pat,
+	})
+	if err != nil {
+		writeErr(w, badRequest(err))
+		return
+	}
+	writeJSON(w, SNRResponse{
+		Case:        cs.String(),
+		Pattern:     pat.String(),
+		RingLengthM: res.RingLengthM,
+		NodeTempMin: res.NodeTempMin,
+		NodeTempMax: res.NodeTempMax,
+		WorstSNRdB:  res.Report.WorstSNRdB,
+		AllDetected: res.Report.AllDetected,
+		Comms:       len(res.Report.PerComm),
+	})
+}
+
+// handleMap returns a lateral temperature slice of one stack layer.
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	var req MapRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	st, basis, err := s.resolve(req.Scenario)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	layer := req.Layer
+	if layer == "" {
+		layer = stack.LayerOptical
+	}
+	res, err := st.batch.Submit(basis, req.powers())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	lm, err := res.LayerSlice(layer)
+	if err != nil {
+		writeErr(w, badRequest(err))
+		return
+	}
+	writeJSON(w, MapResponse{Layer: lm.Layer, X: lm.X, Y: lm.Y, T: lm.T, Min: lm.Min, Max: lm.Max})
+}
+
+// rowWindow validates and clamps a sweep pagination window.
+func rowWindow(total, start, count int) (lo, hi int, err error) {
+	if start < 0 || start >= total {
+		return 0, 0, fmt.Errorf("serve: row_start %d outside [0, %d)", start, total)
+	}
+	if count < 0 {
+		return 0, 0, fmt.Errorf("serve: negative row_count %d", count)
+	}
+	hi = total
+	if count > 0 && start+count < total {
+		hi = start + count
+	}
+	return start, hi, nil
+}
+
+// handleGradientSweep evaluates a laser × heater gradient grid row
+// window. Rows are independent basis evaluations, so a window's values
+// are bit-identical to the same rows of a full in-process sweep — the
+// property the sharded scatter/gather relies on.
+func (s *Server) handleGradientSweep(w http.ResponseWriter, r *http.Request) {
+	var req GradientSweepRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if len(req.Lasers) == 0 || len(req.Heaters) == 0 {
+		writeErr(w, badRequest(fmt.Errorf("serve: empty sweep axes")))
+		return
+	}
+	st, basis, err := s.resolve(req.Scenario)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	lo, hi, err := rowWindow(len(req.Lasers), req.RowStart, req.RowCount)
+	if err != nil {
+		writeErr(w, badRequest(err))
+		return
+	}
+	ex, err := dse.NewExplorer(basis)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	ex.SetWorkers(st.spec.Workers)
+	s.sweepSem <- struct{}{}
+	rows, err := ex.SweepGradient(req.Chip, req.Lasers[lo:hi], req.Heaters)
+	<-s.sweepSem
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, GradientSweepResponse{
+		RowStart: lo, TotalRows: len(req.Lasers), Rows: rows,
+		ONICell: st.spec.Res.ONICell, Solver: st.spec.EffectiveSolver(),
+	})
+}
+
+// handleAvgTempSweep evaluates a chip × laser mean-temperature grid row
+// window.
+func (s *Server) handleAvgTempSweep(w http.ResponseWriter, r *http.Request) {
+	var req AvgTempSweepRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if len(req.Chips) == 0 || len(req.Lasers) == 0 {
+		writeErr(w, badRequest(fmt.Errorf("serve: empty sweep axes")))
+		return
+	}
+	st, basis, err := s.resolve(req.Scenario)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	lo, hi, err := rowWindow(len(req.Chips), req.RowStart, req.RowCount)
+	if err != nil {
+		writeErr(w, badRequest(err))
+		return
+	}
+	ex, err := dse.NewExplorer(basis)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	ex.SetWorkers(st.spec.Workers)
+	s.sweepSem <- struct{}{}
+	rows, err := ex.SweepAvgTemp(req.Chips[lo:hi], req.Lasers)
+	<-s.sweepSem
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, AvgTempSweepResponse{
+		RowStart: lo, TotalRows: len(req.Chips), Rows: rows,
+		ONICell: st.spec.Res.ONICell, Solver: st.spec.EffectiveSolver(),
+	})
+}
+
+// handleHealth reports liveness plus per-spec warm-state statistics.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, Health{
+		Status:  "ok",
+		UptimeS: time.Since(s.start).Seconds(),
+		Specs:   s.specInfos(),
+	})
+}
+
+// handleSpecs lists the registry.
+func (s *Server) handleSpecs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.specInfos())
+}
+
+func (s *Server) specInfos() []SpecInfo {
+	infos := make([]SpecInfo, 0, len(s.specs))
+	for _, st := range s.specs {
+		info := SpecInfo{
+			Name:     st.name,
+			ONICell:  st.spec.Res.ONICell,
+			DieCell:  st.spec.Res.DieCell,
+			MaxZCell: st.spec.Res.MaxZCell,
+			Solver:   st.spec.EffectiveSolver(),
+		}
+		hits, misses := st.cache.Stats()
+		info.CacheHits, info.CacheMisses = hits, misses
+		info.CacheLen = st.cache.Len()
+		info.Batches, info.BatchedQueries = st.batch.Stats()
+		// Peek without forcing a build: only report the model when some
+		// query has already paid for it.
+		if st.ready.Load() && st.err == nil {
+			info.ModelReady = true
+			info.Cells = st.meth.Model().NumCells()
+			info.BasisBuilds = st.meth.BasisBuilds()
+		}
+		infos = append(infos, info)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}

@@ -1,0 +1,388 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vcselnoc/internal/thermal"
+)
+
+// testServer builds a preview-resolution server (cold: no model built
+// yet) with the given batch window.
+func testServer(t *testing.T, window time.Duration) *Server {
+	t.Helper()
+	spec, err := thermal.PaperSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Res = thermal.PreviewResolution()
+	s, err := New(Config{
+		Specs:       map[string]thermal.Spec{DefaultSpec: spec},
+		BatchWindow: window,
+		CacheSize:   64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// postJSON drives one request through the handler without a network.
+func postJSON(t *testing.T, s *Server, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
+// skipShort gates tests whose model/basis builds are affordable in the
+// regular suite but slow under -race -short CI runs. The concurrency
+// tests (single-flight, mixed-query hammer) stay on in every mode.
+func skipShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full model builds skipped in -short")
+	}
+}
+
+func decodeBody[T any](t *testing.T, w *httptest.ResponseRecorder) T {
+	t.Helper()
+	var v T
+	if err := json.NewDecoder(w.Body).Decode(&v); err != nil {
+		t.Fatalf("decode response: %v (body %q)", err, w.Body.String())
+	}
+	return v
+}
+
+// TestBadInputs pins the client-error surface: every malformed request
+// must come back 4xx with the JSON error envelope, never a 500 or an
+// empty body.
+func TestBadInputs(t *testing.T) {
+	skipShort(t)
+	s := testServer(t, -1)
+	cases := []struct {
+		name, path, body string
+		wantStatus       int
+	}{
+		{"malformed JSON", "/v1/gradient", `{"chip": `, http.StatusBadRequest},
+		{"unknown field", "/v1/gradient", `{"chip": 25, "bogus": 1}`, http.StatusBadRequest},
+		{"trailing data", "/v1/gradient", `{"chip": 25} {"chip": 26}`, http.StatusBadRequest},
+		{"negative power", "/v1/gradient", `{"chip": -1}`, http.StatusBadRequest},
+		{"NaN-free unknown activity", "/v1/gradient", `{"chip": 25, "activity": "volcano"}`, http.StatusBadRequest},
+		{"unknown spec", "/v1/gradient", `{"chip": 25, "spec": "nope"}`, http.StatusNotFound},
+		{"empty sweep axes", "/v1/sweep/gradient", `{"chip": 25, "lasers": [], "heaters": [1e-3]}`, http.StatusBadRequest},
+		{"row window out of range", "/v1/sweep/gradient", `{"chip": 25, "lasers": [1e-3], "heaters": [0], "row_start": 5}`, http.StatusBadRequest},
+		{"unknown case", "/v1/snr", `{"chip": 24, "pvcsel": 3.6e-3, "case": 9}`, http.StatusBadRequest},
+		{"unknown pattern", "/v1/snr", `{"chip": 24, "pvcsel": 3.6e-3, "pattern": "mesh"}`, http.StatusBadRequest},
+		{"unknown layer", "/v1/map", `{"chip": 25, "layer": "mantle"}`, http.StatusBadRequest},
+		{"zero laser for heater search", "/v1/heater/optimal", `{"chip": 25, "pvcsel": 0}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := postJSON(t, s, tc.path, tc.body)
+			if w.Code != tc.wantStatus {
+				t.Fatalf("status = %d, want %d (body %q)", w.Code, tc.wantStatus, w.Body.String())
+			}
+			if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("Content-Type = %q, want application/json", ct)
+			}
+			eb := decodeBody[errorBody](t, w)
+			if eb.Error == "" {
+				t.Fatal("error envelope has empty message")
+			}
+		})
+	}
+}
+
+// TestBasisBound: a spec refuses to build bases for more distinct
+// activity shapes than Config.MaxBases — the guard against a client
+// looping random seeds to exhaust daemon memory.
+func TestBasisBound(t *testing.T) {
+	skipShort(t)
+	spec, err := thermal.PaperSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Res = thermal.PreviewResolution()
+	s, err := New(Config{
+		Specs:       map[string]thermal.Spec{DefaultSpec: spec},
+		BatchWindow: -1,
+		MaxBases:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, body := range []string{
+		`{"chip": 25, "pvcsel": 2e-3, "activity": "random", "seed": 1}`,
+		`{"chip": 25, "pvcsel": 2e-3, "activity": "random", "seed": 1}`, // same shape: no new slot
+		`{"chip": 25, "pvcsel": 2e-3}`,
+	} {
+		if w := postJSON(t, s, "/v1/gradient", body); w.Code != http.StatusOK {
+			t.Fatalf("query within bound rejected: %d (%s)", w.Code, w.Body.String())
+		}
+	}
+	w := postJSON(t, s, "/v1/gradient", `{"chip": 25, "pvcsel": 2e-3, "activity": "random", "seed": 2}`)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("third activity shape = %d, want %d (%s)", w.Code, http.StatusTooManyRequests, w.Body.String())
+	}
+	if eb := decodeBody[errorBody](t, w); eb.Error == "" {
+		t.Fatal("429 without error envelope")
+	}
+}
+
+// TestMethodNotAllowed: the mux's method patterns must reject a GET on a
+// POST endpoint.
+func TestMethodNotAllowed(t *testing.T) {
+	s := testServer(t, -1)
+	req := httptest.NewRequest(http.MethodGet, "/v1/gradient", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/gradient = %d, want %d", w.Code, http.StatusMethodNotAllowed)
+	}
+}
+
+// TestGradientCacheHitMiss: the first query misses and computes, the
+// second identical query (even spelled differently) hits, and a
+// different operating point misses again.
+func TestGradientCacheHitMiss(t *testing.T) {
+	skipShort(t)
+	s := testServer(t, -1)
+	const q = `{"chip": 25, "pvcsel": 2e-3, "pheater": 0.6e-3}`
+
+	w := postJSON(t, s, "/v1/gradient", q)
+	if w.Code != http.StatusOK {
+		t.Fatalf("first query: %d (%s)", w.Code, w.Body.String())
+	}
+	first := decodeBody[QueryResponse](t, w)
+	if first.Cached {
+		t.Fatal("first query claims cached")
+	}
+	if first.MeanONITemp <= 25 {
+		t.Fatalf("implausible mean ONI temp %g", first.MeanONITemp)
+	}
+
+	// Same point with the driver spelled explicitly: canonicalisation
+	// must collapse it onto the same key.
+	w = postJSON(t, s, "/v1/gradient", `{"chip": 25, "pvcsel": 2e-3, "pdriver": 2e-3, "pheater": 0.6e-3}`)
+	second := decodeBody[QueryResponse](t, w)
+	if !second.Cached {
+		t.Fatal("identical query missed the cache")
+	}
+	if second.MeanONITemp != first.MeanONITemp || second.MaxGradient != first.MaxGradient {
+		t.Fatal("cached answer differs from computed answer")
+	}
+
+	w = postJSON(t, s, "/v1/gradient", `{"chip": 26, "pvcsel": 2e-3, "pheater": 0.6e-3}`)
+	third := decodeBody[QueryResponse](t, w)
+	if third.Cached {
+		t.Fatal("different operating point served from cache")
+	}
+
+	st, err := s.state(DefaultSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := st.cache.Stats()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("cache stats hits=%d misses=%d, want 1/2", hits, misses)
+	}
+}
+
+// TestSingleFlightBasisBuild: N concurrent queries against a cold spec
+// must trigger exactly one model build and one basis build.
+func TestSingleFlightBasisBuild(t *testing.T) {
+	s := testServer(t, DefaultBatchWindow)
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct operating points: no cache short-circuit, all
+			// must wait on the same cold basis.
+			body := fmt.Sprintf(`{"chip": 25, "pvcsel": %g, "pheater": 1e-3}`, 1e-3+float64(i)*1e-4)
+			req := httptest.NewRequest(http.MethodPost, "/v1/gradient", strings.NewReader(body))
+			w := httptest.NewRecorder()
+			s.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				errs[i] = fmt.Errorf("query %d: HTTP %d (%s)", i, w.Code, w.Body.String())
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := s.state(DefaultSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meth, err := st.methodology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if builds := meth.BasisBuilds(); builds != 1 {
+		t.Fatalf("%d concurrent cold queries ran %d basis builds, want 1", n, builds)
+	}
+}
+
+// TestConcurrentMixedQueries hammers a warm server from many goroutines
+// across endpoint kinds — the -race test of the serving hot path.
+func TestConcurrentMixedQueries(t *testing.T) {
+	s := testServer(t, DefaultBatchWindow)
+	if err := s.Warm(DefaultSpec); err != nil {
+		t.Fatal(err)
+	}
+	bodies := []struct{ path, body string }{
+		{"/v1/gradient", `{"chip": 25, "pvcsel": 2e-3, "pheater": 0.6e-3}`},
+		{"/v1/gradient", `{"chip": 25, "pvcsel": 3e-3, "pheater": 1e-3}`},
+		{"/v1/feasibility", `{"chip": 25, "pvcsel": 4e-3, "pheater": 1.2e-3}`},
+		{"/v1/sweep/gradient", `{"chip": 25, "lasers": [1e-3, 2e-3], "heaters": [0, 1e-3]}`},
+		{"/v1/sweep/avgtemp", `{"chips": [20, 25], "lasers": [0, 2e-3]}`},
+	}
+	const rounds = 4
+	var wg sync.WaitGroup
+	errc := make(chan error, rounds*len(bodies)+2*rounds)
+	for r := 0; r < rounds; r++ {
+		for _, b := range bodies {
+			wg.Add(1)
+			go func(path, body string) {
+				defer wg.Done()
+				req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+				w := httptest.NewRecorder()
+				s.ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					errc <- fmt.Errorf("%s: HTTP %d (%s)", path, w.Code, w.Body.String())
+				}
+			}(b.path, b.body)
+		}
+		// Stats endpoints race the queries: the peek paths must be clean.
+		for _, path := range []string{"/healthz", "/v1/specs"} {
+			wg.Add(1)
+			go func(path string) {
+				defer wg.Done()
+				req := httptest.NewRequest(http.MethodGet, path, nil)
+				w := httptest.NewRecorder()
+				s.ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					errc <- fmt.Errorf("%s: HTTP %d", path, w.Code)
+				}
+			}(path)
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestHealthAndSpecs covers the introspection endpoints before and after
+// warm-up.
+func TestHealthAndSpecs(t *testing.T) {
+	skipShort(t)
+	s := testServer(t, -1)
+
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	h := decodeBody[Health](t, w)
+	if h.Status != "ok" || len(h.Specs) != 1 {
+		t.Fatalf("health = %+v", h)
+	}
+	if h.Specs[0].ModelReady {
+		t.Fatal("cold spec reports a ready model")
+	}
+
+	if w := postJSON(t, s, "/v1/gradient", `{"chip": 25, "pvcsel": 2e-3}`); w.Code != http.StatusOK {
+		t.Fatalf("warm-up query: %d", w.Code)
+	}
+	req = httptest.NewRequest(http.MethodGet, "/v1/specs", nil)
+	w = httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	infos := decodeBody[[]SpecInfo](t, w)
+	if len(infos) != 1 || !infos[0].ModelReady || infos[0].Cells == 0 || infos[0].BasisBuilds != 1 {
+		t.Fatalf("specs after warm-up = %+v", infos)
+	}
+	if infos[0].Solver == "" {
+		t.Fatal("spec info missing effective solver")
+	}
+}
+
+// TestMapEndpoint sanity-checks a layer slice.
+func TestMapEndpoint(t *testing.T) {
+	skipShort(t)
+	s := testServer(t, -1)
+	w := postJSON(t, s, "/v1/map", `{"chip": 25, "pvcsel": 2e-3}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("map: %d (%s)", w.Code, w.Body.String())
+	}
+	m := decodeBody[MapResponse](t, w)
+	if m.Layer != "optical" || len(m.X) == 0 || len(m.T) != len(m.Y) || m.Max < m.Min {
+		t.Fatalf("map response malformed: layer=%q nx=%d ny=%d", m.Layer, len(m.X), len(m.Y))
+	}
+	if m.Max <= 25 {
+		t.Fatalf("optical layer max %g never rose above ambient", m.Max)
+	}
+}
+
+// TestSNREndpoint runs the full chain once.
+func TestSNREndpoint(t *testing.T) {
+	skipShort(t)
+	s := testServer(t, -1)
+	w := postJSON(t, s, "/v1/snr", `{"chip": 24, "pvcsel": 3.6e-3, "pheater": 1.08e-3, "case": 1}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("snr: %d (%s)", w.Code, w.Body.String())
+	}
+	r := decodeBody[SNRResponse](t, w)
+	if r.Comms == 0 || r.RingLengthM <= 0 || r.NodeTempMax < r.NodeTempMin {
+		t.Fatalf("snr response malformed: %+v", r)
+	}
+}
+
+// TestSweepPagination: a row window must return exactly the requested
+// rows of the full grid.
+func TestSweepPagination(t *testing.T) {
+	skipShort(t)
+	s := testServer(t, -1)
+	full := postJSON(t, s, "/v1/sweep/gradient",
+		`{"chip": 25, "lasers": [1e-3, 2e-3, 3e-3], "heaters": [0, 1e-3]}`)
+	if full.Code != http.StatusOK {
+		t.Fatalf("full sweep: %d", full.Code)
+	}
+	fullResp := decodeBody[GradientSweepResponse](t, full)
+	if len(fullResp.Rows) != 3 || fullResp.TotalRows != 3 {
+		t.Fatalf("full sweep returned %d rows", len(fullResp.Rows))
+	}
+	window := postJSON(t, s, "/v1/sweep/gradient",
+		`{"chip": 25, "lasers": [1e-3, 2e-3, 3e-3], "heaters": [0, 1e-3], "row_start": 1, "row_count": 1}`)
+	winResp := decodeBody[GradientSweepResponse](t, window)
+	if winResp.RowStart != 1 || len(winResp.Rows) != 1 {
+		t.Fatalf("window = start %d, %d rows", winResp.RowStart, len(winResp.Rows))
+	}
+	if !bytes.Equal(mustJSON(t, winResp.Rows[0]), mustJSON(t, fullResp.Rows[1])) {
+		t.Fatal("windowed row differs from the same row of the full sweep")
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vcselnoc/internal/activity"
+	"vcselnoc/internal/core"
+	"vcselnoc/internal/dse"
+	"vcselnoc/internal/ornoc"
+	"vcselnoc/internal/thermal"
+)
+
+// Scenario is the wire form of one operating point: which registered
+// spec, which chip-activity shape, and the four power knobs. It is the
+// request body (or embedded portion) of every query endpoint.
+type Scenario struct {
+	// Spec names a registered system spec; empty selects DefaultSpec.
+	Spec string `json:"spec,omitempty"`
+	// Activity names the chip activity scenario (uniform, diagonal,
+	// random, hotspot, checkerboard); empty means uniform.
+	Activity string `json:"activity,omitempty"`
+	// Seed parameterises the random activity.
+	Seed int64 `json:"seed,omitempty"`
+	// Chip is the total processing power (W).
+	Chip float64 `json:"chip"`
+	// PVCSEL is the per-laser dissipated power (W).
+	PVCSEL float64 `json:"pvcsel"`
+	// PDriver is the per-driver power (W); nil applies the paper's worst
+	// case P_driver = P_VCSEL.
+	PDriver *float64 `json:"pdriver,omitempty"`
+	// PHeater is the per-MR heater power (W).
+	PHeater float64 `json:"pheater"`
+}
+
+// scenario resolution helpers -------------------------------------------
+
+// specName returns the registry key the scenario addresses.
+func (s Scenario) specName() string {
+	if s.Spec == "" {
+		return DefaultSpec
+	}
+	return s.Spec
+}
+
+// activityScenario resolves the named chip activity.
+func (s Scenario) activityScenario() (activity.Scenario, error) {
+	if s.Activity == "" {
+		return activity.Uniform{}, nil
+	}
+	return activity.ByName(s.Activity, s.Seed)
+}
+
+// powers maps the wire scenario onto thermal power knobs (activity
+// excluded — the caller attaches the resolved scenario where needed).
+func (s Scenario) powers() thermal.Powers {
+	driver := s.PVCSEL
+	if s.PDriver != nil {
+		driver = *s.PDriver
+	}
+	return thermal.Powers{Chip: s.Chip, VCSEL: s.PVCSEL, Driver: driver, Heater: s.PHeater}
+}
+
+// cacheKey canonicalises the scenario for the query LRU: the driver
+// default is applied first (so {pvcsel: 2 mW} and {pvcsel: 2 mW,
+// pdriver: 2 mW} share an entry), the empty activity collapses onto
+// "uniform", the seed is zeroed for activities that ignore it, and
+// floats are formatted shortest-round-trip so numerically identical
+// JSON spellings collide.
+func (s Scenario) cacheKey() string {
+	p := s.powers()
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	return strings.Join([]string{
+		s.specName(), s.basisSlotKey(),
+		f(p.Chip), f(p.VCSEL), f(p.Driver), f(p.Heater),
+	}, "|")
+}
+
+// basisSlotKey identifies the activity shape for the per-spec basis
+// bound and the cache key: the activity name normalised (empty means
+// uniform) plus the seed for the seed-sensitive random activity.
+func (s Scenario) basisSlotKey() string {
+	act := s.Activity
+	if act == "" {
+		act = "uniform"
+	}
+	seed := s.Seed
+	if act != "random" {
+		seed = 0
+	}
+	return act + "|" + strconv.FormatInt(seed, 10)
+}
+
+// QueryResponse is the answer to a gradient or feasibility query: the
+// superposition evaluation's ONI summary plus the paper's 1 °C verdict.
+type QueryResponse struct {
+	// MeanONITemp averages the per-ONI average temperatures (°C).
+	MeanONITemp float64 `json:"mean_oni_temp"`
+	// MeanGradient and MaxGradient summarise the intra-ONI gradients (°C).
+	MeanGradient float64 `json:"mean_gradient"`
+	MaxGradient  float64 `json:"max_gradient"`
+	// Feasible reports the paper's 1 °C gradient constraint.
+	Feasible bool `json:"feasible"`
+	// ChipMax and ChipAvg summarise the junction layer (°C).
+	ChipMax float64 `json:"chip_max"`
+	ChipAvg float64 `json:"chip_avg"`
+	// Cached marks answers served from the query LRU.
+	Cached bool `json:"cached"`
+}
+
+// HeaterRequest asks for the gradient-minimising heater power.
+type HeaterRequest struct {
+	Scenario
+	// MaxHeater bounds the search (W); zero defaults to PVCSEL.
+	MaxHeater float64 `json:"max_heater,omitempty"`
+}
+
+// HeaterResponse reports the heater optimum.
+type HeaterResponse struct {
+	PVCSEL           float64 `json:"pvcsel"`
+	PHeater          float64 `json:"pheater"`
+	Ratio            float64 `json:"ratio"`
+	MeanGradient     float64 `json:"mean_gradient"`
+	GradientNoHeater float64 `json:"gradient_no_heater"`
+}
+
+// SNRRequest runs the full methodology chain for one placement case.
+type SNRRequest struct {
+	Scenario
+	// Case is the ONI placement: 1 (18 mm), 2 (32 mm) or 3 (47 mm,
+	// default).
+	Case int `json:"case,omitempty"`
+	// Pattern is the communication set: "neighbour" (default) or
+	// "paired".
+	Pattern string `json:"pattern,omitempty"`
+}
+
+// SNRResponse is the signal-quality verdict.
+type SNRResponse struct {
+	Case        string  `json:"case"`
+	Pattern     string  `json:"pattern"`
+	RingLengthM float64 `json:"ring_length_m"`
+	NodeTempMin float64 `json:"node_temp_min"`
+	NodeTempMax float64 `json:"node_temp_max"`
+	WorstSNRdB  float64 `json:"worst_snr_db"`
+	AllDetected bool    `json:"all_detected"`
+	Comms       int     `json:"comms"`
+}
+
+// MapRequest asks for a lateral temperature slice.
+type MapRequest struct {
+	Scenario
+	// Layer names the stack layer; empty selects the optical layer.
+	Layer string `json:"layer,omitempty"`
+}
+
+// MapResponse carries one layer's temperature map.
+type MapResponse struct {
+	Layer string      `json:"layer"`
+	X     []float64   `json:"x_m"`
+	Y     []float64   `json:"y_m"`
+	T     [][]float64 `json:"temp_c"`
+	Min   float64     `json:"min_c"`
+	Max   float64     `json:"max_c"`
+}
+
+// GradientSweepRequest is a (paginated) Fig. 9-b grid: rows iterate laser
+// powers, columns heater powers. RowStart/RowCount select a row window
+// for sharded scatter/gather; RowCount 0 means "to the end".
+type GradientSweepRequest struct {
+	Scenario
+	Lasers   []float64 `json:"lasers"`
+	Heaters  []float64 `json:"heaters"`
+	RowStart int       `json:"row_start,omitempty"`
+	RowCount int       `json:"row_count,omitempty"`
+}
+
+// GradientSweepResponse returns the requested row window. ONICell and
+// Solver fingerprint the worker's discretisation so shard clients can
+// verify every chunk — including chunks from workers that were
+// unreachable during preflight and came back mid-sweep.
+type GradientSweepResponse struct {
+	RowStart  int                   `json:"row_start"`
+	TotalRows int                   `json:"total_rows"`
+	Rows      [][]dse.GradientPoint `json:"rows"`
+	ONICell   float64               `json:"oni_cell_m"`
+	Solver    string                `json:"solver"`
+}
+
+// AvgTempSweepRequest is a (paginated) Fig. 9-a grid: rows iterate chip
+// powers, columns laser powers.
+type AvgTempSweepRequest struct {
+	Scenario
+	Chips    []float64 `json:"chips"`
+	Lasers   []float64 `json:"lasers"`
+	RowStart int       `json:"row_start,omitempty"`
+	RowCount int       `json:"row_count,omitempty"`
+}
+
+// AvgTempSweepResponse returns the requested row window, fingerprinted
+// like GradientSweepResponse.
+type AvgTempSweepResponse struct {
+	RowStart  int                  `json:"row_start"`
+	TotalRows int                  `json:"total_rows"`
+	Rows      [][]dse.AvgTempPoint `json:"rows"`
+	ONICell   float64              `json:"oni_cell_m"`
+	Solver    string               `json:"solver"`
+}
+
+// SpecInfo describes one registered spec's warm state.
+type SpecInfo struct {
+	Name string `json:"name"`
+	// Resolution echoes the lateral/vertical cell sizes (m).
+	ONICell  float64 `json:"oni_cell_m"`
+	DieCell  float64 `json:"die_cell_m"`
+	MaxZCell float64 `json:"max_z_cell_m"`
+	// Solver is the effective sparse backend.
+	Solver string `json:"solver"`
+	// ModelReady and Cells report the lazily built mesh (Cells is 0 until
+	// the first query forces the build).
+	ModelReady bool `json:"model_ready"`
+	Cells      int  `json:"cells,omitempty"`
+	// BasisBuilds counts the unit-solve basis builds this spec has run.
+	BasisBuilds int64 `json:"basis_builds"`
+	// CacheHits/CacheMisses/CacheLen describe the query LRU.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	CacheLen    int   `json:"cache_len"`
+	// Batches and BatchedQueries count micro-batch flushes and the
+	// queries they carried.
+	Batches        int64 `json:"batches"`
+	BatchedQueries int64 `json:"batched_queries"`
+}
+
+// Health is the /healthz body.
+type Health struct {
+	Status  string     `json:"status"`
+	UptimeS float64    `json:"uptime_s"`
+	Specs   []SpecInfo `json:"specs"`
+}
+
+// errorBody is the JSON error envelope every non-2xx answer uses.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// parseCase maps the wire case number onto the placement enum.
+func parseCase(n int) (ornoc.CaseStudy, error) {
+	switch n {
+	case 0, 3:
+		return ornoc.Case47mm, nil
+	case 1:
+		return ornoc.Case18mm, nil
+	case 2:
+		return ornoc.Case32mm, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown placement case %d (want 1, 2 or 3)", n)
+	}
+}
+
+// parsePattern maps the wire pattern name onto the enum.
+func parsePattern(name string) (core.CommPattern, error) {
+	switch name {
+	case "", "neighbour":
+		return core.Neighbour, nil
+	case "paired":
+		return core.Paired, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown pattern %q (want neighbour or paired)", name)
+	}
+}

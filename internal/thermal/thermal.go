@@ -65,6 +65,24 @@ func PreviewResolution() Resolution {
 	return Resolution{ONICell: 40e-6, DieCell: 4e-3, MaxZCell: 1.2e-3}
 }
 
+// ResolutionByName resolves a CLI-style resolution name — the single
+// source for every command's -res flag, so adding a tier never needs
+// per-command switch updates.
+func ResolutionByName(name string) (Resolution, error) {
+	switch name {
+	case "preview":
+		return PreviewResolution(), nil
+	case "coarse":
+		return CoarseResolution(), nil
+	case "fast":
+		return FastResolution(), nil
+	case "paper":
+		return PaperResolution(), nil
+	default:
+		return Resolution{}, fmt.Errorf("thermal: unknown resolution %q (want preview, coarse, fast or paper)", name)
+	}
+}
+
 // Validate reports resolution errors.
 func (r Resolution) Validate() error {
 	if r.ONICell <= 0 || r.DieCell <= 0 || r.MaxZCell <= 0 {
@@ -98,7 +116,7 @@ type Spec struct {
 	// SolverTol is the solver's relative tolerance (default 1e-8).
 	SolverTol float64
 	// Solver selects the sparse backend by name ("jacobi-cg", "ssor-cg",
-	// "mg-cg"); empty selects jacobi-cg.
+	// "mg-cg"); empty auto-selects per resolution (see EffectiveSolver).
 	Solver string
 	// Workers caps the goroutines used by parallel solves (basis building,
 	// matrix-vector products); 0 means GOMAXPROCS.
@@ -132,6 +150,27 @@ func PaperSpec() (Spec, error) {
 		Res:       FastResolution(),
 		SolverTol: 1e-8,
 	}, nil
+}
+
+// autoSolverCell is the coarsest ONI cell size (m) at which an empty
+// Spec.Solver auto-selects mg-cg: at 10 µm (FastResolution) and finer,
+// the mg-cg iteration count is mesh-independent and dominates; meshes
+// coarser than this (preview/test tiers) solve faster under plain
+// Jacobi-CG.
+const autoSolverCell = 10e-6
+
+// EffectiveSolver resolves the sparse backend a solve of this spec uses:
+// an explicit Solver name wins; an empty Solver auto-selects mg-cg at
+// fast/paper resolutions (ONI cells ≤ 10 µm) and jacobi-cg on the coarser
+// preview/coarse meshes.
+func (s Spec) EffectiveSolver() string {
+	if s.Solver != "" {
+		return s.Solver
+	}
+	if s.Res.ONICell > 0 && s.Res.ONICell <= autoSolverCell {
+		return sparse.BackendMGCG
+	}
+	return sparse.BackendJacobiCG
 }
 
 // Validate reports spec errors.
@@ -567,7 +606,7 @@ func (m *Model) powerVector(p Powers) ([]float64, error) {
 func (m *Model) solveOptions() fvm.SolveOptions {
 	return fvm.SolveOptions{
 		Tolerance: m.spec.SolverTol,
-		Solver:    m.spec.Solver,
+		Solver:    m.spec.EffectiveSolver(),
 		Workers:   m.spec.Workers,
 	}
 }
@@ -716,6 +755,17 @@ func (r *Result) MeanONITemp() float64 {
 	return s / float64(len(r.ONIs))
 }
 
+// MeanONIGradient averages the per-ONI gradient temperatures — the
+// quantity the heater optimisation minimises and the serving layer
+// reports.
+func (r *Result) MeanONIGradient() float64 {
+	var s float64
+	for _, o := range r.ONIs {
+		s += o.Gradient
+	}
+	return s / float64(len(r.ONIs))
+}
+
 // MaxONIGradient returns the worst intra-ONI gradient.
 func (r *Result) MaxONIGradient() float64 {
 	worst := 0.0
@@ -771,7 +821,7 @@ func (m *Model) SolveTransient(p Powers, ts TransientSpec) (*Result, error) {
 		Steps:          ts.Steps,
 		InitialUniform: m.spec.Ambient,
 		Tolerance:      m.spec.SolverTol,
-		Solver:         m.spec.Solver,
+		Solver:         m.spec.EffectiveSolver(),
 		Workers:        m.spec.Workers,
 	}
 	if ts.Initial != nil {

@@ -26,6 +26,9 @@
 package vcselnoc
 
 import (
+	"context"
+	"net/http"
+
 	"vcselnoc/internal/activity"
 	"vcselnoc/internal/core"
 	"vcselnoc/internal/dse"
@@ -37,6 +40,7 @@ import (
 	"vcselnoc/internal/ornoc"
 	"vcselnoc/internal/photodiode"
 	"vcselnoc/internal/scc"
+	"vcselnoc/internal/serve"
 	"vcselnoc/internal/snr"
 	"vcselnoc/internal/sparse"
 	"vcselnoc/internal/stack"
@@ -84,7 +88,8 @@ type Options struct {
 	// default of PaperSpec.
 	Res Resolution
 	// Solver selects the sparse backend by name (SolverJacobiCG,
-	// SolverSSORCG, SolverMGCG); empty selects Jacobi-CG.
+	// SolverSSORCG, SolverMGCG); empty auto-selects per resolution:
+	// mg-cg at fast/paper, jacobi-cg at preview/coarse.
 	Solver string
 	// Workers caps the goroutines used by parallel solves and design-space
 	// sweeps; 0 means GOMAXPROCS.
@@ -324,6 +329,44 @@ type (
 // ActivityByName resolves a CLI-style scenario name.
 func ActivityByName(name string, seed int64) (ActivityScenario, error) {
 	return activity.ByName(name, seed)
+}
+
+// Serving layer: the warm thermal-analysis service behind cmd/vcseld and
+// the scatter/gather client behind `dse -shards`.
+type (
+	// Server is the warm HTTP service: long-lived models and bases,
+	// micro-batched superposition queries, an LRU over canonicalised
+	// scenarios, and single-flight basis builds. It implements
+	// http.Handler.
+	Server = serve.Server
+	// ServeConfig registers the specs a Server owns warm state for and
+	// tunes its batching/caching.
+	ServeConfig = serve.Config
+	// ServeScenario is the wire form of one operating point.
+	ServeScenario = serve.Scenario
+	// ShardClient scatters design-space sweep grids across a vcseld
+	// fleet and gathers rows back deterministically, retrying failed
+	// chunks locally.
+	ShardClient = serve.ShardClient
+)
+
+// DefaultServeSpec is the registry name an empty scenario spec selects.
+const DefaultServeSpec = serve.DefaultSpec
+
+// NewServer builds the warm thermal-analysis service.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
+
+// NewShardClient parses a comma-separated worker list into a sharded
+// sweep client; fallback (optional) builds the local explorer used to
+// recompute chunks whose worker failed.
+func NewShardClient(shards string, sc ServeScenario, fallback func() (*Explorer, error)) (*ShardClient, error) {
+	return serve.NewShardClient(shards, sc, fallback)
+}
+
+// RunServer serves handler on addr until ctx is cancelled, then drains
+// in-flight requests gracefully (see serve.ListenAndRun).
+func RunServer(ctx context.Context, addr string, handler http.Handler) error {
+	return serve.ListenAndRun(ctx, addr, handler, 0, nil)
 }
 
 // Low-level solver access (for users building their own structures).
