@@ -3,12 +3,20 @@
 //
 // Usage:
 //
-//	repro [-res coarse|fast|paper] [-experiment all|fig8|fig9a|fig9b|fig10|fig12|xbar|table1]
+//	repro [-res coarse|fast|paper] [-experiment all|fig8|fig9a|fig9b|fig10|fig12|xbar|table1|transient]
 //	      [-solver jacobi-cg|ssor-cg|mg-cg] [-workers 0]
+//	      [-steps 200] [-dt 1e-3] [-checkpoint warmup.ckpt] [-resume warmup.ckpt]
 //
 // The fast (10 µm) resolution reproduces the paper's trends in a few
 // minutes; paper (5 µm) matches the published meshing strategy but takes
 // considerably longer.
+//
+// The transient experiment (explicit only — not part of "all") integrates
+// the lasers-on warm-up from the chip-only steady state. -checkpoint
+// writes a resumable checkpoint file every 25 steps (and at the end);
+// -resume continues a previous run from such a file — the restored
+// trajectory is bit-identical to an uninterrupted one, and a checkpoint
+// taken on a different mesh, power vector or solver refuses cleanly.
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"vcselnoc/internal/activity"
 	"vcselnoc/internal/core"
 	"vcselnoc/internal/dse"
+	"vcselnoc/internal/fvm"
 	"vcselnoc/internal/mrr"
 	"vcselnoc/internal/ornoc"
 	"vcselnoc/internal/photodiode"
@@ -35,9 +44,13 @@ import (
 
 func main() {
 	res := flag.String("res", "fast", "mesh resolution: preview, coarse, fast or paper")
-	exp := flag.String("experiment", "all", "which experiment to run: all, table1, fig5b, fig8, fig9a, fig9b, fig10, fig12, xbar")
+	exp := flag.String("experiment", "all", "which experiment to run: all, table1, fig5b, fig8, fig9a, fig9b, fig10, fig12, xbar, transient (explicit only)")
 	solver := flag.String("solver", "", "sparse backend: one of "+strings.Join(sparse.Backends(), ", ")+" (default auto-selects per resolution)")
 	workers := flag.Int("workers", 0, "parallel solver/sweep workers (0 = all CPUs)")
+	steps := flag.Int("steps", 200, "transient experiment: implicit-Euler steps to integrate")
+	dt := flag.Float64("dt", 1e-3, "transient experiment: time step in seconds")
+	checkpoint := flag.String("checkpoint", "", "transient experiment: write a resumable checkpoint to this file every 25 steps")
+	resume := flag.String("resume", "", "transient experiment: resume from a checkpoint file written by -checkpoint")
 	flag.Parse()
 
 	log.SetFlags(0)
@@ -56,6 +69,13 @@ func main() {
 	all := *exp == "all"
 	want := func(name string) bool { return all || *exp == name }
 	ranAny := false
+
+	// The transient warm-up is long-running and parameterised, so it only
+	// runs when asked for explicitly.
+	if *exp == "transient" {
+		runTransient(spec, *steps, *dt, *checkpoint, *resume)
+		return
+	}
 
 	if want("table1") {
 		table1()
@@ -102,6 +122,68 @@ func main() {
 	if !ranAny {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+}
+
+// runTransient integrates the lasers-on warm-up (extension beyond the
+// paper's steady-state study) with optional checkpointing and resume.
+func runTransient(spec thermal.Spec, steps int, dt float64, checkpointPath, resumePath string) {
+	m, err := thermal.NewModel(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("transient warm-up: %d cells, dt=%g s, %d steps, %s solver\n",
+		m.NumCells(), dt, steps, spec.EffectiveSolver())
+	powers := thermal.Powers{Chip: 25, VCSEL: 3.6e-3, Driver: 3.6e-3, Heater: 1.08e-3}
+	ts := thermal.TransientSpec{
+		TimeStep: dt,
+		Steps:    steps,
+		Observer: func(o thermal.TransientObservation) {
+			if o.Step%10 == 0 || o.Step == steps {
+				fmt.Printf("  step %4d  t=%7.3f s  peak %6.2f °C  max gradient %5.3f °C  (%d solver iters)\n",
+					o.Step, o.TimeS, o.PeakTemp, o.MaxGradient, o.SolverIterations)
+			}
+		},
+	}
+	if resumePath != "" {
+		f, err := os.Open(resumePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cp, err := fvm.DecodeTransientCheckpoint(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		ts.Resume = cp
+		fmt.Printf("  resuming from %s (step %d)\n", resumePath, cp.Step)
+	}
+	if checkpointPath != "" {
+		ts.Checkpoint = func(cp *fvm.TransientCheckpoint) error {
+			tmp := checkpointPath + ".tmp"
+			f, err := os.Create(tmp)
+			if err != nil {
+				return err
+			}
+			if err := cp.Encode(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			return os.Rename(tmp, checkpointPath)
+		}
+	}
+	start := time.Now()
+	res, err := m.SolveTransient(powers, ts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done in %v: mean ONI %.2f °C, max gradient %.3f °C, chip max %.2f °C\n",
+		time.Since(start).Round(time.Millisecond), res.MeanONITemp(), res.MaxONIGradient(), res.ChipMax)
+	if checkpointPath != "" {
+		fmt.Printf("checkpoint written to %s\n", checkpointPath)
 	}
 }
 

@@ -2,27 +2,37 @@
 // thermal models and superposition bases alive across requests and
 // answers JSON design queries — gradients, feasibility, heater optima,
 // SNR scenarios, thermal-map slices and paginated sweep grids. It also
-// serves as the shard worker behind `dse -shards`.
+// serves as the shard worker behind `dse -shards`, and runs long
+// transient (warm-up) simulations as asynchronous jobs with periodic
+// checkpoints that survive daemon restarts.
 //
 // Usage:
 //
 //	vcseld [-addr :8080] [-res fast] [-solver mg-cg] [-workers 0]
 //	       [-batch-window 1ms] [-cache 4096] [-warm]
+//	       [-job-dir /var/lib/vcseld/jobs] [-job-checkpoint-every 25]
 //
-// Endpoints (all JSON):
+// Endpoints (all JSON unless noted):
 //
-//	GET  /healthz            liveness + warm-state statistics
-//	GET  /v1/specs           registered spec registry
-//	POST /v1/gradient        batched superposition gradient query
-//	POST /v1/feasibility     same body, 1 °C constraint verdict
-//	POST /v1/heater/optimal  golden-section heater optimisation
-//	POST /v1/snr             worst-case SNR for a placement case
-//	POST /v1/map             lateral temperature slice of a stack layer
-//	POST /v1/sweep/gradient  paginated Fig. 9-b laser × heater grid
-//	POST /v1/sweep/avgtemp   paginated Fig. 9-a chip × laser grid
+//	GET  /healthz             liveness + warm-state statistics
+//	GET  /metrics             Prometheus text-format metrics
+//	GET  /v1/specs            registered spec registry
+//	POST /v1/gradient         batched superposition gradient query
+//	POST /v1/feasibility      same body, 1 °C constraint verdict
+//	POST /v1/heater/optimal   golden-section heater optimisation
+//	POST /v1/snr              worst-case SNR for a placement case
+//	POST /v1/map              lateral temperature slice of a stack layer
+//	POST /v1/sweep/gradient   paginated Fig. 9-b laser × heater grid
+//	POST /v1/sweep/avgtemp    paginated Fig. 9-a chip × laser grid
+//	POST /v1/transient        submit an async transient job (202 + id)
+//	GET  /v1/jobs             list transient jobs
+//	GET  /v1/jobs/{id}        one job's progress / result
+//	GET  /v1/jobs/{id}/stream NDJSON stream of job status snapshots
 //
-// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, and
-// in-flight requests (including sweep chunks) drain before exit.
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
+// in-flight requests (including sweep chunks) drain, and running
+// transient jobs checkpoint their exact current step into -job-dir so the
+// next daemon resumes them bit-identically.
 package main
 
 import (
@@ -50,6 +60,8 @@ func main() {
 	maxBases := flag.Int("max-bases", serve.DefaultMaxBases, "distinct activity shapes to hold warm bases for (requests beyond get HTTP 429)")
 	warm := flag.Bool("warm", false, "build the model and uniform basis before accepting traffic")
 	shutdownTimeout := flag.Duration("shutdown-timeout", serve.DefaultShutdownTimeout, "grace period for in-flight requests on shutdown")
+	jobDir := flag.String("job-dir", "", "directory for transient-job checkpoints; jobs resume across restarts (empty keeps jobs in memory)")
+	jobEvery := flag.Int("job-checkpoint-every", serve.DefaultJobCheckpointEvery, "default transient-job checkpoint cadence in steps")
 	flag.Parse()
 
 	log.SetFlags(0)
@@ -66,10 +78,12 @@ func main() {
 	spec.Workers = *workers
 
 	srv, err := serve.New(serve.Config{
-		Specs:       map[string]thermal.Spec{serve.DefaultSpec: spec},
-		BatchWindow: *batchWindow,
-		CacheSize:   *cacheSize,
-		MaxBases:    *maxBases,
+		Specs:              map[string]thermal.Spec{serve.DefaultSpec: spec},
+		BatchWindow:        *batchWindow,
+		CacheSize:          *cacheSize,
+		MaxBases:           *maxBases,
+		JobDir:             *jobDir,
+		JobCheckpointEvery: *jobEvery,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -85,9 +99,17 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	// On the shutdown signal, stop background transient jobs concurrently
+	// with the HTTP drain: each running job checkpoints its exact current
+	// step into -job-dir (so the next daemon resumes it bit-identically)
+	// and attached /v1/jobs/{id}/stream clients are released — otherwise
+	// an open stream would hold the graceful drain for its full timeout.
+	defer context.AfterFunc(ctx, srv.Close)()
 	err = serve.ListenAndRun(ctx, *addr, srv, *shutdownTimeout, func(a net.Addr) {
 		log.Printf("listening on %s (%s resolution, %s solver)", a, *res, spec.EffectiveSolver())
 	})
+	// Idempotent: covers exits where the listener died before any signal.
+	srv.Close()
 	if err != nil {
 		log.Fatal(err)
 	}

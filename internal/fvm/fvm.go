@@ -18,6 +18,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"vcselnoc/internal/geom"
 	"vcselnoc/internal/mesh"
@@ -168,6 +169,28 @@ type System struct {
 	mgOnce sync.Once
 	mgHier *mg.Hierarchy
 	mgErr  error
+
+	// capOnce/capVol/capErr lazily cache the validated per-cell heat
+	// capacity C = ρc·V (J/K) transient operators scale by 1/dt.
+	capOnce sync.Once
+	capVol  []float64
+	capErr  error
+	// transientMu/transientOps cache one diagonal-bumped operator (and,
+	// lazily, one shifted multigrid hierarchy) per distinct time step, so
+	// repeated transient runs — and every step within a run — share a
+	// single A + diag(C/dt) assembly instead of rebuilding it per call.
+	// Bounded to maxTransientOps, least-recently-used dt evicted;
+	// transientUse is the access clock.
+	transientMu  sync.Mutex
+	transientOps map[float64]*transientOp
+	transientUse int64
+	// transientHierBuilds counts shifted-hierarchy constructions; the
+	// no-per-step-rebuild regression test pins it.
+	transientHierBuilds atomic.Int64
+
+	// fpOnce/fp lazily cache the system fingerprint checkpoints embed.
+	fpOnce sync.Once
+	fp     uint64
 }
 
 // NewSystem validates the problem and assembles its operator once. The
@@ -442,9 +465,8 @@ func (s *System) hierarchy() (*mg.Hierarchy, error) {
 // system's geometry into it: grid-aware solvers receive the mesh hint,
 // and mg-cg solvers of the steady operator additionally share the
 // system's cached hierarchy so parallel workers do not each redo the
-// Galerkin setup. Transient solves pass shareHierarchy=false — they run
-// on the diagonal-bumped matrix, for which the steady hierarchy is
-// useless; the mg backend builds its own from the grid hint instead.
+// Galerkin setup. Transient steppers pass shareHierarchy=false and wire
+// in the per-dt shifted hierarchy themselves (see transientOp).
 func (s *System) solverFor(opts SolveOptions, shareHierarchy bool) (sparse.Solver, error) {
 	solver, err := opts.newSolver()
 	if err != nil {
@@ -801,88 +823,29 @@ func SolveTransient(p *Problem, opts TransientOptions) (*Solution, error) {
 }
 
 // SolveTransient integrates the transient heat equation for one per-cell
-// power vector against the cached operator. The time-stepping loop reuses
-// a single solver workspace and warm-starts every step from the previous
-// field, so the steady operator is assembled exactly once per System, not
-// once per run.
+// power vector against the cached operator. It is a thin wrapper over
+// TransientStepper: the run reuses the system's per-dt transient operator
+// (and, under mg-cg, the shifted multigrid hierarchy derived from the
+// steady one), a single solver workspace, and warm-starts every step from
+// the previous field. Interruptible, resumable runs use NewTransientStepper
+// directly.
 func (s *System) SolveTransient(power []float64, opts TransientOptions) (*Solution, error) {
-	if s.heatCap == nil {
-		return nil, fmt.Errorf("fvm: transient solve requires HeatCapacity")
-	}
-	if opts.TimeStep <= 0 {
-		return nil, fmt.Errorf("fvm: time step %g must be > 0", opts.TimeStep)
-	}
 	if opts.Steps <= 0 {
 		return nil, fmt.Errorf("fvm: steps %d must be > 0", opts.Steps)
 	}
-	g := s.grid
-	n := g.NumCells()
-	if len(power) != n {
-		return nil, fmt.Errorf("fvm: power vector has %d entries, want %d", len(power), n)
-	}
-
-	// Capacity term C/dt per cell (W/K).
-	cap := make([]float64, n)
-	for k := 0; k < g.NZ(); k++ {
-		for j := 0; j < g.NY(); j++ {
-			for i := 0; i < g.NX(); i++ {
-				idx := g.Index(i, j, k)
-				c := s.heatCap[idx]
-				if c <= 0 {
-					return nil, fmt.Errorf("fvm: cell %d has non-positive heat capacity %g", idx, c)
-				}
-				cap[idx] = c * g.CellVolume(i, j, k) / opts.TimeStep
-			}
-		}
-	}
-	// Transient matrix = A + diag(C/dt). Build by copying A and bumping the
-	// diagonal; the structure arrays are shared with the steady matrix.
-	diagBumped := sparse.AddDiagonal(s.matrix, cap)
-
-	t := make([]float64, n)
-	if opts.Initial != nil {
-		if len(opts.Initial) != n {
-			return nil, fmt.Errorf("fvm: initial field has %d entries, want %d", len(opts.Initial), n)
-		}
-		copy(t, opts.Initial)
-	} else {
-		for i := range t {
-			t[i] = opts.InitialUniform
-		}
-	}
-	solver, err := s.solverFor(SolveOptions{
-		Tolerance: opts.Tolerance,
-		Solver:    opts.Solver,
-		Workers:   opts.Workers,
-	}, false)
+	st, err := s.NewTransientStepper(power, opts)
 	if err != nil {
 		return nil, err
 	}
-	rhs := make([]float64, n)
-	var stats sparse.Result
 	for step := 1; step <= opts.Steps; step++ {
-		for i := range rhs {
-			rhs[i] = s.rhsBoundary[i] + power[i] + cap[i]*t[i]
-		}
-		// t is both the warm start and the output of the in-place solve.
-		stats, err = solver.Solve(diagBumped, rhs, t)
-		if err != nil {
-			return nil, fmt.Errorf("fvm: transient step %d failed: %w", step, err)
+		if _, err := st.Step(); err != nil {
+			return nil, err
 		}
 		if opts.Snapshot != nil {
-			// Hand out a copy: t is the in-place iteration buffer, and
-			// callbacks are allowed to retain their per-step fields.
-			snap := make([]float64, n)
-			copy(snap, t)
-			opts.Snapshot(step, float64(step)*opts.TimeStep, snap)
+			// Hand out a copy: the stepper's field is its in-place
+			// iteration buffer, and callbacks may retain per-step fields.
+			opts.Snapshot(st.StepIndex(), st.Time(), st.Field())
 		}
 	}
-	var total float64
-	for _, q := range power {
-		total += q
-	}
-	return &Solution{
-		Grid: g, T: t, Stats: stats,
-		boundaryG: s.boundaryG, boundaryGT: s.boundaryGT, totalPower: total,
-	}, nil
+	return st.Solution(), nil
 }

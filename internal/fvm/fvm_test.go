@@ -511,6 +511,14 @@ func TestQuickWellPosedProblems(t *testing.T) {
 		if st.Min < amb-1e-6 {
 			return false
 		}
+		if total == 0 {
+			// Degenerate draw (possible on the smallest grids): no cell
+			// received power, the solution is uniformly ambient, and the
+			// relative energy metric divides rounding noise by its 1e-12
+			// denominator floor. Absolute conservation is the meaningful
+			// check here.
+			return math.Abs(sol.BoundaryHeatFlow()) < 1e-9
+		}
 		return sol.EnergyBalanceError() < 1e-5
 	}
 	cfg := &quick.Config{MaxCount: 25}

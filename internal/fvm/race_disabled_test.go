@@ -1,0 +1,6 @@
+//go:build !race
+
+package fvm
+
+// raceEnabled mirrors the -race build flag.
+const raceEnabled = false

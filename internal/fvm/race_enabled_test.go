@@ -1,0 +1,8 @@
+//go:build race
+
+package fvm
+
+// raceEnabled mirrors the -race build flag: the detector's allocation
+// instrumentation makes object counts unrepresentative, so pinned
+// allocation tests skip under it.
+const raceEnabled = true

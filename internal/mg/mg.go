@@ -440,6 +440,66 @@ func BuildHierarchy(a *sparse.CSR, hint sparse.GridHint, opts Options) (*Hierarc
 	return h, nil
 }
 
+// Shifted derives the hierarchy for the diagonally shifted operator
+// A + diag(shift) — the implicit-Euler transient matrix A + diag(C/dt) —
+// from this (steady) hierarchy without redoing any Galerkin triple
+// product. The transfer operators, level geometry and off-diagonal
+// Galerkin stencils are shared as-is; only the diagonals change: the
+// shift vector is carried down the hierarchy by full-weighting
+// restriction (mass lumping of Pᵀ·diag(shift)·P, exact on constants
+// because interpolation weights sum to one), each level's operator
+// becomes its steady Galerkin operator plus its lumped shift, and the
+// per-level diagonal caches and z-line Thomas factorisations are
+// recomputed — one cheap matrix pass per level instead of the RAP
+// products that dominate BuildHierarchy. A positive shift only adds
+// diagonal dominance, so the resulting V-cycle stays an SPD
+// preconditioner and typically converges at least as fast as the steady
+// one.
+//
+// fine, when non-nil, becomes the new hierarchy's finest operator and
+// must equal Fine() plus diag(shift) (callers that already hold the
+// shifted matrix pass it so Hierarchy.Fine() pointer-matches the matrix
+// they solve); nil builds it internally.
+func (h *Hierarchy) Shifted(fine *sparse.CSR, shift []float64) (*Hierarchy, error) {
+	n := h.levels[0].n()
+	if len(shift) != n {
+		return nil, fmt.Errorf("mg: shift has %d entries, want %d", len(shift), n)
+	}
+	for i, v := range shift {
+		if v < 0 || v != v {
+			return nil, fmt.Errorf("mg: invalid shift %g at cell %d (want ≥ 0)", v, i)
+		}
+	}
+	if fine != nil && fine.N() != n {
+		return nil, fmt.Errorf("mg: shifted fine matrix size %d does not match hierarchy size %d", fine.N(), n)
+	}
+	out := &Hierarchy{levels: make([]*level, len(h.levels))}
+	cur := shift
+	for l, lv := range h.levels {
+		a := fine
+		if l > 0 || a == nil {
+			a = sparse.AddDiagonal(lv.a, cur)
+		}
+		nlv := &level{
+			a: a, diag: a.Diag(),
+			nx: lv.nx, ny: lv.ny, nz: lv.nz,
+			ix: lv.ix, iy: lv.iy, iz: lv.iz,
+		}
+		ls, err := newLineSmoother(a, nlv.nx, nlv.ny, nlv.nz)
+		if err != nil {
+			return nil, fmt.Errorf("mg: shifted level %d: %w", l, err)
+		}
+		nlv.ls = ls
+		out.levels[l] = nlv
+		if l < len(h.levels)-1 {
+			next := make([]float64, lv.coarseN())
+			lv.restrict(next, cur)
+			cur = next
+		}
+	}
+	return out, nil
+}
+
 // galerkin assembles the coarse operator A_c = Pᵀ·A·P of one level, where
 // P is the tensor-product interpolation lv.ix ⊗ lv.iy ⊗ lv.iz. Rows are
 // built coarse-row-major with a dense scatter buffer (Gustavson's

@@ -174,13 +174,15 @@ func (c *ShardClient) fallbackExplorer() (*dse.Explorer, error) {
 // propagates it instead.
 var errFingerprint = errors.New("serve: worker fingerprint mismatch")
 
-// checkFingerprint verifies a chunk response's discretisation against
-// the client's expectations. Preflight can miss a worker that was down
-// during the probe and came back mid-sweep, so every chunk is checked.
-func (c *ShardClient) checkFingerprint(worker string, oniCell float64, solver string) error {
-	if c.ExpectRes != nil && oniCell != c.ExpectRes.ONICell {
-		return fmt.Errorf("%w: worker %s solved on %g m ONI cells, client expects %g m — refusing to merge grids across resolutions",
-			errFingerprint, worker, oniCell, c.ExpectRes.ONICell)
+// checkFingerprint verifies a chunk response's discretisation — the full
+// resolution triple, not just the ONI cell — against the client's
+// expectations. Preflight can miss a worker that was down during the
+// probe and came back mid-sweep, so every chunk is checked.
+func (c *ShardClient) checkFingerprint(worker string, res thermal.Resolution, solver string) error {
+	if c.ExpectRes != nil && res != *c.ExpectRes {
+		return fmt.Errorf("%w: worker %s solved on ONI/die/z cells %g/%g/%g m, client expects %g/%g/%g m — refusing to merge grids across discretisations",
+			errFingerprint, worker, res.ONICell, res.DieCell, res.MaxZCell,
+			c.ExpectRes.ONICell, c.ExpectRes.DieCell, c.ExpectRes.MaxZCell)
 	}
 	if c.ExpectSolver != "" && solver != c.ExpectSolver {
 		return fmt.Errorf("%w: worker %s solved with %s, client expects %s",
@@ -278,7 +280,7 @@ func (c *ShardClient) SweepGradient(chip float64, lasers, heaters []float64) ([]
 			if err := c.post(worker, "/v1/sweep/gradient", req, &resp); err != nil {
 				return err
 			}
-			if err := c.checkFingerprint(worker, resp.ONICell, resp.Solver); err != nil {
+			if err := c.checkFingerprint(worker, thermal.Resolution{ONICell: resp.ONICell, DieCell: resp.DieCell, MaxZCell: resp.MaxZCell}, resp.Solver); err != nil {
 				return err
 			}
 			if resp.RowStart != ck.lo || len(resp.Rows) != ck.hi-ck.lo {
@@ -319,7 +321,7 @@ func (c *ShardClient) SweepAvgTemp(chips, lasers []float64) ([][]dse.AvgTempPoin
 			if err := c.post(worker, "/v1/sweep/avgtemp", req, &resp); err != nil {
 				return err
 			}
-			if err := c.checkFingerprint(worker, resp.ONICell, resp.Solver); err != nil {
+			if err := c.checkFingerprint(worker, thermal.Resolution{ONICell: resp.ONICell, DieCell: resp.DieCell, MaxZCell: resp.MaxZCell}, resp.Solver); err != nil {
 				return err
 			}
 			if resp.RowStart != ck.lo || len(resp.Rows) != ck.hi-ck.lo {

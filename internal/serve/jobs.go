@@ -1,0 +1,565 @@
+package serve
+
+// Async transient jobs: POST /v1/transient returns a job id immediately,
+// the integration runs in the background against the spec's warm model,
+// and GET /v1/jobs/{id} reports progress (with an NDJSON stream variant
+// for live monitoring). Jobs checkpoint periodically into the server's
+// JobDir through the thermal layer's checkpoint sink; a daemon restarted
+// over the same directory resumes every unfinished job from its last
+// checkpoint, and the fvm fingerprint check guarantees a resumed job can
+// never silently continue on a different mesh, operator or power vector.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"vcselnoc/internal/fvm"
+	"vcselnoc/internal/thermal"
+)
+
+// jobConcurrency bounds transient jobs integrating at once: each job's
+// solves already use the spec's worker pool, so running many concurrently
+// oversubscribes the CPU without finishing anything sooner.
+const jobConcurrency = 2
+
+// jobIDPattern validates ids loaded from checkpoint filenames.
+var jobIDPattern = regexp.MustCompile(`^[a-z0-9][a-z0-9-]{0,63}$`)
+
+// jobManager owns the transient jobs of one Server.
+type jobManager struct {
+	srv      *Server
+	dir      string
+	every    int
+	maxJobs  int
+	maxSteps int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	sem    chan struct{}
+
+	mu   sync.Mutex
+	jobs map[string]*transientJob
+
+	// stepsTotal counts integration steps executed across all jobs — a
+	// /metrics counter.
+	stepsTotal atomic.Int64
+}
+
+// transientJob is one job's mutable state plus its stream subscribers.
+type transientJob struct {
+	id  string
+	req TransientRequest
+
+	mu     sync.Mutex
+	status JobStatus
+	subs   map[chan JobStatus]struct{}
+}
+
+// snapshot returns a copy of the status under the job lock.
+func (j *transientJob) snapshot() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// update mutates the status and broadcasts the new snapshot to stream
+// subscribers; a terminal state closes their channels.
+func (j *transientJob) update(fn func(*JobStatus)) {
+	j.mu.Lock()
+	fn(&j.status)
+	snap := j.status
+	terminal := snap.State == JobDone || snap.State == JobFailed
+	for ch := range j.subs {
+		select {
+		case ch <- snap:
+		default: // slow subscriber: drop the intermediate snapshot
+		}
+		if terminal {
+			close(ch)
+			delete(j.subs, ch)
+		}
+	}
+	j.mu.Unlock()
+}
+
+// subscribe registers a stream listener and returns the channel plus the
+// current snapshot. A terminal job returns a closed channel.
+func (j *transientJob) subscribe() (chan JobStatus, JobStatus) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ch := make(chan JobStatus, 16)
+	if j.status.State == JobDone || j.status.State == JobFailed {
+		close(ch)
+		return ch, j.status
+	}
+	if j.subs == nil {
+		j.subs = make(map[chan JobStatus]struct{})
+	}
+	j.subs[ch] = struct{}{}
+	return ch, j.status
+}
+
+func (j *transientJob) unsubscribe(ch chan JobStatus) {
+	j.mu.Lock()
+	if _, ok := j.subs[ch]; ok {
+		delete(j.subs, ch)
+		close(ch)
+	}
+	j.mu.Unlock()
+}
+
+func newJobManager(s *Server, cfg Config) *jobManager {
+	every := cfg.JobCheckpointEvery
+	if every <= 0 {
+		every = DefaultJobCheckpointEvery
+	}
+	maxJobs := cfg.MaxJobs
+	if maxJobs <= 0 {
+		maxJobs = DefaultMaxJobs
+	}
+	maxSteps := cfg.MaxJobSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxJobSteps
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &jobManager{
+		srv: s, dir: cfg.JobDir,
+		every: every, maxJobs: maxJobs, maxSteps: maxSteps,
+		ctx: ctx, cancel: cancel,
+		sem:  make(chan struct{}, jobConcurrency),
+		jobs: make(map[string]*transientJob),
+	}
+}
+
+// stop interrupts every running job (each persists a checkpoint of its
+// exact current step first when persistence is on) and waits for the job
+// goroutines to exit.
+func (jm *jobManager) stop() {
+	jm.cancel()
+	jm.wg.Wait()
+}
+
+func newJobID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("serve: crypto/rand unavailable: %v", err))
+	}
+	return "tj-" + hex.EncodeToString(b[:])
+}
+
+// validate rejects malformed submissions before a job is created.
+func (jm *jobManager) validate(req TransientRequest) error {
+	if _, err := jm.srv.state(req.specName()); err != nil {
+		return notFound(err)
+	}
+	if _, err := req.activityScenario(); err != nil {
+		return badRequest(err)
+	}
+	if err := req.powers().Validate(); err != nil {
+		return badRequest(err)
+	}
+	if req.TimeStepS <= 0 {
+		return badRequest(fmt.Errorf("serve: time_step_s %g must be > 0", req.TimeStepS))
+	}
+	if req.Steps <= 0 || req.Steps > jm.maxSteps {
+		return badRequest(fmt.Errorf("serve: steps %d outside [1, %d]", req.Steps, jm.maxSteps))
+	}
+	if req.CheckpointEvery < 0 {
+		return badRequest(fmt.Errorf("serve: negative checkpoint_every %d", req.CheckpointEvery))
+	}
+	return nil
+}
+
+// submit registers a new job and starts its background run.
+func (jm *jobManager) submit(req TransientRequest) (*transientJob, error) {
+	if err := jm.validate(req); err != nil {
+		return nil, err
+	}
+	j := &transientJob{
+		id:  newJobID(),
+		req: req,
+		status: JobStatus{
+			Spec: req.specName(), State: JobQueued,
+			Steps: req.Steps, TimeStepS: req.TimeStepS,
+		},
+	}
+	j.status.ID = j.id
+	jm.mu.Lock()
+	if len(jm.jobs) >= jm.maxJobs {
+		jm.mu.Unlock()
+		return nil, &statusError{
+			code: http.StatusTooManyRequests,
+			err:  fmt.Errorf("serve: %d transient jobs already retained (raise Config.MaxJobs)", jm.maxJobs),
+		}
+	}
+	jm.jobs[j.id] = j
+	jm.mu.Unlock()
+	if err := jm.persist(j, nil); err != nil {
+		// Unregister the never-started job: leaving it would hold a
+		// MaxJobs slot as a phantom "queued" entry forever.
+		jm.mu.Lock()
+		delete(jm.jobs, j.id)
+		jm.mu.Unlock()
+		return nil, err
+	}
+	jm.start(j, nil)
+	return j, nil
+}
+
+// start launches the background integration goroutine.
+func (jm *jobManager) start(j *transientJob, cp *fvm.TransientCheckpoint) {
+	jm.wg.Add(1)
+	go jm.run(j, cp)
+}
+
+// get resolves a job id.
+func (jm *jobManager) get(id string) (*transientJob, bool) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	j, ok := jm.jobs[id]
+	return j, ok
+}
+
+// list snapshots every job, sorted by id.
+func (jm *jobManager) list() []JobStatus {
+	jm.mu.Lock()
+	jobs := make([]*transientJob, 0, len(jm.jobs))
+	for _, j := range jm.jobs {
+		jobs = append(jobs, j)
+	}
+	jm.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.snapshot()
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// stateCounts tallies jobs per lifecycle state (the /metrics gauge).
+func (jm *jobManager) stateCounts() map[string]int {
+	counts := map[string]int{JobQueued: 0, JobRunning: 0, JobDone: 0, JobFailed: 0}
+	for _, st := range jm.list() {
+		counts[st.State]++
+	}
+	return counts
+}
+
+// fail marks the job failed and persists the verdict.
+func (jm *jobManager) fail(j *transientJob, err error) {
+	j.update(func(s *JobStatus) {
+		s.State = JobFailed
+		s.Error = err.Error()
+	})
+	jm.persist(j, nil) //nolint:errcheck // the job state itself carries the error
+}
+
+// run integrates one job to completion (or interruption) in the
+// background. cp, when non-nil, resumes a persisted checkpoint.
+func (jm *jobManager) run(j *transientJob, cp *fvm.TransientCheckpoint) {
+	defer jm.wg.Done()
+	// Bound concurrent integrations; an interrupted wait stays queued and
+	// resumes on the next daemon start (the submission was persisted).
+	select {
+	case jm.sem <- struct{}{}:
+		defer func() { <-jm.sem }()
+	case <-jm.ctx.Done():
+		return
+	}
+	st, err := jm.srv.state(j.req.specName())
+	if err != nil {
+		jm.fail(j, err)
+		return
+	}
+	meth, err := st.methodology()
+	if err != nil {
+		jm.fail(j, err)
+		return
+	}
+	act, err := j.req.activityScenario()
+	if err != nil {
+		jm.fail(j, err)
+		return
+	}
+	powers := j.req.powers()
+	powers.Activity = act
+
+	every := j.req.CheckpointEvery
+	if every <= 0 {
+		every = jm.every
+	}
+	ts := thermal.TransientSpec{
+		TimeStep: j.req.TimeStepS, Steps: j.req.Steps,
+		CheckpointEvery: every, Resume: cp,
+		Observer: func(o thermal.TransientObservation) {
+			jm.stepsTotal.Add(1)
+			j.update(func(s *JobStatus) {
+				s.Step = o.Step
+				s.TimeS = o.TimeS
+				s.PeakTemp = o.PeakTemp
+				s.MaxGradient = o.MaxGradient
+			})
+		},
+	}
+	if jm.dir != "" {
+		ts.Checkpoint = func(cp *fvm.TransientCheckpoint) error { return jm.persist(j, cp) }
+	}
+	run, err := meth.Model().NewTransientRun(powers, ts)
+	if err != nil {
+		jm.fail(j, err)
+		return
+	}
+	j.update(func(s *JobStatus) {
+		s.State = JobRunning
+		s.Step = run.StepIndex()
+		s.TimeS = run.Time()
+		s.Resumed = run.Resumed()
+	})
+	for !run.Done() {
+		select {
+		case <-jm.ctx.Done():
+			// Interrupted (daemon shutdown): checkpoint the exact current
+			// step so the next start resumes bit-identically, and leave
+			// the persisted state non-terminal.
+			if jm.dir != "" {
+				jm.persist(j, run.Checkpoint()) //nolint:errcheck // shutting down; the prior cadence checkpoint remains
+			}
+			return
+		default:
+		}
+		if err := run.Step(); err != nil {
+			jm.fail(j, err)
+			return
+		}
+	}
+	res, err := run.Result()
+	if err != nil {
+		jm.fail(j, err)
+		return
+	}
+	result := &TransientJobResult{
+		QueryResponse:    summarise(res),
+		FieldFingerprint: run.FieldFingerprint(),
+		TimeS:            run.Time(),
+	}
+	j.update(func(s *JobStatus) {
+		s.State = JobDone
+		s.Result = result
+	})
+	jm.persist(j, nil) //nolint:errcheck // completed in memory; persistence is best-effort at this point
+}
+
+// jobFile is the on-disk form of one job: the submission, the lifecycle
+// verdict, and (for unfinished jobs) the latest checkpoint to resume
+// from.
+type jobFile struct {
+	ID         string                   `json:"id"`
+	Request    TransientRequest         `json:"request"`
+	State      string                   `json:"state"`
+	Error      string                   `json:"error,omitempty"`
+	Result     *TransientJobResult      `json:"result,omitempty"`
+	Checkpoint *fvm.TransientCheckpoint `json:"checkpoint,omitempty"`
+}
+
+// persist atomically writes the job's file (tmp + rename). cp carries the
+// latest checkpoint for unfinished jobs; terminal jobs drop the field —
+// the result is what matters then.
+func (jm *jobManager) persist(j *transientJob, cp *fvm.TransientCheckpoint) error {
+	if jm.dir == "" {
+		return nil
+	}
+	snap := j.snapshot()
+	jf := jobFile{
+		ID: j.id, Request: j.req,
+		State: snap.State, Error: snap.Error, Result: snap.Result,
+	}
+	if snap.State != JobDone && snap.State != JobFailed {
+		jf.Checkpoint = cp
+	}
+	data, err := json.Marshal(jf)
+	if err != nil {
+		return fmt.Errorf("serve: marshalling job %s: %w", j.id, err)
+	}
+	path := filepath.Join(jm.dir, j.id+".json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("serve: persisting job %s: %w", j.id, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("serve: persisting job %s: %w", j.id, err)
+	}
+	return nil
+}
+
+// loadPersisted restores jobs from the job directory at startup:
+// completed and failed jobs become queryable history, unfinished jobs
+// resume from their last checkpoint (or from scratch when none was
+// reached). Corrupt files become failed jobs so operators see them
+// instead of silently losing work.
+func (jm *jobManager) loadPersisted() error {
+	if jm.dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(jm.dir, 0o755); err != nil {
+		return fmt.Errorf("serve: job dir: %w", err)
+	}
+	entries, err := os.ReadDir(jm.dir)
+	if err != nil {
+		return fmt.Errorf("serve: job dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".json")
+		if !jobIDPattern.MatchString(id) {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(jm.dir, name))
+		var jf jobFile
+		if err == nil {
+			err = json.Unmarshal(data, &jf)
+		}
+		if err == nil && jf.ID != id {
+			err = fmt.Errorf("job file %s names id %q", name, jf.ID)
+		}
+		if err == nil && jf.Checkpoint != nil {
+			err = jf.Checkpoint.Validate()
+		}
+		j := &transientJob{id: id}
+		if err != nil {
+			j.status = JobStatus{
+				ID: id, State: JobFailed,
+				Error: fmt.Sprintf("serve: corrupt job file: %v", err),
+			}
+			jm.jobs[id] = j
+			continue
+		}
+		j.req = jf.Request
+		j.status = JobStatus{
+			ID: id, Spec: jf.Request.specName(), State: jf.State,
+			Steps: jf.Request.Steps, TimeStepS: jf.Request.TimeStepS,
+			Error: jf.Error, Result: jf.Result,
+		}
+		switch jf.State {
+		case JobDone:
+			j.status.Step = jf.Request.Steps
+			j.status.TimeS = float64(jf.Request.Steps) * jf.Request.TimeStepS
+			jm.jobs[id] = j
+		case JobFailed:
+			jm.jobs[id] = j
+		default:
+			// Unfinished: resume from the checkpoint (nil restarts from
+			// step 0 — the run never reached its first cadence).
+			j.status.State = JobQueued
+			if jf.Checkpoint != nil {
+				j.status.Step = jf.Checkpoint.Step
+				j.status.TimeS = float64(jf.Checkpoint.Step) * jf.Request.TimeStepS
+			}
+			jm.jobs[id] = j
+			jm.start(j, jf.Checkpoint)
+		}
+	}
+	return nil
+}
+
+// --- HTTP handlers -----------------------------------------------------
+
+// handleTransientSubmit accepts a transient job and returns its initial
+// status with 202 Accepted.
+func (s *Server) handleTransientSubmit(w http.ResponseWriter, r *http.Request) {
+	var req TransientRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	j, err := s.jobs.submit(req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(j.snapshot())
+}
+
+// handleJobs lists every retained job.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.jobs.list())
+}
+
+// handleJob reports one job's progress (and result once done).
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, notFound(fmt.Errorf("serve: unknown job %q", r.PathValue("id"))))
+		return
+	}
+	writeJSON(w, j.snapshot())
+}
+
+// handleJobStream streams a job's status snapshots as NDJSON until the
+// job reaches a terminal state or the client goes away. The first line
+// is always the current status, so a late subscriber still sees the
+// final state of a finished job.
+func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, notFound(fmt.Errorf("serve: unknown job %q", r.PathValue("id"))))
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	ch, snap := j.subscribe()
+	defer j.unsubscribe(ch)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	terminal := func(st JobStatus) bool { return st.State == JobDone || st.State == JobFailed }
+	if err := enc.Encode(snap); err != nil {
+		return
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	last := snap
+	for {
+		select {
+		case st, open := <-ch:
+			if !open {
+				// The broadcast may have dropped the terminal snapshot on
+				// a lagging subscriber; guarantee the stream still ends
+				// with the final state (result included).
+				if !terminal(last) {
+					_ = enc.Encode(j.snapshot())
+				}
+				return
+			}
+			if err := enc.Encode(st); err != nil {
+				return
+			}
+			last = st
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		case <-s.jobs.ctx.Done():
+			// Server shutdown: end the stream so graceful HTTP drains do
+			// not stall on attached stream clients.
+			return
+		}
+	}
+}

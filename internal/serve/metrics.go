@@ -1,0 +1,76 @@
+package serve
+
+// Prometheus text-format metrics (exposition format 0.0.4), stdlib only:
+// the handler renders the same warm-state statistics /healthz reports —
+// query-cache hits/misses, basis builds, micro-batch counters — plus the
+// transient-job state gauge and step counter, in a form scrapers ingest
+// directly.
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// handleMetrics renders the metrics snapshot.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b bytes.Buffer
+
+	gauge := func(name, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+	counter := func(name, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+
+	gauge("vcseld_uptime_seconds", "Seconds since the server started.")
+	fmt.Fprintf(&b, "vcseld_uptime_seconds %g\n", time.Since(s.start).Seconds())
+
+	names := make([]string, 0, len(s.specs))
+	for name := range s.specs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	type specMetric struct {
+		name, help string
+		value      func(SpecInfo) float64
+		counter    bool
+	}
+	specMetrics := []specMetric{
+		{"vcseld_cache_hits_total", "Query LRU hits.", func(i SpecInfo) float64 { return float64(i.CacheHits) }, true},
+		{"vcseld_cache_misses_total", "Query LRU misses.", func(i SpecInfo) float64 { return float64(i.CacheMisses) }, true},
+		{"vcseld_cache_entries", "Query LRU occupancy.", func(i SpecInfo) float64 { return float64(i.CacheLen) }, false},
+		{"vcseld_basis_builds_total", "Superposition basis builds executed.", func(i SpecInfo) float64 { return float64(i.BasisBuilds) }, true},
+		{"vcseld_batches_total", "Micro-batch flushes.", func(i SpecInfo) float64 { return float64(i.Batches) }, true},
+		{"vcseld_batched_queries_total", "Queries carried by micro-batches (divide by vcseld_batches_total for the mean batch size).", func(i SpecInfo) float64 { return float64(i.BatchedQueries) }, true},
+		{"vcseld_model_cells", "Mesh cells of the warm model (0 until the first query builds it).", func(i SpecInfo) float64 { return float64(i.Cells) }, false},
+	}
+	infos := make(map[string]SpecInfo, len(names))
+	for _, info := range s.specInfos() {
+		infos[info.Name] = info
+	}
+	for _, m := range specMetrics {
+		if m.counter {
+			counter(m.name, m.help)
+		} else {
+			gauge(m.name, m.help)
+		}
+		for _, name := range names {
+			fmt.Fprintf(&b, "%s{spec=%q} %g\n", m.name, name, m.value(infos[name]))
+		}
+	}
+
+	gauge("vcseld_jobs", "Transient jobs by lifecycle state.")
+	states := s.jobs.stateCounts()
+	for _, state := range []string{JobQueued, JobRunning, JobDone, JobFailed} {
+		fmt.Fprintf(&b, "vcseld_jobs{state=%q} %d\n", state, states[state])
+	}
+	counter("vcseld_job_steps_total", "Transient integration steps executed across all jobs.")
+	fmt.Fprintf(&b, "vcseld_job_steps_total %d\n", s.jobs.stepsTotal.Load())
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(b.Bytes())
+}

@@ -60,6 +60,19 @@ const DefaultMaxBases = 8
 // legitimate payload and fit comfortably.
 const maxBodyBytes = 1 << 20
 
+// DefaultJobCheckpointEvery is the default transient-job checkpoint
+// cadence in steps.
+const DefaultJobCheckpointEvery = 25
+
+// DefaultMaxJobs bounds the transient jobs a server retains (active plus
+// completed); submissions beyond get HTTP 429.
+const DefaultMaxJobs = 64
+
+// DefaultMaxJobSteps bounds a single transient job's horizon: steps are
+// client-controlled work, so an unbounded count is a CPU-exhaustion
+// vector.
+const DefaultMaxJobSteps = 100000
+
 // Config configures a Server.
 type Config struct {
 	// Specs registers the system specifications the server owns warm
@@ -78,6 +91,19 @@ type Config struct {
 	// spec builds bases for; 0 selects DefaultMaxBases. Requests for an
 	// additional shape beyond the bound get HTTP 429.
 	MaxBases int
+	// JobDir persists transient-job checkpoints and results so jobs
+	// survive — and resume from their last checkpoint on — daemon
+	// restarts; empty keeps jobs in memory only.
+	JobDir string
+	// JobCheckpointEvery is the default per-job checkpoint cadence in
+	// steps; 0 selects DefaultJobCheckpointEvery. Individual submissions
+	// may override it.
+	JobCheckpointEvery int
+	// MaxJobs bounds retained transient jobs; 0 selects DefaultMaxJobs.
+	MaxJobs int
+	// MaxJobSteps bounds one job's step count; 0 selects
+	// DefaultMaxJobSteps.
+	MaxJobSteps int
 }
 
 // Server owns the warm per-spec state and implements http.Handler.
@@ -91,6 +117,8 @@ type Server struct {
 	// point queries go through the micro-batcher instead and are not
 	// gated here.
 	sweepSem chan struct{}
+	// jobs owns the async transient jobs (see jobs.go).
+	jobs *jobManager
 }
 
 // specState is one registered spec's warm state. The Methodology (model,
@@ -174,12 +202,17 @@ func New(cfg Config) (*Server, error) {
 			maxBases:  cfg.MaxBases,
 		}
 	}
+	s.jobs = newJobManager(s, cfg)
 	s.routes()
+	if err := s.jobs.loadPersisted(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/specs", s.handleSpecs)
 	s.mux.HandleFunc("POST /v1/gradient", s.handleGradient)
 	s.mux.HandleFunc("POST /v1/feasibility", s.handleGradient) // same evaluation, same body
@@ -188,11 +221,24 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/map", s.handleMap)
 	s.mux.HandleFunc("POST /v1/sweep/gradient", s.handleGradientSweep)
 	s.mux.HandleFunc("POST /v1/sweep/avgtemp", s.handleAvgTempSweep)
+	s.mux.HandleFunc("POST /v1/transient", s.handleTransientSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops the server's background transient jobs: every running job
+// checkpoints its exact current step (when a JobDir is configured, so
+// the next daemon resumes it bit-identically) and Close blocks until all
+// job goroutines exit. The HTTP side is unaffected — callers drain it
+// separately via Run's context.
+func (s *Server) Close() {
+	s.jobs.stop()
 }
 
 // Warm forces the named spec's model and uniform-activity basis to build
@@ -542,7 +588,8 @@ func (s *Server) handleGradientSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, GradientSweepResponse{
 		RowStart: lo, TotalRows: len(req.Lasers), Rows: rows,
-		ONICell: st.spec.Res.ONICell, Solver: st.spec.EffectiveSolver(),
+		ONICell: st.spec.Res.ONICell, DieCell: st.spec.Res.DieCell, MaxZCell: st.spec.Res.MaxZCell,
+		Solver: st.spec.EffectiveSolver(),
 	})
 }
 
@@ -583,7 +630,8 @@ func (s *Server) handleAvgTempSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, AvgTempSweepResponse{
 		RowStart: lo, TotalRows: len(req.Chips), Rows: rows,
-		ONICell: st.spec.Res.ONICell, Solver: st.spec.EffectiveSolver(),
+		ONICell: st.spec.Res.ONICell, DieCell: st.spec.Res.DieCell, MaxZCell: st.spec.Res.MaxZCell,
+		Solver: st.spec.EffectiveSolver(),
 	})
 }
 

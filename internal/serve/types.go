@@ -176,15 +176,18 @@ type GradientSweepRequest struct {
 	RowCount int       `json:"row_count,omitempty"`
 }
 
-// GradientSweepResponse returns the requested row window. ONICell and
-// Solver fingerprint the worker's discretisation so shard clients can
-// verify every chunk — including chunks from workers that were
-// unreachable during preflight and came back mid-sweep.
+// GradientSweepResponse returns the requested row window. The full
+// resolution triple (ONI/die/z cells) and Solver fingerprint the
+// worker's discretisation so shard clients can verify every chunk —
+// including chunks from workers that were unreachable during preflight
+// and came back mid-sweep with a different mesh.
 type GradientSweepResponse struct {
 	RowStart  int                   `json:"row_start"`
 	TotalRows int                   `json:"total_rows"`
 	Rows      [][]dse.GradientPoint `json:"rows"`
 	ONICell   float64               `json:"oni_cell_m"`
+	DieCell   float64               `json:"die_cell_m"`
+	MaxZCell  float64               `json:"max_z_cell_m"`
 	Solver    string                `json:"solver"`
 }
 
@@ -205,7 +208,68 @@ type AvgTempSweepResponse struct {
 	TotalRows int                  `json:"total_rows"`
 	Rows      [][]dse.AvgTempPoint `json:"rows"`
 	ONICell   float64              `json:"oni_cell_m"`
+	DieCell   float64              `json:"die_cell_m"`
+	MaxZCell  float64              `json:"max_z_cell_m"`
 	Solver    string               `json:"solver"`
+}
+
+// TransientRequest submits an asynchronous transient (warm-up) job: the
+// operating point of a Scenario plus the integration horizon. The
+// response is the job's initial JobStatus; progress is polled (or
+// streamed) from the job endpoints.
+type TransientRequest struct {
+	Scenario
+	// TimeStepS is the implicit-Euler step (s).
+	TimeStepS float64 `json:"time_step_s"`
+	// Steps is the number of steps to integrate (bounded by the server's
+	// MaxJobSteps).
+	Steps int `json:"steps"`
+	// CheckpointEvery overrides the server's checkpoint cadence for this
+	// job (steps); 0 keeps the server default.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+}
+
+// JobState names a transient job's lifecycle phase.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// JobStatus is the wire form of one transient job's progress.
+type JobStatus struct {
+	ID   string `json:"id"`
+	Spec string `json:"spec"`
+	// State is one of queued, running, done, failed.
+	State string `json:"state"`
+	// Step/Steps report progress; TimeS the simulated seconds so far.
+	Step      int     `json:"step"`
+	Steps     int     `json:"steps"`
+	TimeS     float64 `json:"time_s"`
+	TimeStepS float64 `json:"time_step_s"`
+	// PeakTemp and MaxGradient are the latest per-step observations (°C).
+	PeakTemp    float64 `json:"peak_temp_c,omitempty"`
+	MaxGradient float64 `json:"max_gradient_c,omitempty"`
+	// Resumed marks a job restored from a persisted checkpoint after a
+	// daemon restart.
+	Resumed bool `json:"resumed,omitempty"`
+	// Error carries the failure reason of a failed job.
+	Error string `json:"error,omitempty"`
+	// Result is present once State is done.
+	Result *TransientJobResult `json:"result,omitempty"`
+}
+
+// TransientJobResult is a completed job's final state: the standard ONI
+// summary plus an integrity fingerprint of the full temperature field,
+// so clients can assert two runs (e.g. interrupted-and-resumed vs
+// uninterrupted) landed on bit-identical fields without shipping them.
+type TransientJobResult struct {
+	QueryResponse
+	// FieldFingerprint hashes the final per-cell temperature field.
+	FieldFingerprint string `json:"field_fingerprint"`
+	// TimeS is the total simulated time (s).
+	TimeS float64 `json:"time_s"`
 }
 
 // SpecInfo describes one registered spec's warm state.

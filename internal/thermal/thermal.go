@@ -241,11 +241,26 @@ type weightedCell struct {
 	weight float64
 }
 
-// deviceProbe locates one optical device for temperature reporting.
+// deviceProbe locates one optical device for temperature reporting. The
+// cells/weights stencil (volume-weighted mean, weights summing to 1) is
+// precomputed so per-step transient observers can read device
+// temperatures without re-walking the mesh.
 type deviceProbe struct {
 	name    string
 	box     geom.Box
 	isVCSEL bool
+
+	cells   []int32
+	weights []float64
+}
+
+// meanTemp evaluates the probe's volume-weighted mean over a field.
+func (p *deviceProbe) meanTemp(t []float64) float64 {
+	var s float64
+	for i, c := range p.cells {
+		s += t[c] * p.weights[i]
+	}
+	return s
 }
 
 // Model is an assembled thermal model: mesh, conductivity, power-group
@@ -524,20 +539,37 @@ func (m *Model) buildProbes() {
 	for _, layout := range m.onis {
 		var probes []deviceProbe
 		for _, v := range layout.VCSELs {
-			probes = append(probes, deviceProbe{
-				name:    v.Name,
-				box:     v.Rect.Extrude(m.opticalSpan.Z0, m.opticalSpan.Z1),
-				isVCSEL: true,
-			})
+			probes = append(probes, m.newProbe(v.Name, v.Rect.Extrude(m.opticalSpan.Z0, m.opticalSpan.Z1), true))
 		}
 		for _, r := range layout.MRs {
-			probes = append(probes, deviceProbe{
-				name: r.Name,
-				box:  r.Rect.Extrude(m.opticalSpan.Z0, m.opticalSpan.Z1),
-			})
+			probes = append(probes, m.newProbe(r.Name, r.Rect.Extrude(m.opticalSpan.Z0, m.opticalSpan.Z1), false))
 		}
 		m.probes = append(m.probes, probes)
 	}
+}
+
+// newProbe builds a device probe with its volume-weight stencil.
+func (m *Model) newProbe(name string, box geom.Box, isVCSEL bool) deviceProbe {
+	p := deviceProbe{name: name, box: box, isVCSEL: isVCSEL}
+	g := m.grid
+	i0, i1, j0, j1, k0, k1 := g.CellsOverlapping(box)
+	var total float64
+	for k := k0; k < k1; k++ {
+		for j := j0; j < j1; j++ {
+			for i := i0; i < i1; i++ {
+				ov := g.CellBox(i, j, k).OverlapVolume(box)
+				if ov > 0 {
+					p.cells = append(p.cells, int32(g.Index(i, j, k)))
+					p.weights = append(p.weights, ov)
+					total += ov
+				}
+			}
+		}
+	}
+	for i := range p.weights {
+		p.weights[i] /= total
+	}
+	return p
 }
 
 // chipStencil distributes 1 W of chip power into BEOL cells according to
@@ -790,62 +822,6 @@ func (r *Result) ONITempRange() (min, max float64) {
 		}
 	}
 	return min, max
-}
-
-// TransientSpec configures a system-level transient simulation.
-type TransientSpec struct {
-	// TimeStep is the implicit-Euler step in seconds.
-	TimeStep float64
-	// Steps is the number of steps to integrate.
-	Steps int
-	// Initial optionally seeds the run with a previous result's field
-	// (e.g. the chip-only steady state before the lasers switch on). When
-	// nil the field starts uniform at the ambient temperature.
-	Initial *Result
-	// Snapshot, if non-nil, receives a full report after each step.
-	// Building a report costs per-ONI statistics; pass nil and use the
-	// returned final result when only the end state matters.
-	Snapshot func(step int, time float64, r *Result)
-}
-
-// SolveTransient integrates the transient heat equation for the system at
-// fixed powers (e.g. to watch the ONIs warm up after the lasers switch
-// on). It returns the final state.
-func (m *Model) SolveTransient(p Powers, ts TransientSpec) (*Result, error) {
-	power, err := m.powerVector(p)
-	if err != nil {
-		return nil, err
-	}
-	opts := fvm.TransientOptions{
-		TimeStep:       ts.TimeStep,
-		Steps:          ts.Steps,
-		InitialUniform: m.spec.Ambient,
-		Tolerance:      m.spec.SolverTol,
-		Solver:         m.spec.EffectiveSolver(),
-		Workers:        m.spec.Workers,
-	}
-	if ts.Initial != nil {
-		if len(ts.Initial.T) != m.grid.NumCells() {
-			return nil, fmt.Errorf("thermal: initial field has %d cells, want %d",
-				len(ts.Initial.T), m.grid.NumCells())
-		}
-		opts.Initial = ts.Initial.T
-	}
-	if ts.Snapshot != nil {
-		opts.Snapshot = func(step int, tm float64, field []float64) {
-			// field is a per-step copy owned by this callback, so the
-			// report can keep it as its T without further copying.
-			r, err := m.report(field, p)
-			if err == nil {
-				ts.Snapshot(step, tm, r)
-			}
-		}
-	}
-	sol, err := m.sys.SolveTransient(power, opts)
-	if err != nil {
-		return nil, err
-	}
-	return m.report(sol.T, p)
 }
 
 // Basis is a set of unit-power solutions enabling O(1) evaluation of any

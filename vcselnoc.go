@@ -27,6 +27,7 @@ package vcselnoc
 
 import (
 	"context"
+	"io"
 	"net/http"
 
 	"vcselnoc/internal/activity"
@@ -400,11 +401,30 @@ type (
 	MeshGrid = mesh.Grid
 	// MeshAxisBuilder accumulates breakpoints/refinements for one axis.
 	MeshAxisBuilder = mesh.AxisBuilder
-	// TransientSpec configures a system-level transient simulation.
+	// TransientSpec configures a system-level transient simulation
+	// (observer, checkpoint and resume knobs included).
 	TransientSpec = thermal.TransientSpec
+	// TransientRun is an in-flight resumable system-level transient
+	// simulation: step-at-a-time API over the cached transient operator.
+	TransientRun = thermal.TransientRun
+	// TransientObservation is one step's cheap monitoring statistics
+	// (peak temperature, per-ONI device gradients).
+	TransientObservation = thermal.TransientObservation
+	// TransientStepper is the raw fvm-level step-at-a-time integrator.
+	TransientStepper = fvm.TransientStepper
+	// TransientCheckpoint is the serialisable state of a transient run;
+	// restores are fingerprint-checked against mesh, operator, power
+	// vector, time step and solver.
+	TransientCheckpoint = fvm.TransientCheckpoint
 	// LayerMap is a lateral temperature slice through one stack layer.
 	LayerMap = thermal.LayerMap
 )
+
+// DecodeTransientCheckpoint reads and validates a JSON transient
+// checkpoint (the format TransientCheckpoint.Encode writes).
+func DecodeTransientCheckpoint(r io.Reader) (*TransientCheckpoint, error) {
+	return fvm.DecodeTransientCheckpoint(r)
+}
 
 // NewMeshGrid builds a grid from per-axis line coordinates.
 func NewMeshGrid(x, y, z []float64) (*MeshGrid, error) { return mesh.NewGrid(x, y, z) }
