@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# wait-for-healthz.sh BASE_URL [TIMEOUT_S]
+#
+# Polls BASE_URL/healthz until it answers 200 or TIMEOUT_S (default 60)
+# elapses. Every CI job that starts a vcseld daemon goes through this so
+# the readiness handshake lives in exactly one place.
+set -euo pipefail
+
+base="${1:?usage: wait-for-healthz.sh BASE_URL [TIMEOUT_S]}"
+timeout="${2:-60}"
+
+for _ in $(seq 1 "$timeout"); do
+  if curl -sf "${base%/}/healthz" > /dev/null; then
+    exit 0
+  fi
+  sleep 1
+done
+echo "wait-for-healthz: ${base%/}/healthz not ready after ${timeout}s" >&2
+exit 1

@@ -27,6 +27,15 @@
 // present in only one of run/baseline are reported but never fail the
 // gate, so adding or retiring benchmarks does not require lockstep
 // baseline updates.
+//
+// Load-gating mode (-load-input) ingests cmd/loadgen report JSONs
+// instead of bench text and gates them against bench/LOAD_baseline.json
+// with the same philosophy: p99 within -load-max-ratio of the baseline
+// (plus -load-slack-ms of absolute headroom), shed rate within the same
+// ratio, and any 5xx under load an unconditional failure.
+//
+//	benchguard -load-input load_uniform.json,load_hotkey.json \
+//	    -load-baseline bench/LOAD_baseline.json -load-out LOAD_preview.json
 package main
 
 import (
@@ -39,6 +48,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"vcselnoc/internal/loadreport"
 )
 
 // Entry is one benchmark's measurements: ns/op plus any custom metrics
@@ -65,9 +76,20 @@ func main() {
 	maxMetricRatio := flag.Float64("max-metric-ratio", 1.5, "fail when a custom metric (e.g. iters/solve) exceeds baseline by this ratio")
 	resolution := flag.String("resolution", benchRes(), "mesh resolution tag recorded in the artifact (defaults to VCSELNOC_BENCH_RES or fast)")
 	writeBaseline := flag.Bool("write-baseline", false, "overwrite the baseline with this run and exit")
+	loadInput := flag.String("load-input", "", "comma-separated loadgen report JSONs; switches to load-gating mode")
+	loadBaseline := flag.String("load-baseline", "", "committed load baseline JSON (load mode)")
+	loadOut := flag.String("load-out", "", "merged load artifact to write (load mode)")
+	writeLoadBaseline := flag.Bool("write-load-baseline", false, "overwrite the load baseline with this run and exit")
+	loadMaxRatio := flag.Float64("load-max-ratio", 2.0, "fail when a run's p99 or shed rate exceeds the load baseline by this ratio")
+	loadSlackMs := flag.Float64("load-slack-ms", 25, "absolute p99 headroom added on top of the ratio gate (ms)")
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("benchguard: ")
+
+	if *loadInput != "" {
+		loadMode(*loadInput, *loadBaseline, *loadOut, *resolution, *writeLoadBaseline, *loadMaxRatio, *loadSlackMs)
+		return
+	}
 
 	var r io.Reader = os.Stdin
 	if *input != "" && *input != "-" {
@@ -148,6 +170,104 @@ func main() {
 	if failed {
 		log.Fatalf("benchmark regression over %.1fx detected", *maxRatio)
 	}
+}
+
+// loadMode merges one or more loadgen reports into a loadreport.Baseline
+// document keyed by traffic shape and gates each run against the
+// committed baseline (or rewrites it). It mirrors the bench path's
+// philosophy: loose ratio gates because the baseline and the CI runner
+// are different machines, resolution tags so artifacts from different
+// mesh tiers never compare, and shapes present in only one side are
+// reported but never fail the gate.
+func loadMode(inputs, baselinePath, outPath, resolution string, writeBaseline bool, maxRatio, slackMs float64) {
+	run := loadreport.Baseline{Resolution: resolution, Runs: map[string]loadreport.Report{}}
+	for _, path := range strings.Split(inputs, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var rep loadreport.Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		if rep.Shape == "" {
+			log.Fatalf("%s: report has no traffic shape", path)
+		}
+		if _, dup := run.Runs[rep.Shape]; dup {
+			log.Fatalf("%s: duplicate report for shape %q", path, rep.Shape)
+		}
+		run.Runs[rep.Shape] = rep
+	}
+	if len(run.Runs) == 0 {
+		log.Fatal("no load reports found in -load-input")
+	}
+	if writeBaseline {
+		if baselinePath == "" {
+			log.Fatal("-write-load-baseline needs -load-baseline")
+		}
+		if err := writeAnyJSON(baselinePath, run); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("load baseline %s rewritten with %d shapes\n", baselinePath, len(run.Runs))
+		return
+	}
+	if outPath != "" {
+		if err := writeAnyJSON(outPath, run); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if baselinePath == "" {
+		return
+	}
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var base loadreport.Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		log.Fatalf("%s: %v", baselinePath, err)
+	}
+	if base.Resolution != run.Resolution {
+		log.Fatalf("load baseline resolution %q does not match run resolution %q", base.Resolution, run.Resolution)
+	}
+	failed := false
+	for shape, rep := range run.Runs {
+		b, ok := base.Runs[shape]
+		if !ok {
+			fmt.Printf("NEW   %-8s p99 %8.2f ms  shed %.3f (no baseline)\n", shape, rep.Latency.P99, rep.ShedRate)
+			continue
+		}
+		problems := loadreport.Gate(rep, b, maxRatio, slackMs)
+		if len(problems) == 0 {
+			fmt.Printf("ok    %-8s p99 %8.2f ms (baseline %8.2f)  shed %.3f (baseline %.3f)  coalesced %d\n",
+				shape, rep.Latency.P99, b.Latency.P99, rep.ShedRate, b.ShedRate, rep.ServerCoalesced)
+			continue
+		}
+		failed = true
+		for _, p := range problems {
+			fmt.Printf("FAIL  %s\n", p)
+		}
+	}
+	for shape := range base.Runs {
+		if _, ok := run.Runs[shape]; !ok {
+			fmt.Printf("GONE  %-8s (in baseline, not in run)\n", shape)
+		}
+	}
+	if failed {
+		log.Fatalf("load regression over %.1fx detected", maxRatio)
+	}
+}
+
+func writeAnyJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // parse extracts benchmark result lines of the form

@@ -9,8 +9,15 @@
 // Usage:
 //
 //	vcseld [-addr :8080] [-res fast] [-solver mg-cg] [-workers 0]
-//	       [-batch-window 1ms] [-cache 4096] [-warm]
+//	       [-batch-window 1ms] [-cache 4096] [-max-bases 8] [-warm]
+//	       [-admit-rate 0] [-admit-burst 0] [-client-rate 0] [-client-burst 0]
 //	       [-job-dir /var/lib/vcseld/jobs] [-job-checkpoint-every 25]
+//
+// With -admit-rate (spec-wide) or -client-rate (per X-Client-ID / remote
+// host) set, cheap superposition queries pass an O(1) atomic admission
+// check; shed queries get HTTP 429 with a Retry-After header. Identical
+// in-flight queries share one solve, and warm bases beyond -max-bases
+// are evicted least-recently-used instead of refused.
 //
 // Endpoints (all JSON unless noted):
 //
@@ -57,7 +64,11 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel solver/sweep workers (0 = all CPUs)")
 	batchWindow := flag.Duration("batch-window", serve.DefaultBatchWindow, "micro-batch collection window (negative disables batching)")
 	cacheSize := flag.Int("cache", serve.DefaultCacheSize, "query LRU capacity")
-	maxBases := flag.Int("max-bases", serve.DefaultMaxBases, "distinct activity shapes to hold warm bases for (requests beyond get HTTP 429)")
+	maxBases := flag.Int("max-bases", serve.DefaultMaxBases, "warm bases to hold per spec (least-recently-used shape evicted beyond)")
+	admitRate := flag.Float64("admit-rate", 0, "spec-wide admission rate for cheap queries (queries/s; 0 = unlimited, shed gets HTTP 429 + Retry-After)")
+	admitBurst := flag.Int("admit-burst", 0, "spec-wide admission burst tolerance (0 = default)")
+	clientRate := flag.Float64("client-rate", 0, "per-client admission rate (queries/s per X-Client-ID or remote host; 0 = unlimited)")
+	clientBurst := flag.Int("client-burst", 0, "per-client admission burst tolerance (0 = default)")
 	warm := flag.Bool("warm", false, "build the model and uniform basis before accepting traffic")
 	shutdownTimeout := flag.Duration("shutdown-timeout", serve.DefaultShutdownTimeout, "grace period for in-flight requests on shutdown")
 	jobDir := flag.String("job-dir", "", "directory for transient-job checkpoints; jobs resume across restarts (empty keeps jobs in memory)")
@@ -82,6 +93,10 @@ func main() {
 		BatchWindow:        *batchWindow,
 		CacheSize:          *cacheSize,
 		MaxBases:           *maxBases,
+		AdmitRate:          *admitRate,
+		AdmitBurst:         *admitBurst,
+		ClientRate:         *clientRate,
+		ClientBurst:        *clientBurst,
 		JobDir:             *jobDir,
 		JobCheckpointEvery: *jobEvery,
 	})

@@ -168,6 +168,32 @@ func (m *Methodology) BasisFor(act activity.Scenario) (*thermal.Basis, error) {
 // use: N concurrent cold queries must report exactly one build.
 func (m *Methodology) BasisBuilds() int64 { return m.builds.Load() }
 
+// EvictBasis drops the cached basis for an activity shape so its memory
+// (~4 fields × NumCells × 8 bytes) can be reclaimed, and reports whether
+// an entry was present. Safe against racing BasisFor calls: an in-flight
+// build on the evicted entry completes and serves its waiters — the
+// entry just stops being shared with later calls, which rebuild. Because
+// the solve pipeline is deterministic, a rebuilt basis is value-identical
+// to the evicted one (pinned by the serve eviction tests).
+func (m *Methodology) EvictBasis(act activity.Scenario) bool {
+	key := basisKey(act)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.bases[key]; !ok {
+		return false
+	}
+	delete(m.bases, key)
+	return true
+}
+
+// BasisCount reports the cached basis entries (completed or building) —
+// the bounded-memory invariant the serving layer's LRU maintains.
+func (m *Methodology) BasisCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.bases)
+}
+
 // Explorer returns a design-space explorer bound to the activity's basis.
 // The spec's Workers knob caps the explorer's sweep parallelism.
 func (m *Methodology) Explorer(act activity.Scenario) (*dse.Explorer, error) {

@@ -1,0 +1,67 @@
+package serve
+
+// Query-granularity single-flight: identical canonicalised scenarios that
+// are in flight at the same moment share one evaluation, not just one
+// basis build. The basis-level single-flight (core.Methodology) already
+// stops a cold spec from building twice; this layer stops a hot-key
+// stampede — N clients asking for the same operating point in the same
+// instant — from running N superposition evaluations when one would
+// serve them all. Followers wait on the leader's channel and reuse its
+// response; the LRU then absorbs later arrivals.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// flightGroup deduplicates concurrent evaluations by cache key.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+
+	// coalesced counts followers that shared a leader's solve — the
+	// observable the loadgen coalesce rate and the pinned
+	// one-solve-for-N-queries test read.
+	coalesced atomic.Int64
+}
+
+type flightCall struct {
+	done chan struct{}
+	resp QueryResponse
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// do runs fn once per key among concurrent callers: the first caller
+// (leader) evaluates, everyone else (followers) blocks until the leader
+// finishes and shares its result. shared reports whether this caller was
+// a follower.
+func (g *flightGroup) do(key string, fn func() (QueryResponse, error)) (resp QueryResponse, shared bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		g.coalesced.Add(1)
+		return c.resp, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.resp, c.err = fn()
+
+	// Retire the flight before releasing followers: a request arriving
+	// after this point starts fresh (and will normally hit the LRU the
+	// leader just populated).
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.resp, false, c.err
+}
+
+// Coalesced reports the cumulative follower count.
+func (g *flightGroup) Coalesced() int64 { return g.coalesced.Load() }

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlightGroupSharing: concurrent callers of one key run the function
+// once; distinct keys run independently; errors reach every waiter.
+func TestFlightGroupSharing(t *testing.T) {
+	g := newFlightGroup()
+	var calls atomic.Int64
+	release := make(chan struct{})
+	const followers = 7
+
+	var wg sync.WaitGroup
+	results := make([]struct {
+		resp   QueryResponse
+		shared bool
+		err    error
+	}, followers+1)
+	started := make(chan struct{}, followers+1)
+	for i := 0; i <= followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started <- struct{}{}
+			results[i].resp, results[i].shared, results[i].err = g.do("k", func() (QueryResponse, error) {
+				calls.Add(1)
+				<-release
+				return QueryResponse{MeanONITemp: 42}, nil
+			})
+		}(i)
+	}
+	for i := 0; i <= followers; i++ {
+		<-started
+	}
+	// Give followers time to join the leader's flight before releasing.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fn ran %d times, want 1", n)
+	}
+	leaders := 0
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("caller %d: %v", i, r.err)
+		}
+		if r.resp.MeanONITemp != 42 {
+			t.Fatalf("caller %d got %+v", i, r.resp)
+		}
+		if !r.shared {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d leaders, want 1", leaders)
+	}
+	if g.Coalesced() != followers {
+		t.Fatalf("coalesced = %d, want %d", g.Coalesced(), followers)
+	}
+
+	// Error propagation: a failing leader fails its followers too, and
+	// the retired flight leaves the key reusable.
+	wantErr := errors.New("boom")
+	if _, _, err := g.do("k", func() (QueryResponse, error) { return QueryResponse{}, wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	if resp, shared, err := g.do("k", func() (QueryResponse, error) { return QueryResponse{MeanONITemp: 7}, nil }); err != nil || shared || resp.MeanONITemp != 7 {
+		t.Fatalf("fresh flight after error: resp=%+v shared=%v err=%v", resp, shared, err)
+	}
+}
+
+// TestQueryCoalescingOneSolve is the pinned hot-key property: N
+// identical concurrent scenarios perform exactly ONE solve. The wide
+// batch window holds the leader's evaluation open long enough that every
+// concurrent identical query either joins its flight or lands on the LRU
+// entry it populates — in all cases the batcher sees a single
+// submission.
+func TestQueryCoalescingOneSolve(t *testing.T) {
+	s := admitServer(t, Config{BatchWindow: 50 * time.Millisecond})
+	const n = 12
+	const body = `{"chip": 25, "pvcsel": 2.5e-3, "pheater": 0.7e-3}`
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errc := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if w := postAs(s, "coalesce", body); w.Code != 200 {
+				errc <- fmt.Errorf("HTTP %d (%s)", w.Code, w.Body.String())
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	st, err := s.state(DefaultSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, queries := st.batch.Stats(); queries != 1 {
+		t.Fatalf("%d identical concurrent queries submitted %d solves, want exactly 1", n, queries)
+	}
+	coalesced := st.flights.Coalesced()
+	hits, _ := st.cache.Stats()
+	if coalesced+hits != n-1 {
+		t.Fatalf("coalesced %d + cache hits %d != %d followers", coalesced, hits, n-1)
+	}
+	if coalesced == 0 {
+		t.Fatal("no query was coalesced — followers never joined the leader's flight")
+	}
+}

@@ -47,6 +47,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"vcseld_batches_total", "Micro-batch flushes.", func(i SpecInfo) float64 { return float64(i.Batches) }, true},
 		{"vcseld_batched_queries_total", "Queries carried by micro-batches (divide by vcseld_batches_total for the mean batch size).", func(i SpecInfo) float64 { return float64(i.BatchedQueries) }, true},
 		{"vcseld_model_cells", "Mesh cells of the warm model (0 until the first query builds it).", func(i SpecInfo) float64 { return float64(i.Cells) }, false},
+		{"vcseld_admitted_total", "Hot-path queries admitted by admission control.", func(i SpecInfo) float64 { return float64(i.Admitted) }, true},
+		{"vcseld_shed_total", "Hot-path queries shed with HTTP 429.", func(i SpecInfo) float64 { return float64(i.Shed) }, true},
+		{"vcseld_coalesced_queries_total", "Queries that shared an identical in-flight query's solve.", func(i SpecInfo) float64 { return float64(i.CoalescedQueries) }, true},
+		{"vcseld_admission_clients", "Per-client admission buckets currently tracked.", func(i SpecInfo) float64 { return float64(i.Clients) }, false},
+		{"vcseld_warm_bases", "Warm superposition bases held (bounded LRU).", func(i SpecInfo) float64 { return float64(i.WarmBases) }, false},
+		{"vcseld_basis_evictions_total", "Least-recently-used basis evictions.", func(i SpecInfo) float64 { return float64(i.BasisEvictions) }, true},
 	}
 	infos := make(map[string]SpecInfo, len(names))
 	for _, info := range s.specInfos() {

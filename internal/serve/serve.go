@@ -19,12 +19,14 @@
 package serve
 
 import (
+	"container/list"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,11 +51,14 @@ const DefaultBatchWindow = time.Millisecond
 // DefaultCacheSize bounds the per-spec query LRU.
 const DefaultCacheSize = 4096
 
-// DefaultMaxBases bounds the distinct activity shapes a spec will build
-// bases for. Each basis costs a multi-solve build and ~4 fields ×
-// NumCells × 8 bytes retained for the server's lifetime, and the random
-// activity's seed is client-controlled — without a bound, looping seeds
-// is a trivial memory/CPU exhaustion attack on the daemon.
+// DefaultMaxBases bounds the warm bases a spec holds at once. Each basis
+// costs a multi-solve build and ~4 fields × NumCells × 8 bytes, and the
+// random activity's seed is client-controlled — without a bound, looping
+// seeds is a trivial memory exhaustion attack on the daemon. Beyond the
+// bound the least-recently-used basis is evicted (and deterministically
+// rebuilt if asked for again) rather than the request shed, so memory
+// stays bounded without a hard 429 cliff for many-spec registries; the
+// admission rate caps how fast a seed-looping client can force rebuilds.
 const DefaultMaxBases = 8
 
 // maxBodyBytes bounds request bodies; sweep axes are the largest
@@ -87,10 +92,26 @@ type Config struct {
 	// CacheSize bounds each spec's query LRU; 0 selects
 	// DefaultCacheSize, negative disables caching (capacity 1).
 	CacheSize int
-	// MaxBases bounds the distinct activity shapes (name + seed) each
-	// spec builds bases for; 0 selects DefaultMaxBases. Requests for an
-	// additional shape beyond the bound get HTTP 429.
+	// MaxBases bounds the warm bases (distinct activity name + seed
+	// shapes) each spec holds; 0 selects DefaultMaxBases. A request for a
+	// shape beyond the bound evicts the least-recently-used basis.
 	MaxBases int
+	// AdmitRate rate-limits the cheap-query hot path per spec
+	// (queries/second); 0 disables spec-wide admission. Shed queries get
+	// HTTP 429 with a Retry-After.
+	AdmitRate float64
+	// AdmitBurst is the spec bucket's burst tolerance; 0 selects
+	// DefaultAdmitBurst.
+	AdmitBurst int
+	// ClientRate rate-limits each client (X-Client-ID header, falling
+	// back to remote host) per spec; 0 disables per-client admission.
+	ClientRate float64
+	// ClientBurst is the per-client burst tolerance; 0 selects
+	// DefaultAdmitBurst.
+	ClientBurst int
+	// MaxClients bounds tracked per-client buckets per spec; 0 selects
+	// DefaultMaxClients.
+	MaxClients int
 	// JobDir persists transient-job checkpoints and results so jobs
 	// survive — and resume from their last checkpoint on — daemon
 	// restarts; empty keeps jobs in memory only.
@@ -119,6 +140,11 @@ type Server struct {
 	sweepSem chan struct{}
 	// jobs owns the async transient jobs (see jobs.go).
 	jobs *jobManager
+	// flushStop/flushWG run the off-path admission accounting loop (see
+	// admit.go); closeOnce makes Close idempotent.
+	flushStop chan struct{}
+	flushWG   sync.WaitGroup
+	closeOnce sync.Once
 }
 
 // specState is one registered spec's warm state. The Methodology (model,
@@ -136,13 +162,28 @@ type specState struct {
 	snrCfg snr.Config
 	cache  *lruCache
 	batch  *batcher
+	// adm gates the cheap-query hot path (nil = admission disabled);
+	// flights deduplicates identical in-flight queries.
+	adm     *admission
+	flights *flightGroup
 
-	// basisMu/basisKeys bound how many distinct activity shapes this
-	// spec will hold warm bases for (client-controlled seeds must not
-	// grow server memory without limit).
-	basisMu   sync.Mutex
-	basisKeys map[string]struct{}
-	maxBases  int
+	// basisMu guards the LRU over warm bases: basisOrder (front = most
+	// recently used) and basisIdx bound how many distinct activity
+	// shapes this spec holds bases for — client-controlled seeds must
+	// not grow server memory without limit, so the least-recently-used
+	// shape is evicted (and rebuilt on demand) beyond maxBases.
+	basisMu        sync.Mutex
+	basisOrder     *list.List // element values are *basisSlot
+	basisIdx       map[string]*list.Element
+	maxBases       int
+	basisEvictions atomic.Int64
+}
+
+// basisSlot is one warm activity shape in the basis LRU; the resolved
+// scenario rides along so eviction can address the methodology's cache.
+type basisSlot struct {
+	key string
+	act activity.Scenario
 }
 
 // methodology builds (once) and returns the spec's warm methodology.
@@ -180,10 +221,11 @@ func New(cfg Config) (*Server, error) {
 		cfg.MaxBases = DefaultMaxBases
 	}
 	s := &Server{
-		mux:      http.NewServeMux(),
-		specs:    make(map[string]*specState, len(cfg.Specs)),
-		start:    time.Now(),
-		sweepSem: make(chan struct{}, 2),
+		mux:       http.NewServeMux(),
+		specs:     make(map[string]*specState, len(cfg.Specs)),
+		start:     time.Now(),
+		sweepSem:  make(chan struct{}, 2),
+		flushStop: make(chan struct{}),
 	}
 	for name, spec := range cfg.Specs {
 		if name == "" {
@@ -193,13 +235,16 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("serve: spec %q: %w", name, err)
 		}
 		s.specs[name] = &specState{
-			name:      name,
-			spec:      spec,
-			snrCfg:    cfg.SNR,
-			cache:     newLRUCache(cfg.CacheSize),
-			batch:     newBatcher(cfg.BatchWindow, spec.Workers),
-			basisKeys: make(map[string]struct{}),
-			maxBases:  cfg.MaxBases,
+			name:       name,
+			spec:       spec,
+			snrCfg:     cfg.SNR,
+			cache:      newLRUCache(cfg.CacheSize),
+			batch:      newBatcher(cfg.BatchWindow, spec.Workers),
+			adm:        newAdmission(cfg),
+			flights:    newFlightGroup(),
+			basisOrder: list.New(),
+			basisIdx:   make(map[string]*list.Element),
+			maxBases:   cfg.MaxBases,
 		}
 	}
 	s.jobs = newJobManager(s, cfg)
@@ -207,6 +252,8 @@ func New(cfg Config) (*Server, error) {
 	if err := s.jobs.loadPersisted(); err != nil {
 		return nil, err
 	}
+	s.flushWG.Add(1)
+	go s.flusher()
 	return s, nil
 }
 
@@ -232,12 +279,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Close stops the server's background transient jobs: every running job
+// Close stops the server's background work: every running transient job
 // checkpoints its exact current step (when a JobDir is configured, so
-// the next daemon resumes it bit-identically) and Close blocks until all
-// job goroutines exit. The HTTP side is unaffected — callers drain it
+// the next daemon resumes it bit-identically), the admission accounting
+// flusher exits, and Close blocks until all background goroutines are
+// gone. Idempotent. The HTTP side is unaffected — callers drain it
 // separately via Run's context.
 func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.flushStop)
+	})
+	s.flushWG.Wait()
 	s.jobs.stop()
 }
 
@@ -254,33 +306,47 @@ func (s *Server) Warm(name string) error {
 }
 
 // basisFor builds (or returns) the basis for one activity shape,
-// enforcing the per-spec bound on distinct shapes: seeds arrive from
-// the network, and every new shape is a multi-solve build plus
-// NumCells-sized fields retained for the server's lifetime.
+// maintaining the bounded LRU over warm bases: seeds arrive from the
+// network, and every new shape is a multi-solve build plus
+// NumCells-sized fields — so beyond maxBases the least-recently-used
+// shape's basis is evicted from the methodology cache. An in-flight
+// evaluation holding the evicted basis finishes safely (the pointer
+// stays alive until released); a later request for the evicted shape
+// rebuilds it deterministically.
 func (st *specState) basisFor(act activity.Scenario, slot string) (*thermal.Basis, error) {
 	meth, err := st.methodology()
 	if err != nil {
 		return nil, err
 	}
 	st.basisMu.Lock()
-	if _, known := st.basisKeys[slot]; !known {
-		if len(st.basisKeys) >= st.maxBases {
-			st.basisMu.Unlock()
-			return nil, &statusError{
-				code: http.StatusTooManyRequests,
-				err: fmt.Errorf("serve: spec %q already holds bases for %d activity shapes; refusing to build one for %q (raise Config.MaxBases)",
-					st.name, st.maxBases, slot),
-			}
+	var evicted []activity.Scenario
+	if el, known := st.basisIdx[slot]; known {
+		st.basisOrder.MoveToFront(el)
+	} else {
+		for st.basisOrder.Len() >= st.maxBases {
+			oldest := st.basisOrder.Back()
+			sl := oldest.Value.(*basisSlot)
+			st.basisOrder.Remove(oldest)
+			delete(st.basisIdx, sl.key)
+			evicted = append(evicted, sl.act)
 		}
-		st.basisKeys[slot] = struct{}{}
+		st.basisIdx[slot] = st.basisOrder.PushFront(&basisSlot{key: slot, act: act})
 	}
 	st.basisMu.Unlock()
+	for _, old := range evicted {
+		if meth.EvictBasis(old) {
+			st.basisEvictions.Add(1)
+		}
+	}
 	b, err := meth.BasisFor(act)
 	if err != nil {
 		// Release the slot: failed builds are not cached by the
 		// methodology either, so a later request may retry.
 		st.basisMu.Lock()
-		delete(st.basisKeys, slot)
+		if el, ok := st.basisIdx[slot]; ok {
+			st.basisOrder.Remove(el)
+			delete(st.basisIdx, slot)
+		}
 		st.basisMu.Unlock()
 		return nil, err
 	}
@@ -299,10 +365,13 @@ func (s *Server) state(name string) (*specState, error) {
 	return st, nil
 }
 
-// statusError carries an HTTP status through the handler helpers.
+// statusError carries an HTTP status through the handler helpers;
+// retryAfter (when positive) additionally sets the Retry-After header
+// and the envelope's retry_after_ms on shed responses.
 type statusError struct {
-	code int
-	err  error
+	code       int
+	retryAfter time.Duration
+	err        error
 }
 
 func (e *statusError) Error() string { return e.err.Error() }
@@ -317,15 +386,25 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 // writeErr emits the JSON error envelope with the mapped status code.
+// Shed responses carry their retry schedule twice: the standard
+// Retry-After header (whole seconds, rounded up, so naive clients back
+// off at least as long as asked) and retry_after_ms in the envelope for
+// clients that pace tighter than a second.
 func writeErr(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
+	body := errorBody{Error: err.Error()}
 	var se *statusError
 	if errors.As(err, &se) {
 		code = se.code
+		if se.retryAfter > 0 {
+			body.RetryAfterMs = float64(se.retryAfter) / float64(time.Millisecond)
+			secs := int64((se.retryAfter + time.Second - 1) / time.Second)
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+	_ = json.NewEncoder(w).Encode(body)
 }
 
 // decode strictly parses the request body into v: unknown fields and
@@ -350,29 +429,47 @@ func (s *Server) resolve(sc Scenario) (*specState, *thermal.Basis, error) {
 	if err != nil {
 		return nil, nil, notFound(err)
 	}
-	act, err := sc.activityScenario()
-	if err != nil {
-		return nil, nil, badRequest(err)
-	}
-	if err := sc.powers().Validate(); err != nil {
-		return nil, nil, badRequest(err)
-	}
-	basis, err := st.basisFor(act, sc.basisSlotKey())
+	basis, err := st.resolveBasis(sc)
 	if err != nil {
 		return nil, nil, err
 	}
 	return st, basis, nil
 }
 
-// handleGradient answers the cheap superposition query: LRU first, then
-// a micro-batched basis evaluation.
+// resolveBasis validates the scenario against an already-resolved spec
+// and returns its basis.
+func (st *specState) resolveBasis(sc Scenario) (*thermal.Basis, error) {
+	act, err := sc.activityScenario()
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	if err := sc.powers().Validate(); err != nil {
+		return nil, badRequest(err)
+	}
+	return st.basisFor(act, sc.basisSlotKey())
+}
+
+// handleGradient answers the cheap superposition query — the serving hot
+// path, in admission order: one O(1) atomic admission check (429 +
+// Retry-After on shed, before any solver work), then the LRU, then
+// query-granularity single-flight around a micro-batched basis
+// evaluation so identical in-flight scenarios share one solve.
 func (s *Server) handleGradient(w http.ResponseWriter, r *http.Request) {
 	var sc Scenario
 	if err := decode(r, &sc); err != nil {
 		writeErr(w, err)
 		return
 	}
-	st, basis, err := s.resolve(sc)
+	st, err := s.state(sc.specName())
+	if err != nil {
+		writeErr(w, notFound(err))
+		return
+	}
+	if ok, retry := st.adm.admit(clientID(r), time.Now().UnixNano()); !ok {
+		writeErr(w, shedError(st.name, retry))
+		return
+	}
+	basis, err := st.resolveBasis(sc)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -383,15 +480,22 @@ func (s *Server) handleGradient(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, resp)
 		return
 	}
-	// The scenario was fully validated in resolve, so an evaluation
-	// error here is the server's fault, not the client's.
-	res, err := st.batch.Submit(basis, sc.powers())
+	// The scenario was fully validated above, so an evaluation error
+	// here is the server's fault, not the client's. Identical scenarios
+	// racing this one wait for — and share — this evaluation.
+	resp, _, err := st.flights.do(key, func() (QueryResponse, error) {
+		res, err := st.batch.Submit(basis, sc.powers())
+		if err != nil {
+			return QueryResponse{}, err
+		}
+		resp := summarise(res)
+		st.cache.Add(key, resp)
+		return resp, nil
+	})
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	resp := summarise(res)
-	st.cache.Add(key, resp)
 	writeJSON(w, resp)
 }
 
@@ -663,6 +767,12 @@ func (s *Server) specInfos() []SpecInfo {
 		info.CacheHits, info.CacheMisses = hits, misses
 		info.CacheLen = st.cache.Len()
 		info.Batches, info.BatchedQueries = st.batch.Stats()
+		info.Admitted, info.Shed, info.Clients = st.adm.stats()
+		info.CoalescedQueries = st.flights.Coalesced()
+		info.BasisEvictions = st.basisEvictions.Load()
+		st.basisMu.Lock()
+		info.WarmBases = st.basisOrder.Len()
+		st.basisMu.Unlock()
 		// Peek without forcing a build: only report the model when some
 		// query has already paid for it.
 		if st.ready.Load() && st.err == nil {

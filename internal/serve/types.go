@@ -292,9 +292,23 @@ type SpecInfo struct {
 	CacheMisses int64 `json:"cache_misses"`
 	CacheLen    int   `json:"cache_len"`
 	// Batches and BatchedQueries count micro-batch flushes and the
-	// queries they carried.
+	// queries they carried. BatchedQueries is also the spec's solve
+	// count: every evaluation that actually ran went through the
+	// batcher, so admitted − cache hits − coalesced ≈ BatchedQueries.
 	Batches        int64 `json:"batches"`
 	BatchedQueries int64 `json:"batched_queries"`
+	// Admitted and Shed count hot-path queries through admission control
+	// (both zero when admission is disabled); Clients is the tracked
+	// per-client bucket count.
+	Admitted int64 `json:"admitted"`
+	Shed     int64 `json:"shed"`
+	Clients  int   `json:"clients"`
+	// CoalescedQueries counts queries that shared another identical
+	// in-flight query's solve (query-granularity single-flight).
+	CoalescedQueries int64 `json:"coalesced_queries"`
+	// WarmBases and BasisEvictions describe the bounded basis LRU.
+	WarmBases      int   `json:"warm_bases"`
+	BasisEvictions int64 `json:"basis_evictions"`
 }
 
 // Health is the /healthz body.
@@ -304,9 +318,12 @@ type Health struct {
 	Specs   []SpecInfo `json:"specs"`
 }
 
-// errorBody is the JSON error envelope every non-2xx answer uses.
+// errorBody is the JSON error envelope every non-2xx answer uses. Shed
+// (429) answers additionally carry the retry schedule in milliseconds,
+// mirroring the whole-second Retry-After header at finer grain.
 type errorBody struct {
-	Error string `json:"error"`
+	Error        string  `json:"error"`
+	RetryAfterMs float64 `json:"retry_after_ms,omitempty"`
 }
 
 // parseCase maps the wire case number onto the placement enum.
