@@ -17,6 +17,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -27,6 +28,7 @@ import (
 	"vcselnoc/internal/core"
 	"vcselnoc/internal/dse"
 	"vcselnoc/internal/fvm"
+	"vcselnoc/internal/mg"
 	"vcselnoc/internal/mrr"
 	"vcselnoc/internal/oni"
 	"vcselnoc/internal/ornoc"
@@ -51,6 +53,21 @@ func benchResolution() thermal.Resolution {
 	default:
 		return thermal.FastResolution()
 	}
+}
+
+// benchMGKnobs reads the cmd/perfab sweep axes from the environment:
+// VCSELNOC_MG_ORDERING and VCSELNOC_MG_PRECISION tune the mg-cg V-cycle,
+// VCSELNOC_WORKERS caps solver goroutines. Empty variables leave the
+// defaults (red-black ordering, auto precision, GOMAXPROCS workers).
+func benchMGKnobs(opts fvm.SolveOptions) fvm.SolveOptions {
+	opts.MGOrdering = os.Getenv("VCSELNOC_MG_ORDERING")
+	opts.MGPrecision = os.Getenv("VCSELNOC_MG_PRECISION")
+	if w := os.Getenv("VCSELNOC_WORKERS"); w != "" {
+		if n, err := strconv.Atoi(w); err == nil && n > 0 {
+			opts.Workers = n
+		}
+	}
+	return opts
 }
 
 var (
@@ -612,8 +629,9 @@ func BenchmarkSolverBackends(b *testing.B) {
 	}
 	for _, backend := range sparse.Backends() {
 		b.Run(backend, func(b *testing.B) {
-			opts := fvm.SolveOptions{Tolerance: 1e-8, Solver: backend}
+			opts := benchMGKnobs(fvm.SolveOptions{Tolerance: 1e-8, Solver: backend})
 			var iters int
+			before := mg.ReadPhaseStats()
 			for i := 0; i < b.N; i++ {
 				sol, err := m.System().SolveSteady(power, opts)
 				if err != nil {
@@ -622,6 +640,19 @@ func BenchmarkSolverBackends(b *testing.B) {
 				iters = sol.Stats.Iterations
 			}
 			b.ReportMetric(float64(iters), "iters/solve")
+			// For mg-cg, break the solve down into V-cycle phase time
+			// fractions (fraction of total benchmark wall-clock spent
+			// smoothing, restricting, prolongating and coarse-solving) —
+			// machine-dependent, so benchguard reports them without
+			// gating.
+			if backend == sparse.BackendMGCG && b.Elapsed() > 0 {
+				ph := mg.ReadPhaseStats().Sub(before)
+				total := b.Elapsed().Seconds()
+				b.ReportMetric(ph.Smooth.Seconds()/total, "smoothfrac")
+				b.ReportMetric(ph.Restrict.Seconds()/total, "restrictfrac")
+				b.ReportMetric(ph.Prolong.Seconds()/total, "prolongfrac")
+				b.ReportMetric(ph.Coarse.Seconds()/total, "coarsefrac")
+			}
 		})
 	}
 }

@@ -23,10 +23,18 @@
 // Wall-clock (ns/op) gets the loose 2x gate because the committed
 // baseline and the CI runner are different machines; the iters/solve
 // metric the solver benches emit is machine-independent, so it gets the
-// tight gate and is the reliable solver-regression signal. Benchmarks
-// present in only one of run/baseline are reported but never fail the
-// gate, so adding or retiring benchmarks does not require lockstep
-// baseline updates.
+// tight gate and is the reliable solver-regression signal. Metrics whose
+// unit ends in "frac" (the V-cycle per-phase time fractions) are
+// machine-dependent and reported without gating. Benchmarks present in
+// only one of run/baseline are reported but never fail the gate, so
+// adding or retiring benchmarks does not require lockstep baseline
+// updates.
+//
+// Compare mode (-compare) diffs two artifacts — typically a before/after
+// pair produced by this tool or by cmd/perfab — as a markdown table and
+// exits non-zero when the new side regressed beyond the thresholds:
+//
+//	benchguard -compare old.json new.json
 //
 // Load-gating mode (-load-input) ingests cmd/loadgen report JSONs
 // instead of bench text and gates them against bench/LOAD_baseline.json
@@ -39,34 +47,17 @@
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
-	"strconv"
 	"strings"
 
+	"vcselnoc/internal/benchfmt"
 	"vcselnoc/internal/loadreport"
 )
-
-// Entry is one benchmark's measurements: ns/op plus any custom metrics
-// (e.g. the solver benches' iters/solve).
-type Entry struct {
-	NsPerOp float64            `json:"ns_per_op"`
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-}
-
-// Artifact is the JSON document benchguard reads and writes.
-type Artifact struct {
-	// Resolution records the mesh resolution the benches ran at (from
-	// VCSELNOC_BENCH_RES), so artifacts from different tiers are never
-	// compared by accident.
-	Resolution string           `json:"resolution"`
-	Benchmarks map[string]Entry `json:"benchmarks"`
-}
 
 func main() {
 	input := flag.String("input", "", "bench output file (empty or - = stdin)")
@@ -76,6 +67,7 @@ func main() {
 	maxMetricRatio := flag.Float64("max-metric-ratio", 1.5, "fail when a custom metric (e.g. iters/solve) exceeds baseline by this ratio")
 	resolution := flag.String("resolution", benchRes(), "mesh resolution tag recorded in the artifact (defaults to VCSELNOC_BENCH_RES or fast)")
 	writeBaseline := flag.Bool("write-baseline", false, "overwrite the baseline with this run and exit")
+	compare := flag.Bool("compare", false, "diff two artifact JSONs (positional: old.json new.json) as a markdown table; exit 1 on regression beyond the thresholds")
 	loadInput := flag.String("load-input", "", "comma-separated loadgen report JSONs; switches to load-gating mode")
 	loadBaseline := flag.String("load-baseline", "", "committed load baseline JSON (load mode)")
 	loadOut := flag.String("load-out", "", "merged load artifact to write (load mode)")
@@ -88,6 +80,15 @@ func main() {
 
 	if *loadInput != "" {
 		loadMode(*loadInput, *loadBaseline, *loadOut, *resolution, *writeLoadBaseline, *loadMaxRatio, *loadSlackMs)
+		return
+	}
+	if *compare {
+		if flag.NArg() != 2 {
+			log.Fatal("-compare needs exactly two artifact paths: old.json new.json")
+		}
+		if err := compareMode(os.Stdout, flag.Arg(0), flag.Arg(1), *maxRatio, *maxMetricRatio); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 
@@ -149,10 +150,12 @@ func main() {
 		fmt.Printf("%s %-45s %12.0f ns/op  baseline %12.0f  ratio %.2fx\n", verdict, name, e.NsPerOp, b.NsPerOp, ratio)
 		// Custom metrics (iters/solve) are machine-independent, so they
 		// get a tighter gate than wall-clock — an iteration-count jump is
-		// a solver regression regardless of runner speed.
+		// a solver regression regardless of runner speed. Time-fraction
+		// metrics (unit suffix "frac") are machine-dependent and stay
+		// informational.
 		for unit, v := range e.Metrics {
 			bv, ok := b.Metrics[unit]
-			if !ok || bv == 0 {
+			if !ok || bv == 0 || benchfmt.Informational(unit) {
 				continue
 			}
 			mr := v / bv
@@ -270,50 +273,38 @@ func writeAnyJSON(path string, v any) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// parse extracts benchmark result lines of the form
-//
-//	BenchmarkName/sub-8   1   123456 ns/op   5.000 iters/solve
-//
-// from go test output. The trailing -N GOMAXPROCS suffix is stripped so
-// results compare across machines with different core counts.
-func parse(r io.Reader) (*Artifact, error) {
-	art := &Artifact{Resolution: benchRes(), Benchmarks: map[string]Entry{}}
-	sc := bufio.NewScanner(r)
-	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
-		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-			continue
-		}
-		name := fields[0]
-		if i := strings.LastIndex(name, "-"); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				name = name[:i]
-			}
-		}
-		e := Entry{Metrics: map[string]float64{}}
-		ok := false
-		// fields[1] is the iteration count; value/unit pairs follow.
-		for i := 2; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				break
-			}
-			switch unit := fields[i+1]; unit {
-			case "ns/op":
-				e.NsPerOp = v
-				ok = true
-			default:
-				e.Metrics[unit] = v
-			}
-		}
-		if ok {
-			if len(e.Metrics) == 0 {
-				e.Metrics = nil
-			}
-			art.Benchmarks[name] = e
-		}
+// compareMode diffs two artifacts as a markdown table and returns an
+// error when the new side regressed beyond the thresholds. Mismatched
+// resolutions are an error — a preview run never meaningfully compares
+// against a fast one.
+func compareMode(w io.Writer, oldPath, newPath string, maxRatio, maxMetricRatio float64) error {
+	oldArt, err := readJSON(oldPath)
+	if err != nil {
+		return err
 	}
-	return art, sc.Err()
+	newArt, err := readJSON(newPath)
+	if err != nil {
+		return err
+	}
+	if oldArt.Resolution != newArt.Resolution {
+		return fmt.Errorf("resolution mismatch: %s is %q, %s is %q", oldPath, oldArt.Resolution, newPath, newArt.Resolution)
+	}
+	deltas := benchfmt.Compare(oldArt, newArt)
+	benchfmt.Markdown(w, deltas, oldPath, newPath)
+	if regs := benchfmt.Regressions(deltas, maxRatio, maxMetricRatio); len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintf(w, "\nREGRESSION %s", r)
+		}
+		fmt.Fprintln(w)
+		return fmt.Errorf("%d benchmark regression(s) beyond %.2fx", len(regs), maxRatio)
+	}
+	return nil
+}
+
+// parse converts go test bench output into an artifact stamped with the
+// ambient bench resolution (see internal/benchfmt for the format).
+func parse(r io.Reader) (*benchfmt.Artifact, error) {
+	return benchfmt.Parse(r, benchRes())
 }
 
 func benchRes() string {
@@ -323,22 +314,10 @@ func benchRes() string {
 	return "fast"
 }
 
-func readJSON(path string) (*Artifact, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	art := &Artifact{}
-	if err := json.Unmarshal(data, art); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return art, nil
+func readJSON(path string) (*benchfmt.Artifact, error) {
+	return benchfmt.ReadFile(path)
 }
 
-func writeJSON(path string, art *Artifact) error {
-	data, err := json.MarshalIndent(art, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+func writeJSON(path string, art *benchfmt.Artifact) error {
+	return benchfmt.WriteFile(path, art)
 }

@@ -1,0 +1,255 @@
+// Package benchfmt parses `go test -bench` output into the benchmark
+// artifact format shared by cmd/benchguard (baseline gating, A/B compare)
+// and cmd/perfab (configuration sweeps), and renders comparisons between
+// two artifacts. Keeping the format in one place guarantees perfab's
+// sweep outputs are directly consumable by `benchguard -compare`.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's measurements: ns/op plus any custom metrics
+// (e.g. the solver benches' iters/solve or smoothfrac).
+type Entry struct {
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Artifact is the JSON document the tools read and write.
+type Artifact struct {
+	// Resolution records the mesh resolution the benches ran at (from
+	// VCSELNOC_BENCH_RES), so artifacts from different tiers are never
+	// compared by accident.
+	Resolution string           `json:"resolution"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// Parse extracts benchmark result lines of the form
+//
+//	BenchmarkName/sub-8   1   123456 ns/op   5.000 iters/solve
+//
+// from go test output. The trailing -N GOMAXPROCS suffix is stripped so
+// results compare across machines with different core counts. resolution
+// is stamped into the artifact.
+func Parse(r io.Reader, resolution string) (*Artifact, error) {
+	art := &Artifact{Resolution: resolution, Benchmarks: map[string]Entry{}}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		e := Entry{Metrics: map[string]float64{}}
+		ok := false
+		// fields[1] is the iteration count; value/unit pairs follow.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				e.NsPerOp = v
+				ok = true
+			default:
+				e.Metrics[unit] = v
+			}
+		}
+		if ok {
+			if len(e.Metrics) == 0 {
+				e.Metrics = nil
+			}
+			art.Benchmarks[name] = e
+		}
+	}
+	return art, sc.Err()
+}
+
+// ReadFile loads an artifact JSON.
+func ReadFile(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	art := &Artifact{}
+	if err := json.Unmarshal(data, art); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return art, nil
+}
+
+// WriteFile writes an artifact JSON, indented, with a trailing newline.
+func WriteFile(path string, art *Artifact) error {
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// MetricDelta is the old/new pair of one custom metric.
+type MetricDelta struct {
+	Unit     string
+	Old, New float64
+	// Ratio is New/Old; 0 when Old is 0.
+	Ratio float64
+}
+
+// Delta is one benchmark's comparison between two artifacts. Exactly one
+// of the three cases holds: both sides present (Old/New/Ratio filled),
+// OldOnly (retired benchmark), or NewOnly (added benchmark).
+type Delta struct {
+	Name     string
+	Old, New float64 // ns/op
+	// Ratio is New/Old ns/op: < 1 is a speedup, > 1 a slowdown.
+	Ratio   float64
+	Metrics []MetricDelta
+	OldOnly bool
+	NewOnly bool
+}
+
+// Speedup returns Old/New — the conventional "×" speedup factor.
+func (d Delta) Speedup() float64 {
+	if d.New == 0 {
+		return 0
+	}
+	return d.Old / d.New
+}
+
+// Compare pairs the benchmarks of two artifacts by name, sorted.
+func Compare(old, new *Artifact) []Delta {
+	names := map[string]bool{}
+	for n := range old.Benchmarks {
+		names[n] = true
+	}
+	for n := range new.Benchmarks {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	deltas := make([]Delta, 0, len(sorted))
+	for _, n := range sorted {
+		o, hasOld := old.Benchmarks[n]
+		e, hasNew := new.Benchmarks[n]
+		d := Delta{Name: n, Old: o.NsPerOp, New: e.NsPerOp, OldOnly: !hasNew, NewOnly: !hasOld}
+		if hasOld && hasNew {
+			if o.NsPerOp != 0 {
+				d.Ratio = e.NsPerOp / o.NsPerOp
+			}
+			units := map[string]bool{}
+			for u := range o.Metrics {
+				units[u] = true
+			}
+			for u := range e.Metrics {
+				units[u] = true
+			}
+			su := make([]string, 0, len(units))
+			for u := range units {
+				su = append(su, u)
+			}
+			sort.Strings(su)
+			for _, u := range su {
+				md := MetricDelta{Unit: u, Old: o.Metrics[u], New: e.Metrics[u]}
+				if md.Old != 0 {
+					md.Ratio = md.New / md.Old
+				}
+				d.Metrics = append(d.Metrics, md)
+			}
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas
+}
+
+// Informational reports whether a metric unit is machine- or
+// phase-dependent bookkeeping (unit suffix "frac", e.g. the V-cycle's
+// smoothfrac time shares) that should be reported but never gated:
+// time fractions shift with core count and cache sizes without implying
+// a regression.
+func Informational(unit string) bool {
+	return strings.HasSuffix(unit, "frac")
+}
+
+// Regressions returns one human-readable line per gate violation:
+// ns/op ratios above maxRatio and non-informational metric ratios above
+// maxMetricRatio. Benchmarks present on only one side never fail.
+func Regressions(deltas []Delta, maxRatio, maxMetricRatio float64) []string {
+	var out []string
+	for _, d := range deltas {
+		if d.OldOnly || d.NewOnly {
+			continue
+		}
+		if d.Ratio > maxRatio {
+			out = append(out, fmt.Sprintf("%s: %.0f ns/op vs %.0f, ratio %.2fx exceeds %.2fx",
+				d.Name, d.New, d.Old, d.Ratio, maxRatio))
+		}
+		for _, m := range d.Metrics {
+			if Informational(m.Unit) || m.Old == 0 {
+				continue
+			}
+			if m.Ratio > maxMetricRatio {
+				out = append(out, fmt.Sprintf("%s: %.3f %s vs %.3f, ratio %.2fx exceeds %.2fx",
+					d.Name, m.New, m.Unit, m.Old, m.Ratio, maxMetricRatio))
+			}
+		}
+	}
+	return out
+}
+
+// Markdown renders the comparison as a GitHub-flavoured markdown table.
+// oldLabel/newLabel title the two sides (e.g. artifact file names or
+// sweep configuration names).
+func Markdown(w io.Writer, deltas []Delta, oldLabel, newLabel string) {
+	fmt.Fprintf(w, "| benchmark | %s | %s | speedup | metrics |\n", oldLabel, newLabel)
+	fmt.Fprintf(w, "|---|---|---|---|---|\n")
+	for _, d := range deltas {
+		switch {
+		case d.OldOnly:
+			fmt.Fprintf(w, "| %s | %s | — | | retired |\n", d.Name, fmtNs(d.Old))
+		case d.NewOnly:
+			fmt.Fprintf(w, "| %s | — | %s | | new |\n", d.Name, fmtNs(d.New))
+		default:
+			var ms []string
+			for _, m := range d.Metrics {
+				if m.Old == m.New {
+					ms = append(ms, fmt.Sprintf("%s %.3g", m.Unit, m.New))
+				} else {
+					ms = append(ms, fmt.Sprintf("%s %.3g→%.3g", m.Unit, m.Old, m.New))
+				}
+			}
+			fmt.Fprintf(w, "| %s | %s | %s | %.2f× | %s |\n",
+				d.Name, fmtNs(d.Old), fmtNs(d.New), d.Speedup(), strings.Join(ms, ", "))
+		}
+	}
+}
+
+// fmtNs renders nanoseconds human-readably (µs/ms/s above the thresholds).
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2f s", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1f ms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1f µs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0f ns", ns)
+	}
+}

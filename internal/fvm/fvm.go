@@ -433,9 +433,17 @@ type SolveOptions struct {
 	// Solver selects the sparse backend by name ("jacobi-cg", "ssor-cg",
 	// "mg-cg"); empty selects jacobi-cg.
 	Solver string
-	// Workers caps the goroutines used for matrix-vector products and for
-	// fanning out batched solves; 0 means GOMAXPROCS.
+	// Workers caps the goroutines used for matrix-vector products, the
+	// mg-cg red-black line smoother and for fanning out batched solves; 0
+	// means GOMAXPROCS.
 	Workers int
+	// MGOrdering selects the mg-cg line-relaxation order ("redblack",
+	// "lex"); empty means red-black. Ignored by other backends.
+	MGOrdering string
+	// MGPrecision selects the mg-cg V-cycle arithmetic ("float32",
+	// "float64"); empty auto-selects per mg.Options.Precision. Ignored by
+	// other backends.
+	MGPrecision string
 }
 
 // newSolver builds the sparse backend described by the options.
@@ -449,6 +457,8 @@ func (o SolveOptions) newSolver() (sparse.Solver, error) {
 		Tolerance:     tol,
 		MaxIterations: o.MaxIterations,
 		Workers:       o.Workers,
+		MGOrdering:    o.MGOrdering,
+		MGPrecision:   o.MGPrecision,
 	}.New()
 }
 
@@ -804,6 +814,10 @@ type TransientOptions struct {
 	// Workers caps the goroutines used for matrix-vector products; 0 means
 	// GOMAXPROCS.
 	Workers int
+	// MGOrdering and MGPrecision tune the mg-cg backend exactly as the
+	// fields of the same name on SolveOptions; ignored by other backends.
+	MGOrdering  string
+	MGPrecision string
 	// Snapshot, if non-nil, is called after every step with the step index
 	// (1-based), the simulated time and a fresh copy of the current field,
 	// which the callback may retain.

@@ -297,9 +297,11 @@ func (s *System) NewTransientStepper(power []float64, opts TransientOptions) (*T
 		tol = 1e-8
 	}
 	solver, err := sparse.Config{
-		Backend:   opts.Solver,
-		Tolerance: tol,
-		Workers:   opts.Workers,
+		Backend:     opts.Solver,
+		Tolerance:   tol,
+		Workers:     opts.Workers,
+		MGOrdering:  opts.MGOrdering,
+		MGPrecision: opts.MGPrecision,
 	}.New()
 	if err != nil {
 		return nil, err

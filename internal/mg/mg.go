@@ -30,8 +30,14 @@ package mg
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
+	"vcselnoc/internal/parallel"
 	"vcselnoc/internal/sparse"
 )
 
@@ -45,6 +51,8 @@ func init() {
 			Levels:        c.MGLevels,
 			Smooth:        c.MGSmooth,
 			CoarseTol:     c.MGCoarseTol,
+			Ordering:      c.MGOrdering,
+			Precision:     c.MGPrecision,
 		}), nil
 	})
 }
@@ -56,8 +64,9 @@ type Options struct {
 	Tolerance float64
 	// MaxIterations bounds the outer CG iterations; 0 means 10·n.
 	MaxIterations int
-	// Workers caps the goroutines used by matrix-vector products; 0 means
-	// GOMAXPROCS. Smoother sweeps are inherently serial.
+	// Workers caps the goroutines used by matrix-vector products, by the
+	// red-black line smoother's per-colour relaxations and by the coarse
+	// solve; 0 means GOMAXPROCS.
 	Workers int
 	// Levels caps the hierarchy depth including the finest level; 0
 	// coarsens until the lateral grid is a few cells wide. Levels = 1
@@ -85,6 +94,32 @@ type Options struct {
 	// cost (semicoarsening shrinks levels 4×, so γ=2 still geometrically
 	// decreases work per level).
 	Cycle int
+	// Ordering selects the order line relaxations visit the lateral
+	// lines. OrderingRedBlack (default) partitions the lines into
+	// structurally independent colour classes (computed from the actual
+	// level operator, so the widened Galerkin stencils of coarse levels
+	// get the extra colours they need) and relaxes each class on the
+	// worker pool; OrderingLex is the serial lexicographic reference.
+	// Both run a forward plus a backward pass per sweep, so either way
+	// the smoother stays symmetric and the V-cycle SPD. Ignored by the
+	// SSOR smoother.
+	Ordering string
+	// Precision selects the V-cycle arithmetic. PrecisionFloat32 applies
+	// the whole preconditioner — level operators, transfers and Thomas
+	// line solves — in single precision, halving memory traffic on the
+	// bandwidth-bound stencil ops while the outer CG stays float64;
+	// PrecisionFloat64 forces double precision. Empty auto-selects
+	// float32 when the outer tolerance is 1e-9 or looser (a float32
+	// preconditioner perturbs search directions at the ~1e-7 level,
+	// irrelevant at practical tolerances but worth avoiding when callers
+	// push the outer CG towards float64 roundoff) and the fine level is
+	// at most autoFloat32MaxCells unknowns — past that, accumulated
+	// single-precision rounding weakens the preconditioner enough to
+	// cost an extra outer iteration, which is dearest exactly on the
+	// largest systems. The coarsest-level
+	// solve always runs in float64 — it is tiny and anchors the cycle.
+	// The SSOR smoother has no float32 path and forces float64.
+	Precision string
 }
 
 // Smoother names accepted by Options.Smoother.
@@ -93,12 +128,68 @@ const (
 	SmootherSSOR  = "ssor"
 )
 
+// Ordering names accepted by Options.Ordering.
+const (
+	OrderingRedBlack = "redblack"
+	OrderingLex      = "lex"
+)
+
+// Precision names accepted by Options.Precision.
+const (
+	PrecisionFloat64 = "float64"
+	PrecisionFloat32 = "float32"
+)
+
+// autoFloat32Tol is the loosest outer tolerance at which an empty
+// Options.Precision still auto-selects the float32 V-cycle, and
+// autoFloat32MaxCells the largest fine-level system: single-precision
+// rounding inside the cycle accumulates with system size (restriction
+// sums and long dot products), and at ~1M cells the weakened
+// preconditioner starts costing an extra outer CG iteration — expensive
+// exactly where iterations are dearest.
+const (
+	autoFloat32Tol      = 1e-9
+	autoFloat32MaxCells = 1 << 19
+)
+
+// effectivePrecision resolves the Precision knob for a fine-level system
+// of n unknowns: an explicit value wins; empty auto-selects float32 at
+// practical tolerances on small-to-mid systems. The SSOR smoother only
+// exists in float64.
+func (o Options) effectivePrecision(n int) string {
+	if o.Smoother == SmootherSSOR {
+		return PrecisionFloat64
+	}
+	if o.Precision != "" {
+		return o.Precision
+	}
+	tol := o.Tolerance
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	if tol >= autoFloat32Tol && n <= autoFloat32MaxCells {
+		return PrecisionFloat32
+	}
+	return PrecisionFloat64
+}
+
+// effectiveWorkers resolves the Workers knob to a concrete goroutine cap.
+func (o Options) effectiveWorkers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
 func (o Options) withDefaults() Options {
 	if o.Smooth <= 0 {
 		o.Smooth = 1
 	}
 	if o.Smoother == "" {
 		o.Smoother = SmootherZLine
+	}
+	if o.Ordering == "" {
+		o.Ordering = OrderingRedBlack
 	}
 	if o.Cycle <= 0 {
 		o.Cycle = 1
@@ -134,6 +225,9 @@ type axisInterp struct {
 	// whi == 0 where a single source suffices (domain ends, identity).
 	lo, hi   []int32
 	wlo, whi []float64
+	// wlo32/whi32 mirror the weights in single precision for the float32
+	// V-cycle transfer ops.
+	wlo32, whi32 []float32
 	// rev lists the fine contributors of each coarse cell (the transpose
 	// structure, used by restriction and the Galerkin product).
 	rev  [][]int32
@@ -205,13 +299,15 @@ func newAxisInterp(fineLines, coarseLines []float64) *axisInterp {
 	cc := centersOf(coarseLines)
 	nf, nc := len(cf), len(cc)
 	a := &axisInterp{
-		nc:   nc,
-		lo:   make([]int32, nf),
-		hi:   make([]int32, nf),
-		wlo:  make([]float64, nf),
-		whi:  make([]float64, nf),
-		rev:  make([][]int32, nc),
-		revW: make([][]float64, nc),
+		nc:    nc,
+		lo:    make([]int32, nf),
+		hi:    make([]int32, nf),
+		wlo:   make([]float64, nf),
+		whi:   make([]float64, nf),
+		wlo32: make([]float32, nf),
+		whi32: make([]float32, nf),
+		rev:   make([][]int32, nc),
+		revW:  make([][]float64, nc),
 	}
 	for i, x := range cf {
 		j := sort.SearchFloat64s(cc, x) // first coarse centre ≥ x
@@ -237,6 +333,7 @@ func newAxisInterp(fineLines, coarseLines []float64) *axisInterp {
 		}
 		a.lo[i], a.hi[i] = int32(lo), int32(hi)
 		a.wlo[i], a.whi[i] = wlo, whi
+		a.wlo32[i], a.whi32[i] = float32(wlo), float32(whi)
 		a.rev[lo] = append(a.rev[lo], int32(i))
 		a.revW[lo] = append(a.revW[lo], wlo)
 		if whi != 0 {
@@ -258,34 +355,57 @@ type level struct {
 }
 
 // lineSmoother holds the precomputed Thomas factorisation of every
-// vertical cell column of one level. Because z is never coarsened and the
-// operator's z-coupling is confined to the same lateral position, the
-// entries at column offsets ±stride form an exact tridiagonal system per
-// (i, j) line on every Galerkin level; solving it exactly per sweep
-// removes the strongly-coupled vertical error components a point smoother
-// crawls through. The struct is immutable after construction and shared
-// (read-only) by all solvers of a hierarchy.
+// vertical cell column of one level, in a cache-conscious line-major
+// layout. Because z is never coarsened and the operator's z-coupling is
+// confined to the same lateral position, the entries at column offsets
+// ±stride form an exact tridiagonal system per (i, j) line on every
+// Galerkin level; solving it exactly per sweep removes the
+// strongly-coupled vertical error components a point smoother crawls
+// through. All remaining (off-line) row entries are repacked into a
+// private CSR-like store walked linearly by the sweep, so the hot loop
+// touches no branch-filtered a.Row() slices. The struct additionally
+// carries a colouring of the line-coupling graph: lines of one colour
+// share no matrix entry and may be relaxed concurrently with a result
+// bit-identical to relaxing them one by one. It is immutable after
+// construction and shared (read-only) by all solvers of a hierarchy.
 type lineSmoother struct {
 	stride, nz int
-	// sub[idx] is the coupling to idx−stride (zero on the bottom layer);
-	// cp[idx] and inv[idx] are the precomputed forward-elimination
-	// coefficients c′_k and 1/(d_k − sub_k·c′_{k−1}) of the Thomas solve.
-	sub, cp, inv []float64
+	// Line-major Thomas coefficients: entry j = l·nz + k holds layer k of
+	// line l. subL is the coupling to the layer below (zero on the bottom
+	// layer); cpL and invL are the forward-elimination coefficients c′_k
+	// and 1/(d_k − sub_k·c′_{k−1}).
+	subL, cpL, invL []float64
+	// Packed off-line coefficients of cell (l, k): offCol/offVal entries
+	// offPtr[j] ≤ p < offPtr[j+1], with offCol holding global cell
+	// indices. These are the couplings the block Gauss–Seidel sweep moves
+	// to the right-hand side at their current values.
+	offPtr []int32
+	offCol []int32
+	offVal []float64
+	// colors partitions the lines into structurally independent classes:
+	// no two lines of one class share an off-line coupling. The fine
+	// 5-point lateral stencil yields the classic 2 colours; the widened
+	// 9-point Galerkin stencils of coarse levels get up to 4.
+	colors [][]int32
 }
 
 // newLineSmoother factorises the vertical tridiagonal of every lateral
-// line. A non-positive pivot means the operator is not SPD.
+// line, packs the off-line couplings and colours the line-coupling graph.
+// A non-positive pivot means the operator is not SPD.
 func newLineSmoother(a *sparse.CSR, nx, ny, nz int) (*lineSmoother, error) {
 	stride := nx * ny
 	n := a.N()
 	ls := &lineSmoother{
 		stride: stride, nz: nz,
-		sub: make([]float64, n), cp: make([]float64, n), inv: make([]float64, n),
+		subL: make([]float64, n), cpL: make([]float64, n), invL: make([]float64, n),
+		offPtr: make([]int32, n+1),
 	}
+	adj := make([][]int32, stride)
 	for l := 0; l < stride; l++ {
 		prevCp := 0.0
 		for k := 0; k < nz; k++ {
 			idx := k*stride + l
+			j := l*nz + k
 			var sub, diag, sup float64
 			cols, vals := a.Row(idx)
 			for p, c := range cols {
@@ -296,6 +416,12 @@ func newLineSmoother(a *sparse.CSR, nx, ny, nz int) (*lineSmoother, error) {
 					diag = vals[p]
 				case idx + stride:
 					sup = vals[p]
+				default:
+					ls.offCol = append(ls.offCol, c)
+					ls.offVal = append(ls.offVal, vals[p])
+					if nl := int32(int(c) % stride); nl != int32(l) {
+						adj[l] = appendUniqueInt32(adj[l], nl)
+					}
 				}
 			}
 			if k == 0 {
@@ -305,52 +431,222 @@ func newLineSmoother(a *sparse.CSR, nx, ny, nz int) (*lineSmoother, error) {
 			if denom <= 0 {
 				return nil, fmt.Errorf("mg: z-line pivot %g at cell %d (matrix not SPD?)", denom, idx)
 			}
-			ls.sub[idx] = sub
-			ls.inv[idx] = 1 / denom
+			ls.subL[j] = sub
+			ls.invL[j] = 1 / denom
 			prevCp = sup / denom
-			ls.cp[idx] = prevCp
+			ls.cpL[j] = prevCp
+			ls.offPtr[j+1] = int32(len(ls.offCol))
 		}
 	}
+	ls.colors = colorLines(adj, stride)
 	return ls, nil
 }
 
-// lineSweep runs one block Gauss–Seidel pass over the lateral lines
-// (ascending or descending order), updating x in place towards A·x = b:
-// each line's vertical tridiagonal is solved exactly against the current
-// values of every other line. d is caller scratch of length nz. A forward
-// followed by a backward pass is symmetric block Gauss–Seidel, keeping the
-// V-cycle an SPD preconditioner.
-func (lv *level) lineSweep(x, b, d []float64, reverse bool) {
-	ls := lv.ls
+func appendUniqueInt32(s []int32, v int32) []int32 {
+	for _, e := range s {
+		if e == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// colorLines greedy-colours the line-coupling graph in ascending line
+// order (smallest unused colour wins). Greedy needs at most maxdegree+1
+// colours; line degrees are ≤ 8 even on the widened coarse stencils, so
+// the uint64 used-colour mask never saturates. Lines within one returned
+// class are pairwise uncoupled.
+func colorLines(adj [][]int32, stride int) [][]int32 {
+	color := make([]int, stride)
+	maxColor := 1
+	for l := 0; l < stride; l++ {
+		var used uint64
+		for _, nl := range adj[l] {
+			if int(nl) < l {
+				used |= 1 << uint(color[nl])
+			}
+		}
+		c := 0
+		for used&(1<<uint(c)) != 0 {
+			c++
+		}
+		color[l] = c
+		if c+1 > maxColor {
+			maxColor = c + 1
+		}
+	}
+	classes := make([][]int32, maxColor)
+	for l := 0; l < stride; l++ {
+		classes[color[l]] = append(classes[color[l]], int32(l))
+	}
+	return classes
+}
+
+// solveLine relaxes lateral line l exactly: forward elimination builds the
+// line right-hand side on the fly (off-line couplings at their current x
+// values) into scratch d (length nz), back substitution writes straight
+// into x.
+func (ls *lineSmoother) solveLine(x, b, d []float64, l int) {
 	stride, nz := ls.stride, ls.nz
-	for li := 0; li < stride; li++ {
+	base := l * nz
+	prev := 0.0
+	for k := 0; k < nz; k++ {
+		j := base + k
+		s := b[k*stride+l]
+		for p := ls.offPtr[j]; p < ls.offPtr[j+1]; p++ {
+			s -= ls.offVal[p] * x[ls.offCol[p]]
+		}
+		prev = (s - ls.subL[j]*prev) * ls.invL[j]
+		d[k] = prev
+	}
+	x[(nz-1)*stride+l] = d[nz-1]
+	for k := nz - 2; k >= 0; k-- {
+		x[k*stride+l] = d[k] - ls.cpL[base+k]*x[(k+1)*stride+l]
+	}
+}
+
+// sweepLex runs one serial block Gauss–Seidel pass over the lines in
+// ascending (or, reversed, descending) lexicographic order — the
+// reference ordering. A forward followed by a backward pass is symmetric
+// block Gauss–Seidel, keeping the V-cycle an SPD preconditioner.
+func (ls *lineSmoother) sweepLex(x, b, d []float64, reverse bool) {
+	for li := 0; li < ls.stride; li++ {
 		l := li
 		if reverse {
-			l = stride - 1 - li
+			l = ls.stride - 1 - li
 		}
-		// Forward elimination, building the line RHS on the fly: every
-		// off-line entry (different lateral position) is moved to the
-		// right-hand side at its current value.
-		prev := 0.0
-		for k := 0; k < nz; k++ {
-			idx := k*stride + l
-			s := b[idx]
-			cols, vals := lv.a.Row(idx)
-			for p, c := range cols {
-				ci := int(c)
-				if ci != idx && ci != idx-stride && ci != idx+stride {
-					s -= vals[p] * x[ci]
-				}
+		ls.solveLine(x, b, d, l)
+	}
+}
+
+// lineChunk is the number of lines one parallel.ForEach work item relaxes;
+// chunking keeps the atomic work-counter traffic negligible against the
+// O(nz) line solves.
+const lineChunk = 32
+
+// sweepColored runs one block Gauss–Seidel pass colour class by colour
+// class, ascending (or, reversed, descending) — forward plus backward is
+// again symmetric. Lines within a class are independent, so each class is
+// relaxed on up to workers goroutines; bufs supplies one length-nz Thomas
+// scratch per worker. Because same-colour lines share no coupling and
+// each line writes only its own cells, the parallel result is
+// bit-identical to relaxing the class serially.
+func (ls *lineSmoother) sweepColored(x, b []float64, bufs [][]float64, workers int, reverse bool) {
+	nc := len(ls.colors)
+	for ci := 0; ci < nc; ci++ {
+		c := ci
+		if reverse {
+			c = nc - 1 - ci
+		}
+		lines := ls.colors[c]
+		chunks := (len(lines) + lineChunk - 1) / lineChunk
+		w := workers
+		if w > chunks {
+			w = chunks
+		}
+		parallel.ForEach(w, chunks, func(worker, chunk int) error { //nolint:errcheck // fn never fails
+			d := bufs[worker]
+			lo := chunk * lineChunk
+			hi := lo + lineChunk
+			if hi > len(lines) {
+				hi = len(lines)
 			}
-			prev = (s - ls.sub[idx]*prev) * ls.inv[idx]
-			d[k] = prev
+			for _, l := range lines[lo:hi] {
+				ls.solveLine(x, b, d, int(l))
+			}
+			return nil
+		})
+	}
+}
+
+// lineSmoother32 is the single-precision mirror of a lineSmoother: the
+// layout, colouring and line order are shared, only the coefficient
+// arrays are stored again in float32 (rounded from the float64
+// factorisation, not refactorised, so the f32 sweep applies the same
+// operator to within rounding).
+type lineSmoother32 struct {
+	ls                      *lineSmoother
+	subL, cpL, invL, offVal []float32
+}
+
+func newLineSmoother32(ls *lineSmoother) *lineSmoother32 {
+	s := &lineSmoother32{
+		ls:     ls,
+		subL:   make([]float32, len(ls.subL)),
+		cpL:    make([]float32, len(ls.cpL)),
+		invL:   make([]float32, len(ls.invL)),
+		offVal: make([]float32, len(ls.offVal)),
+	}
+	for i, v := range ls.subL {
+		s.subL[i] = float32(v)
+	}
+	for i, v := range ls.cpL {
+		s.cpL[i] = float32(v)
+	}
+	for i, v := range ls.invL {
+		s.invL[i] = float32(v)
+	}
+	for i, v := range ls.offVal {
+		s.offVal[i] = float32(v)
+	}
+	return s
+}
+
+func (s *lineSmoother32) solveLine(x, b, d []float32, l int) {
+	ls := s.ls
+	stride, nz := ls.stride, ls.nz
+	base := l * nz
+	prev := float32(0)
+	for k := 0; k < nz; k++ {
+		j := base + k
+		sum := b[k*stride+l]
+		for p := ls.offPtr[j]; p < ls.offPtr[j+1]; p++ {
+			sum -= s.offVal[p] * x[ls.offCol[p]]
 		}
-		// Back substitution straight into x.
-		x[(nz-1)*stride+l] = d[nz-1]
-		for k := nz - 2; k >= 0; k-- {
-			idx := k*stride + l
-			x[idx] = d[k] - ls.cp[idx]*x[idx+stride]
+		prev = (sum - s.subL[j]*prev) * s.invL[j]
+		d[k] = prev
+	}
+	x[(nz-1)*stride+l] = d[nz-1]
+	for k := nz - 2; k >= 0; k-- {
+		x[k*stride+l] = d[k] - s.cpL[base+k]*x[(k+1)*stride+l]
+	}
+}
+
+func (s *lineSmoother32) sweepLex(x, b, d []float32, reverse bool) {
+	for li := 0; li < s.ls.stride; li++ {
+		l := li
+		if reverse {
+			l = s.ls.stride - 1 - li
 		}
+		s.solveLine(x, b, d, l)
+	}
+}
+
+func (s *lineSmoother32) sweepColored(x, b []float32, bufs [][]float32, workers int, reverse bool) {
+	nc := len(s.ls.colors)
+	for ci := 0; ci < nc; ci++ {
+		c := ci
+		if reverse {
+			c = nc - 1 - ci
+		}
+		lines := s.ls.colors[c]
+		chunks := (len(lines) + lineChunk - 1) / lineChunk
+		w := workers
+		if w > chunks {
+			w = chunks
+		}
+		parallel.ForEach(w, chunks, func(worker, chunk int) error { //nolint:errcheck // fn never fails
+			d := bufs[worker]
+			lo := chunk * lineChunk
+			hi := lo + lineChunk
+			if hi > len(lines) {
+				hi = len(lines)
+			}
+			for _, l := range lines[lo:hi] {
+				s.solveLine(x, b, d, int(l))
+			}
+			return nil
+		})
 	}
 }
 
@@ -359,12 +655,66 @@ func (lv *level) n() int { return lv.nx * lv.ny * lv.nz }
 // coarseN returns the cell count of the next coarser level.
 func (lv *level) coarseN() int { return lv.ix.nc * lv.iy.nc * lv.iz.nc }
 
+// level32 is the single-precision mirror of one level: the operator
+// values and Thomas/off-line coefficients in float32 (structure shared
+// with the float64 level). Transfers reuse the float64 level's geometry
+// via the axisInterp wlo32/whi32 weights.
+type level32 struct {
+	a  *sparse.CSR32
+	ls *lineSmoother32
+}
+
 // Hierarchy is an immutable semicoarsened multigrid hierarchy for one
 // matrix. Building one costs a few matrix passes (Galerkin products); it
 // is safe for concurrent use by many Solvers, so batched multi-RHS solves
 // share a single instance.
 type Hierarchy struct {
 	levels []*level
+	// f32 holds the lazily built single-precision level mirrors, shared by
+	// every solver running the float32 V-cycle on this hierarchy.
+	f32Once sync.Once
+	f32     []*level32
+	// coarseMode latches, across every solver sharing this hierarchy, the
+	// iterative coarse preconditioner the first solve's measured trial
+	// selected: coarseAuto (not yet decided), coarseZLine or coarseSSOR.
+	coarseMode atomic.Int32
+	// chol holds the lazily built direct factorisation of the coarsest
+	// level (nil when its bandwidth makes one too expensive), shared by
+	// every solver of this hierarchy.
+	cholOnce sync.Once
+	chol     *sparse.BandCholesky
+}
+
+// cholMaxEntries caps the packed band storage of the direct coarse
+// factorisation at 8·10⁶ float64s (64 MB). Graded meshes stall the
+// lateral semicoarsening with O(10³)-unknown coarsest levels whose
+// near-exact SSOR-CG solve costs hundreds of iterations per V-cycle and
+// dominates the whole mg-cg solve; within this cap a banded Cholesky
+// solves them exactly in two O(n·bw) sweeps. Beyond it (paper-scale
+// coarse levels) the factor/storage cost stops paying and the iterative
+// fallback stays.
+const cholMaxEntries = 8 << 20
+
+// coarseCholesky builds (once) and returns the direct factorisation of
+// the coarsest level, or nil when the bandwidth cap or a numerical
+// failure rules it out. Safe for concurrent use.
+func (h *Hierarchy) coarseCholesky() *sparse.BandCholesky {
+	h.cholOnce.Do(func() {
+		h.chol, _ = sparse.NewBandCholesky(h.levels[len(h.levels)-1].a, cholMaxEntries)
+	})
+	return h.chol
+}
+
+// float32Levels builds (once) and returns the single-precision mirrors of
+// every level. Safe for concurrent use.
+func (h *Hierarchy) float32Levels() []*level32 {
+	h.f32Once.Do(func() {
+		h.f32 = make([]*level32, len(h.levels))
+		for i, lv := range h.levels {
+			h.f32[i] = &level32{a: sparse.NewCSR32(lv.a), ls: newLineSmoother32(lv.ls)}
+		}
+	})
+	return h.f32
 }
 
 // Fine returns the matrix the hierarchy was built for.
@@ -697,31 +1047,167 @@ func lerp(vlo, vhi, wlo, whi float64) float64 {
 	return vlo*wlo + vhi*whi
 }
 
+// restrict32 computes bc = Pᵀ·r in single precision, mirroring restrict.
+func (lv *level) restrict32(bc, r []float32) {
+	for i := range bc {
+		bc[i] = 0
+	}
+	ix, iy, iz := lv.ix, lv.iy, lv.iz
+	nxc, nyc := ix.nc, iy.nc
+	idx := 0
+	for fk := 0; fk < lv.nz; fk++ {
+		zl, zh := int(iz.lo[fk]), int(iz.hi[fk])
+		zwl, zwh := iz.wlo32[fk], iz.whi32[fk]
+		for fj := 0; fj < lv.ny; fj++ {
+			yl, yh := int(iy.lo[fj]), int(iy.hi[fj])
+			ywl, ywh := iy.wlo32[fj], iy.whi32[fj]
+			for fi := 0; fi < lv.nx; fi++ {
+				v := r[idx]
+				idx++
+				if v == 0 {
+					continue
+				}
+				xl, xh := int(ix.lo[fi]), int(ix.hi[fi])
+				xwl, xwh := ix.wlo32[fi], ix.whi32[fi]
+				accumulate32(bc, nxc, nyc, v,
+					zl, zh, zwl, zwh, yl, yh, ywl, ywh, xl, xh, xwl, xwh)
+			}
+		}
+	}
+}
+
+func accumulate32(dst []float32, nxc, nyc int, v float32,
+	zl, zh int, zwl, zwh float32, yl, yh int, ywl, ywh float32, xl, xh int, xwl, xwh float32) {
+	add := func(zk int, wz float32) {
+		base := zk * nyc
+		addY := func(yj int, wy float32) {
+			row := (base + yj) * nxc
+			dst[row+xl] += v * wz * wy * xwl
+			if xwh != 0 {
+				dst[row+xh] += v * wz * wy * xwh
+			}
+		}
+		addY(yl, ywl)
+		if ywh != 0 {
+			addY(yh, ywh)
+		}
+	}
+	add(zl, zwl)
+	if zwh != 0 {
+		add(zh, zwh)
+	}
+}
+
+// prolongAdd32 computes x += P·xc in single precision, mirroring
+// prolongAdd.
+func (lv *level) prolongAdd32(x, xc []float32) {
+	ix, iy, iz := lv.ix, lv.iy, lv.iz
+	nxc, nyc := ix.nc, iy.nc
+	idx := 0
+	for fk := 0; fk < lv.nz; fk++ {
+		zl, zh := int(iz.lo[fk]), int(iz.hi[fk])
+		zwl, zwh := iz.wlo32[fk], iz.whi32[fk]
+		for fj := 0; fj < lv.ny; fj++ {
+			yl, yh := int(iy.lo[fj]), int(iy.hi[fj])
+			ywl, ywh := iy.wlo32[fj], iy.whi32[fj]
+			rowLL := (zl*nyc + yl) * nxc
+			for fi := 0; fi < lv.nx; fi++ {
+				xl, xh := int(ix.lo[fi]), int(ix.hi[fi])
+				xwl, xwh := ix.wlo32[fi], ix.whi32[fi]
+				sum := zwl * ywl * lerp32(xc[rowLL+xl], xc[rowLL+xh], xwl, xwh)
+				if ywh != 0 {
+					row := (zl*nyc + yh) * nxc
+					sum += zwl * ywh * lerp32(xc[row+xl], xc[row+xh], xwl, xwh)
+				}
+				if zwh != 0 {
+					row := (zh*nyc + yl) * nxc
+					sum += zwh * ywl * lerp32(xc[row+xl], xc[row+xh], xwl, xwh)
+					if ywh != 0 {
+						row = (zh*nyc + yh) * nxc
+						sum += zwh * ywh * lerp32(xc[row+xl], xc[row+xh], xwl, xwh)
+					}
+				}
+				x[idx] += sum
+				idx++
+			}
+		}
+	}
+}
+
+func lerp32(vlo, vhi, wlo, whi float32) float32 {
+	if whi == 0 {
+		return vlo * wlo
+	}
+	return vlo*wlo + vhi*whi
+}
+
 // workspace holds the per-level scratch of one Solver. Not shared.
 type workspace struct {
 	forHier *Hierarchy
+	workers int         // resolved Options.Workers (≥ 1)
+	prec    string      // resolved Options.Precision
 	r, z    [][]float64 // per level
 	xc, bc  [][]float64 // correction problem per coarser level
-	line    [][]float64 // Thomas scratch per level (length nz)
+	lineBuf [][]float64 // Thomas scratch per worker (length nz, z never coarsens)
 	coarse  *sparse.SSORCG
+	// coarseWS backs the zline-preconditioned CG that competes with
+	// SSOR-CG for the iterative coarse solve under the z-line smoother
+	// (nil when the direct factorisation exists or the SSOR smoother is
+	// selected).
+	coarseWS *sparse.Workspace
+	// Float32 V-cycle scratch, allocated only when prec is float32.
+	l32              []*level32
+	x32, b32         []float32   // fine-level iterate and RHS
+	r32              [][]float32 // per level
+	xc32, bc32       [][]float32 // correction problem per coarser level
+	lineBuf32        [][]float32 // Thomas scratch per worker
+	coarseB, coarseX []float64   // float64 staging of the coarsest solve
 }
 
 func newWorkspace(h *Hierarchy, opts Options) *workspace {
-	ws := &workspace{forHier: h}
+	ws := &workspace{
+		forHier: h,
+		workers: opts.effectiveWorkers(),
+		prec:    opts.effectivePrecision(h.levels[0].n()),
+	}
 	for l, lv := range h.levels {
 		ws.r = append(ws.r, make([]float64, lv.n()))
 		ws.z = append(ws.z, make([]float64, lv.n()))
-		ws.line = append(ws.line, make([]float64, lv.nz))
 		if l < len(h.levels)-1 {
 			ws.xc = append(ws.xc, make([]float64, lv.coarseN()))
 			ws.bc = append(ws.bc, make([]float64, lv.coarseN()))
 		}
 	}
+	nz := h.levels[0].nz
+	for w := 0; w < ws.workers; w++ {
+		ws.lineBuf = append(ws.lineBuf, make([]float64, nz))
+	}
 	coarseN := h.levels[len(h.levels)-1].n()
 	ws.coarse = &sparse.SSORCG{
 		Tolerance:     opts.CoarseTol,
 		MaxIterations: 20 * coarseN,
-		Workers:       1,
+		Workers:       opts.Workers,
+	}
+	if h.coarseCholesky() == nil && opts.Smoother == SmootherZLine {
+		ws.coarseWS = sparse.NewWorkspace(coarseN)
+	}
+	if ws.prec == PrecisionFloat32 {
+		ws.l32 = h.float32Levels()
+		n0 := h.levels[0].n()
+		ws.x32 = make([]float32, n0)
+		ws.b32 = make([]float32, n0)
+		for l, lv := range h.levels {
+			ws.r32 = append(ws.r32, make([]float32, lv.n()))
+			if l < len(h.levels)-1 {
+				ws.xc32 = append(ws.xc32, make([]float32, lv.coarseN()))
+				ws.bc32 = append(ws.bc32, make([]float32, lv.coarseN()))
+			}
+		}
+		for w := 0; w < ws.workers; w++ {
+			ws.lineBuf32 = append(ws.lineBuf32, make([]float32, nz))
+		}
+		ws.coarseB = make([]float64, coarseN)
+		ws.coarseX = make([]float64, coarseN)
 	}
 	return ws
 }
@@ -781,11 +1267,26 @@ func (s *Solver) Preconditioner(a *sparse.CSR) (func(z, r []float64), error) {
 	if err != nil {
 		return nil, err
 	}
+	opts := s.opts.withDefaults()
 	if s.ws == nil || s.ws.forHier != h {
-		s.ws = newWorkspace(h, s.opts.withDefaults())
+		s.ws = newWorkspace(h, opts)
 	}
 	ws := s.ws
-	opts := s.opts.withDefaults()
+	if ws.prec == PrecisionFloat32 {
+		// Mixed precision: the V-cycle runs entirely in float32 (halving
+		// the memory traffic of the bandwidth-bound stencil sweeps) while
+		// the outer CG sees a float64 operator as usual.
+		return func(z, r []float64) {
+			for i, v := range r {
+				ws.b32[i] = float32(v)
+				ws.x32[i] = 0
+			}
+			h.vcycle32(ws, opts, 0, ws.x32, ws.b32)
+			for i, v := range ws.x32 {
+				z[i] = float64(v)
+			}
+		}, nil
+	}
 	return func(z, r []float64) {
 		for i := range z {
 			z[i] = 0
@@ -807,29 +1308,171 @@ func (s *Solver) Solve(a *sparse.CSR, b, x []float64) (sparse.Result, error) {
 	return sparse.PCG(a, b, x, s.outer, precond, s.opts.Tolerance, s.opts.MaxIterations, s.opts.Workers)
 }
 
+// V-cycle phase indices for the process-wide time accounting below.
+const (
+	phaseSmooth   = iota
+	phaseRestrict // includes the pre-restriction residual
+	phaseProlong
+	phaseCoarse
+	numPhases
+)
+
+var phaseNanos [numPhases]atomic.Int64
+
+func phaseAdd(phase int, start time.Time) {
+	phaseNanos[phase].Add(int64(time.Since(start)))
+}
+
+// PhaseStats is the cumulative process-wide wall time mg-cg V-cycles have
+// spent per phase since process start, summed over every solver and
+// hierarchy level. Benchmarks snapshot it before and after a timed region
+// and report the Sub difference as per-phase time fractions.
+type PhaseStats struct {
+	// Smooth is the line/SSOR relaxation time, Restrict the residual plus
+	// full-weighting restriction, Prolong the interpolation of coarse
+	// corrections, Coarse the near-exact coarsest-level solves.
+	Smooth, Restrict, Prolong, Coarse time.Duration
+}
+
+// ReadPhaseStats returns the current cumulative phase times. Safe for
+// concurrent use.
+func ReadPhaseStats() PhaseStats {
+	return PhaseStats{
+		Smooth:   time.Duration(phaseNanos[phaseSmooth].Load()),
+		Restrict: time.Duration(phaseNanos[phaseRestrict].Load()),
+		Prolong:  time.Duration(phaseNanos[phaseProlong].Load()),
+		Coarse:   time.Duration(phaseNanos[phaseCoarse].Load()),
+	}
+}
+
+// Sub returns the per-phase difference p − q, for deltas across a timed
+// region.
+func (p PhaseStats) Sub(q PhaseStats) PhaseStats {
+	return PhaseStats{
+		Smooth:   p.Smooth - q.Smooth,
+		Restrict: p.Restrict - q.Restrict,
+		Prolong:  p.Prolong - q.Prolong,
+		Coarse:   p.Coarse - q.Coarse,
+	}
+}
+
+// Total returns the summed phase time.
+func (p PhaseStats) Total() time.Duration {
+	return p.Smooth + p.Restrict + p.Prolong + p.Coarse
+}
+
+// Iterative coarse-solve preconditioner choices (Hierarchy.coarseMode).
+const (
+	coarseAuto  int32 = iota // undecided — first solve runs the measured trial
+	coarseZLine              // CG preconditioned by the coarse level's line relaxation
+	coarseSSOR               // plain SSOR-CG
+)
+
+// coarseTrialTol is the intermediate residual target of the first coarse
+// solve's preconditioner race. A fixed-iteration race would mis-rank the
+// candidates: CG under the line preconditioner converges superlinearly
+// once it has swept the clustered part of the spectrum, so its first few
+// iterations understate it. Racing to a six-order reduction samples
+// enough of the spectrum to rank honestly, and the loser's work is the
+// only waste — the winner's iterate warm-starts the rest of the solve.
+const coarseTrialTol = 1e-6
+
+// coarseSolve solves the coarsest-level system (near-)exactly, keeping
+// the V-cycle a fixed SPD operator: a direct banded Cholesky solve where
+// the factorisation is affordable; otherwise CG at CoarseTol. Which
+// preconditioner that CG uses under the z-line smoother — the coarse
+// level's own symmetric line relaxation, or plain SSOR — depends on how
+// much vertical coupling survives the lateral coarsening: on mid-size
+// hierarchies the z stack still dominates and the line solve wins ~2x,
+// but on the deepest (paper-resolution) hierarchies Galerkin coarsening
+// has strengthened the lateral couplings enough that point-SSOR converges
+// faster per unit time. There is no cheap a-priori test, so the first
+// iterative coarse solve races both candidates to coarseTrialTol on the
+// real RHS, latches the faster one, and finishes warm-started from the
+// winner's iterate; every later solve goes straight to the latched
+// choice. On the
+// (unlikely) iteration-budget overrun of the iterative paths the best
+// iterate is still a valid, slightly weaker preconditioner, so errors are
+// deliberately dropped. x must arrive zeroed.
+func (h *Hierarchy) coarseSolve(ws *workspace, opts Options, b, x []float64) {
+	lv := h.levels[len(h.levels)-1]
+	if chol := h.coarseCholesky(); chol != nil {
+		copy(x, b)
+		chol.SolveInPlace(x)
+		return
+	}
+	if ws.coarseWS == nil {
+		ws.coarse.Solve(lv.a, b, x) //nolint:errcheck
+		return
+	}
+	ls := lv.ls
+	precond := func(z, r []float64) {
+		for i := range z {
+			z[i] = 0
+		}
+		ls.sweepColored(z, r, ws.lineBuf, ws.workers, false)
+		ls.sweepColored(z, r, ws.lineBuf, ws.workers, true)
+	}
+	mode := h.coarseMode.Load()
+	if mode == coarseAuto {
+		trialTol := math.Max(opts.CoarseTol, coarseTrialTol)
+		xz := make([]float64, len(x))
+		start := time.Now()
+		resZ, _ := sparse.PCG(lv.a, b, xz, ws.coarseWS, precond, trialTol, 20*lv.n(), opts.Workers)
+		tz := time.Since(start)
+		trial := &sparse.SSORCG{Tolerance: trialTol, MaxIterations: 20 * lv.n(), Workers: opts.Workers}
+		start = time.Now()
+		resS, _ := trial.Solve(lv.a, b, x)
+		ts := time.Since(start)
+		if resZ.Converged && (!resS.Converged || tz <= ts) {
+			mode = coarseZLine
+			copy(x, xz)
+		} else {
+			mode = coarseSSOR
+		}
+		// First decision wins hierarchy-wide (concurrent solvers may race
+		// the trial; any winner is a sound choice). This call proceeds on
+		// its own verdict either way, warm-started from the winner's
+		// iterate.
+		h.coarseMode.CompareAndSwap(coarseAuto, mode)
+	}
+	if mode == coarseZLine {
+		sparse.PCG(lv.a, b, x, ws.coarseWS, precond, opts.CoarseTol, 20*lv.n(), opts.Workers) //nolint:errcheck
+		return
+	}
+	ws.coarse.Solve(lv.a, b, x) //nolint:errcheck
+}
+
 // vcycle runs one V-cycle on level l, improving x (which must arrive
 // zeroed at preconditioner entry) towards A·x = b.
 func (h *Hierarchy) vcycle(ws *workspace, opts Options, l int, x, b []float64) {
 	lv := h.levels[l]
 	if l == len(h.levels)-1 {
-		// Near-exact coarse solve; on the (unlikely) iteration-budget
-		// overrun the best iterate is still a valid, slightly weaker
-		// preconditioner, so the error is deliberately dropped.
-		ws.coarse.Solve(lv.a, b, x) //nolint:errcheck
+		start := time.Now()
+		h.coarseSolve(ws, opts, b, x)
+		phaseAdd(phaseCoarse, start)
 		return
 	}
 	r, z := ws.r[l], ws.z[l]
 	// smooth runs opts.Smooth symmetric relaxation passes on x. The z-line
 	// smoother operates on A·x = b directly (each pass is a forward plus a
-	// backward line Gauss–Seidel sweep, together symmetric); the SSOR
-	// smoother is applied in residual-correction form. Pre- and
-	// post-smoothing use the identical symmetric operation, keeping the
-	// V-cycle an SPD preconditioner.
+	// backward line Gauss–Seidel sweep — red-black colour order on the
+	// worker pool by default, serial lexicographic order with OrderingLex —
+	// either way symmetric); the SSOR smoother is applied in
+	// residual-correction form. Pre- and post-smoothing use the identical
+	// symmetric operation, keeping the V-cycle an SPD preconditioner.
 	smooth := func(first bool) {
+		start := time.Now()
+		defer phaseAdd(phaseSmooth, start)
 		for sweep := 0; sweep < opts.Smooth; sweep++ {
 			if opts.Smoother == SmootherZLine {
-				lv.lineSweep(x, b, ws.line[l], false)
-				lv.lineSweep(x, b, ws.line[l], true)
+				if opts.Ordering == OrderingLex {
+					lv.ls.sweepLex(x, b, ws.lineBuf[0], false)
+					lv.ls.sweepLex(x, b, ws.lineBuf[0], true)
+				} else {
+					lv.ls.sweepColored(x, b, ws.lineBuf, ws.workers, false)
+					lv.ls.sweepColored(x, b, ws.lineBuf, ws.workers, true)
+				}
 				continue
 			}
 			if first && sweep == 0 {
@@ -849,15 +1492,76 @@ func (h *Hierarchy) vcycle(ws *workspace, opts Options, l int, x, b []float64) {
 	// Coarse-grid correction, visited γ times (V- or W-cycle).
 	xc, bc := ws.xc[l], ws.bc[l]
 	for visit := 0; visit < opts.Cycle; visit++ {
+		start := time.Now()
 		lv.residual(r, b, x, opts.Workers)
 		lv.restrict(bc, r)
+		phaseAdd(phaseRestrict, start)
 		for i := range xc {
 			xc[i] = 0
 		}
 		h.vcycle(ws, opts, l+1, xc, bc)
+		start = time.Now()
 		lv.prolongAdd(x, xc)
+		phaseAdd(phaseProlong, start)
 	}
 	smooth(false)
+}
+
+// vcycle32 is the single-precision V-cycle: smoothing, residuals and
+// transfers run in float32 on the mirrored levels; only the tiny
+// coarsest-level solve stays float64 (staged through ws.coarseB/coarseX),
+// anchoring the cycle. Only the z-line smoother has a float32 path —
+// effectivePrecision forces float64 for SSOR.
+func (h *Hierarchy) vcycle32(ws *workspace, opts Options, l int, x, b []float32) {
+	if l == len(h.levels)-1 {
+		start := time.Now()
+		for i, v := range b {
+			ws.coarseB[i] = float64(v)
+		}
+		for i := range ws.coarseX {
+			ws.coarseX[i] = 0
+		}
+		h.coarseSolve(ws, opts, ws.coarseB, ws.coarseX)
+		for i, v := range ws.coarseX {
+			x[i] = float32(v)
+		}
+		phaseAdd(phaseCoarse, start)
+		return
+	}
+	lv, lv32 := h.levels[l], ws.l32[l]
+	r := ws.r32[l]
+	smooth := func() {
+		start := time.Now()
+		defer phaseAdd(phaseSmooth, start)
+		for sweep := 0; sweep < opts.Smooth; sweep++ {
+			if opts.Ordering == OrderingLex {
+				lv32.ls.sweepLex(x, b, ws.lineBuf32[0], false)
+				lv32.ls.sweepLex(x, b, ws.lineBuf32[0], true)
+			} else {
+				lv32.ls.sweepColored(x, b, ws.lineBuf32, ws.workers, false)
+				lv32.ls.sweepColored(x, b, ws.lineBuf32, ws.workers, true)
+			}
+		}
+	}
+	smooth()
+	xc, bc := ws.xc32[l], ws.bc32[l]
+	for visit := 0; visit < opts.Cycle; visit++ {
+		start := time.Now()
+		lv32.a.MulVecN(r, x, opts.Workers)
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+		lv.restrict32(bc, r)
+		phaseAdd(phaseRestrict, start)
+		for i := range xc {
+			xc[i] = 0
+		}
+		h.vcycle32(ws, opts, l+1, xc, bc)
+		start = time.Now()
+		lv.prolongAdd32(x, xc)
+		phaseAdd(phaseProlong, start)
+	}
+	smooth()
 }
 
 // residual computes r = b − A·x.

@@ -50,6 +50,10 @@ func (m *CSR) MulVecBlockN(dst, x []float64, s, workers int) {
 }
 
 func (m *CSR) mulRangeBlock(dst, x []float64, s, lo, hi int) {
+	if s == 4 {
+		m.mulRangeBlock4(dst, x, lo, hi)
+		return
+	}
 	var stack [8]float64
 	sums := stack[:]
 	if s > len(stack) {
@@ -69,6 +73,28 @@ func (m *CSR) mulRangeBlock(dst, x []float64, s, lo, hi int) {
 			}
 		}
 		copy(dst[i*s:(i+1)*s], sums)
+	}
+}
+
+// mulRangeBlock4 is the s = 4 block kernel — the width of the thermal
+// basis build (chip/VCSEL/driver/heater unit vectors), and by far the
+// hottest block size. Keeping the four accumulators in named locals
+// instead of a scratch slice lets the compiler hold them in registers
+// across the row, so each matrix entry costs one load and four fused
+// multiply-adds instead of a bounds-checked inner loop.
+func (m *CSR) mulRangeBlock4(dst, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var s0, s1, s2, s3 float64
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			v := m.values[p]
+			src := x[m.colIdx[p]*4 : m.colIdx[p]*4+4]
+			s0 += v * src[0]
+			s1 += v * src[1]
+			s2 += v * src[2]
+			s3 += v * src[3]
+		}
+		d := dst[i*4 : i*4+4]
+		d[0], d[1], d[2], d[3] = s0, s1, s2, s3
 	}
 }
 

@@ -1,0 +1,71 @@
+package sparse
+
+import "sync"
+
+// CSR32 is a float32 mirror of a CSR matrix: the sparsity structure
+// (rowPtr, colIdx) is shared with the source matrix and only the values
+// are stored again, in single precision. It exists for mixed-precision
+// preconditioning — stencil operators are memory-bandwidth-bound, so a
+// V-cycle applied in float32 moves half the bytes of the float64 one —
+// and is immutable after construction, safe for concurrent use.
+type CSR32 struct {
+	n      int
+	rowPtr []int
+	colIdx []int32
+	values []float32
+}
+
+// NewCSR32 builds the float32 mirror of m. Structure arrays are shared
+// (m is immutable); values are rounded to single precision.
+func NewCSR32(m *CSR) *CSR32 {
+	vals := make([]float32, len(m.values))
+	for i, v := range m.values {
+		vals[i] = float32(v)
+	}
+	return &CSR32{n: m.n, rowPtr: m.rowPtr, colIdx: m.colIdx, values: vals}
+}
+
+// N returns the matrix dimension.
+func (m *CSR32) N() int { return m.n }
+
+func (m *CSR32) mulRange(dst, x []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var sum float32
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			sum += m.values[p] * x[m.colIdx[p]]
+		}
+		dst[i] = sum
+	}
+}
+
+// MulVecN computes dst = m · x in single precision using up to workers
+// goroutines (0 means GOMAXPROCS); small systems run serially, mirroring
+// CSR.MulVecN.
+func (m *CSR32) MulVecN(dst, x []float32, workers int) {
+	if len(dst) != m.n || len(x) != m.n {
+		panic("sparse: CSR32 MulVec dimension mismatch")
+	}
+	workers = mulVecWorkers(m.n, workers)
+	if workers == 1 {
+		m.mulRange(dst, x, 0, m.n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (m.n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m.n {
+			hi = m.n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			m.mulRange(dst, x, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

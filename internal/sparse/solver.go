@@ -156,6 +156,17 @@ type Config struct {
 	// 0 means 1e-12 (effectively exact, keeping the V-cycle a fixed SPD
 	// operator as CG requires). Ignored by non-multigrid backends.
 	MGCoarseTol float64
+	// MGOrdering selects the multigrid line-smoother sweep ordering:
+	// "redblack" (default) relaxes independently coloured lateral lines
+	// concurrently on the worker pool, "lex" is the serial lexicographic
+	// reference sweep. Ignored by non-multigrid backends.
+	MGOrdering string
+	// MGPrecision selects the V-cycle arithmetic: "float32" applies the
+	// preconditioner in single precision (half the memory traffic on the
+	// bandwidth-bound stencil ops; the outer CG stays float64), "float64"
+	// forces double precision, and "" auto-selects float32 when the outer
+	// tolerance permits it. Ignored by non-multigrid backends.
+	MGPrecision string
 }
 
 // Validate checks the configuration without building a solver: the backend
@@ -194,6 +205,16 @@ func (c Config) Validate() error {
 	}
 	if c.MGCoarseTol < 0 {
 		return fmt.Errorf("sparse: negative coarse-solve tolerance %g", c.MGCoarseTol)
+	}
+	switch c.MGOrdering {
+	case "", "lex", "redblack":
+	default:
+		return fmt.Errorf("sparse: unknown smoother ordering %q (have lex, redblack)", c.MGOrdering)
+	}
+	switch c.MGPrecision {
+	case "", "float32", "float64":
+	default:
+		return fmt.Errorf("sparse: unknown V-cycle precision %q (have float32, float64)", c.MGPrecision)
 	}
 	return nil
 }

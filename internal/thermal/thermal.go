@@ -154,15 +154,24 @@ func PaperSpec() (Spec, error) {
 
 // autoSolverCell is the coarsest ONI cell size (m) at which an empty
 // Spec.Solver auto-selects mg-cg: at 10 µm (FastResolution) and finer,
-// the mg-cg iteration count is mesh-independent and dominates; meshes
-// coarser than this (preview/test tiers) solve faster under plain
-// Jacobi-CG.
+// the mg-cg iteration count is mesh-independent and dominates even for a
+// single cold solve. On the coarser preview/coarse tiers the per-solve
+// crossover has moved to mg-cg too (the red-black/float32 V-cycle with a
+// direct banded coarse solve beats jacobi-cg ~4x per warm solve, see the
+// README's Performance section), but its one-off setup — hierarchy,
+// Galerkin products, band Cholesky factorisation — still costs more than
+// a whole jacobi-cg solve there, so the auto rule keeps jacobi-cg for the
+// one-shot small-mesh case. Callers doing repeated solves on a preview
+// mesh (servers, basis builds, sweeps) should set Solver: "mg-cg"
+// explicitly; the hierarchy is cached on the fvm.System, so only the
+// first solve pays the setup.
 const autoSolverCell = 10e-6
 
 // EffectiveSolver resolves the sparse backend a solve of this spec uses:
 // an explicit Solver name wins; an empty Solver auto-selects mg-cg at
 // fast/paper resolutions (ONI cells ≤ 10 µm) and jacobi-cg on the coarser
-// preview/coarse meshes.
+// preview/coarse meshes, where the V-cycle setup outweighs its per-solve
+// advantage for a single solve (see autoSolverCell for the tradeoff).
 func (s Spec) EffectiveSolver() string {
 	if s.Solver != "" {
 		return s.Solver
