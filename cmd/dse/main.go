@@ -8,12 +8,16 @@
 //	dse [-res fast] [-chip 25] [-activity uniform] [-seed 1]
 //	    [-mode all|temps|grid|heater|feasible]
 //	    [-solver jacobi-cg|ssor-cg|mg-cg] [-workers 0]
-//	    [-shards host1:8080,host2:8080]
+//	    [-shards host1:8080,host2:8080] [-coordinator http://ctl:9090]
 //
 // With -shards, the temps and grid sweeps scatter their row windows
 // across the named vcseld workers and gather the rows back in order;
-// chunks whose worker fails are recomputed locally, so the run always
-// completes. The sequential searches (heater, feasible) stay local.
+// chunks whose worker fails are rerouted to surviving workers and only
+// then recomputed locally, so the run always completes. With
+// -coordinator, the sweeps go to a vcselctl fleet coordinator instead,
+// which places chunks on its least-loaded alive workers and handles
+// failures fleet-side. The sequential searches (heater, feasible) stay
+// local either way.
 package main
 
 import (
@@ -48,6 +52,7 @@ func main() {
 	solver := flag.String("solver", "", "sparse backend: one of "+strings.Join(sparse.Backends(), ", ")+" (default auto-selects per resolution)")
 	workers := flag.Int("workers", 0, "parallel solver/sweep workers (0 = all CPUs)")
 	shards := flag.String("shards", "", "comma-separated vcseld workers to scatter sweeps across (e.g. host1:8080,host2:8080)")
+	coordinator := flag.String("coordinator", "", "vcselctl coordinator URL to route sweeps through (overrides -shards)")
 	flag.Parse()
 
 	log.SetFlags(0)
@@ -87,13 +92,22 @@ func main() {
 		return lex, lerr
 	}
 
+	// -coordinator is sugar for -shards with the coordinator as the only
+	// "worker": the coordinator serves the same sweep API and
+	// sub-scatters across its fleet, while the preflight (GET /v1/specs)
+	// and the local fallback keep working unchanged at this layer.
+	targets := *shards
+	if *coordinator != "" {
+		targets = *coordinator
+	}
+
 	var grids sweeper
-	if *shards == "" {
+	if targets == "" {
 		if grids, err = localExplorer(); err != nil {
 			log.Fatal(err)
 		}
 	} else {
-		client, err := serve.NewShardClient(*shards, serve.Scenario{
+		client, err := serve.NewShardClient(targets, serve.Scenario{
 			Activity: *act,
 			Seed:     *seed,
 		}, localExplorer)

@@ -12,6 +12,7 @@
 //	       [-batch-window 1ms] [-cache 4096] [-max-bases 8] [-warm]
 //	       [-admit-rate 0] [-admit-burst 0] [-client-rate 0] [-client-burst 0]
 //	       [-job-dir /var/lib/vcseld/jobs] [-job-checkpoint-every 25]
+//	       [-job-ttl 0] [-coordinator http://ctl:9090] [-advertise host:port]
 //
 // With -admit-rate (spec-wide) or -client-rate (per X-Client-ID / remote
 // host) set, cheap superposition queries pass an O(1) atomic admission
@@ -36,6 +37,11 @@
 //	GET  /v1/jobs/{id}        one job's progress / result
 //	GET  /v1/jobs/{id}/stream NDJSON stream of job status snapshots
 //
+// With -coordinator set, the daemon announces itself to a vcselctl fleet
+// coordinator once its listener is up (advertising -advertise, or the
+// bound address when unset) and is then heartbeat-scraped, placed and —
+// on failure — migrated from by the coordinator.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
 // in-flight requests (including sweep chunks) drain, and running
 // transient jobs checkpoint their exact current step into -job-dir so the
@@ -52,10 +58,27 @@ import (
 	"syscall"
 	"time"
 
+	"vcselnoc/internal/fleet"
 	"vcselnoc/internal/serve"
 	"vcselnoc/internal/sparse"
 	"vcselnoc/internal/thermal"
 )
+
+// advertiseURL derives the URL a coordinator should dial this daemon on
+// from the bound listen address, when -advertise is not given. A
+// wildcard host (":8080", "0.0.0.0") is replaced with the loopback
+// address — right for single-host fleets; multi-host fleets set
+// -advertise explicitly.
+func advertiseURL(a net.Addr) string {
+	host, port, err := net.SplitHostPort(a.String())
+	if err != nil {
+		return "http://" + a.String()
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -73,6 +96,9 @@ func main() {
 	shutdownTimeout := flag.Duration("shutdown-timeout", serve.DefaultShutdownTimeout, "grace period for in-flight requests on shutdown")
 	jobDir := flag.String("job-dir", "", "directory for transient-job checkpoints; jobs resume across restarts (empty keeps jobs in memory)")
 	jobEvery := flag.Int("job-checkpoint-every", serve.DefaultJobCheckpointEvery, "default transient-job checkpoint cadence in steps")
+	jobTTL := flag.Duration("job-ttl", 0, "garbage-collect finished transient jobs older than this (0 keeps them forever)")
+	coordinator := flag.String("coordinator", "", "vcselctl coordinator URL to announce this worker to")
+	advertise := flag.String("advertise", "", "URL the coordinator should reach this worker on (default derived from the bound address)")
 	flag.Parse()
 
 	log.SetFlags(0)
@@ -99,6 +125,7 @@ func main() {
 		ClientBurst:        *clientBurst,
 		JobDir:             *jobDir,
 		JobCheckpointEvery: *jobEvery,
+		JobTTL:             *jobTTL,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -122,6 +149,19 @@ func main() {
 	defer context.AfterFunc(ctx, srv.Close)()
 	err = serve.ListenAndRun(ctx, *addr, srv, *shutdownTimeout, func(a net.Addr) {
 		log.Printf("listening on %s (%s resolution, %s solver)", a, *res, spec.EffectiveSolver())
+		if *coordinator != "" {
+			self := *advertise
+			if self == "" {
+				self = advertiseURL(a)
+			}
+			go func() {
+				if err := fleet.Announce(ctx, *coordinator, self, *jobDir); err != nil && ctx.Err() == nil {
+					log.Printf("fleet announce to %s failed: %v", *coordinator, err)
+				} else if ctx.Err() == nil {
+					log.Printf("announced %s to coordinator %s", self, *coordinator)
+				}
+			}()
+		}
 	})
 	// Idempotent: covers exits where the listener died before any signal.
 	srv.Close()

@@ -1,0 +1,231 @@
+// Package chaos is the fleet's fault-injection harness: an HTTP proxy
+// that sits between a client (coordinator, shard client, test) and a
+// real backend and injects failures per declarative rule — dropped
+// connections, added latency, synthetic error statuses, truncated
+// response bodies. Every failure path the coordinator claims to survive
+// is exercised through this proxy deterministically in tests instead of
+// being reasoned about: a rule matches by method/path prefix, applies at
+// most Count times (0 = forever), and rule application is counted so
+// tests can assert exactly which requests were harmed.
+//
+// The proxy is deliberately not an httputil.ReverseProxy: dropping a
+// connection mid-response and truncating a body below its Content-Length
+// are exactly the behaviours a well-behaved reverse proxy refuses to
+// produce.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Rule is one fault-injection behaviour. The zero action (no Drop, no
+// Status, no Truncate) still applies Delay — a pure latency rule.
+type Rule struct {
+	// Method matches the request method; empty matches any.
+	Method string
+	// PathPrefix matches the request path by prefix; empty matches any.
+	PathPrefix string
+	// Count bounds how many matching requests the rule harms; 0 harms
+	// every match. A consumed rule stops matching, so "fail the first two
+	// attempts, then recover" is Count: 2.
+	Count int
+
+	// Delay is added before the action (and before forwarding).
+	Delay time.Duration
+	// Drop aborts the exchange with no response: the client sees the
+	// connection reset, indistinguishable from a crashed worker.
+	Drop bool
+	// Status short-circuits with this status code instead of forwarding.
+	// The response body is the plain-text reason "chaos".
+	Status int
+	// RetryAfter decorates a Status response with a Retry-After header
+	// (whole seconds, rounded up) and the serve JSON envelope's
+	// retry_after_ms field — enough for clients that honour shed
+	// schedules.
+	RetryAfter time.Duration
+	// Truncate forwards the request but cuts the response body after this
+	// many bytes while keeping the original Content-Length, so the client
+	// sees an unexpected EOF mid-body.
+	Truncate int
+}
+
+// matches reports whether the rule covers the request (ignoring Count).
+func (r *Rule) matches(req *http.Request) bool {
+	if r.Method != "" && r.Method != req.Method {
+		return false
+	}
+	return r.PathPrefix == "" || strings.HasPrefix(req.URL.Path, r.PathPrefix)
+}
+
+// Proxy forwards requests to Target, harming those matched by rules.
+// Safe for concurrent use; rules can be swapped while serving.
+type Proxy struct {
+	// Target is the backend base URL ("http://host:port").
+	Target string
+	// Transport overrides http.DefaultTransport for forwarded requests.
+	Transport http.RoundTripper
+
+	mu      sync.Mutex
+	rules   []*Rule
+	applied map[*Rule]int
+	total   int64
+}
+
+// NewProxy builds a proxy over the backend base URL with the given
+// initial rules.
+func NewProxy(target string, rules ...*Rule) *Proxy {
+	p := &Proxy{Target: strings.TrimRight(target, "/")}
+	p.SetRules(rules...)
+	return p
+}
+
+// SetRules atomically replaces the rule set (clearing application
+// counts). First match wins.
+func (p *Proxy) SetRules(rules ...*Rule) {
+	p.mu.Lock()
+	p.rules = rules
+	p.applied = make(map[*Rule]int, len(rules))
+	p.mu.Unlock()
+}
+
+// DropAll is the "worker died" switch: every subsequent request is
+// dropped until the next SetRules. Heartbeats, job polls and chunk
+// fetches all start failing at once, exactly like a kill -9.
+func (p *Proxy) DropAll() { p.SetRules(&Rule{Drop: true}) }
+
+// Heal removes all rules: the worker is reachable again (the flapping
+// half of a flap test).
+func (p *Proxy) Heal() { p.SetRules() }
+
+// Applied reports how many requests a rule has harmed.
+func (p *Proxy) Applied(r *Rule) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.applied[r]
+}
+
+// Requests reports the total requests the proxy has seen (harmed or
+// forwarded cleanly).
+func (p *Proxy) Requests() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.total
+}
+
+// pick returns the first live rule matching the request, consuming one
+// application.
+func (p *Proxy) pick(req *http.Request) *Rule {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.total++
+	for _, r := range p.rules {
+		if !r.matches(req) {
+			continue
+		}
+		if r.Count > 0 && p.applied[r] >= r.Count {
+			continue
+		}
+		p.applied[r]++
+		return r
+	}
+	return nil
+}
+
+// ServeHTTP implements http.Handler.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	rule := p.pick(req)
+	if rule != nil {
+		if rule.Delay > 0 {
+			time.Sleep(rule.Delay)
+		}
+		switch {
+		case rule.Drop:
+			p.drop(w)
+			return
+		case rule.Status != 0:
+			if rule.RetryAfter > 0 {
+				secs := int64((rule.RetryAfter + time.Second - 1) / time.Second)
+				w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(rule.Status)
+				fmt.Fprintf(w, `{"error":"chaos","retry_after_ms":%g}`,
+					float64(rule.RetryAfter)/float64(time.Millisecond))
+				return
+			}
+			http.Error(w, "chaos", rule.Status)
+			return
+		}
+	}
+	p.forward(w, req, rule)
+}
+
+// drop kills the client connection without a response. Hijacking closes
+// the TCP stream mid-request; when the ResponseWriter cannot hijack
+// (HTTP/2, recorders), aborting the handler produces the same
+// client-visible transport error.
+func (p *Proxy) drop(w http.ResponseWriter) {
+	if hj, ok := w.(http.Hijacker); ok {
+		if conn, _, err := hj.Hijack(); err == nil {
+			conn.Close()
+			return
+		}
+	}
+	panic(http.ErrAbortHandler)
+}
+
+// forward relays the request to the target, applying a truncation rule
+// to the response body if present.
+func (p *Proxy) forward(w http.ResponseWriter, req *http.Request, rule *Rule) {
+	out, err := http.NewRequestWithContext(req.Context(), req.Method, p.Target+req.URL.RequestURI(), req.Body)
+	if err != nil {
+		http.Error(w, "chaos: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	out.Header = req.Header.Clone()
+	transport := p.Transport
+	if transport == nil {
+		transport = http.DefaultTransport
+	}
+	resp, err := transport.RoundTrip(out)
+	if err != nil {
+		http.Error(w, "chaos: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	body := io.Reader(resp.Body)
+	if rule != nil && rule.Truncate > 0 {
+		// Content-Length was already forwarded above, so stopping short
+		// leaves the client with a visibly incomplete body.
+		body = io.LimitReader(resp.Body, int64(rule.Truncate))
+	}
+	_, _ = io.Copy(w, body)
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+	if rule != nil && rule.Truncate > 0 {
+		// Close the connection rather than let the server pad or reuse
+		// it; the truncation must reach the client as a transport error.
+		p.drop(w)
+	}
+}
+
+// Serve starts the proxy on an httptest listener and returns it; tests
+// point clients at the returned server's URL and the backend stays
+// untouched.
+func Serve(target string, rules ...*Rule) (*Proxy, *httptest.Server) {
+	p := NewProxy(target, rules...)
+	return p, httptest.NewServer(p)
+}

@@ -1,0 +1,166 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testBackend is a real HTTP backend answering every request with a
+// fixed 1 kB body.
+func testBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	payload := strings.Repeat("x", 1024)
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Backend", "real")
+		io.WriteString(w, payload)
+	}))
+	t.Cleanup(hs.Close)
+	return hs
+}
+
+// proxyFor wires a chaos proxy in front of the backend.
+func proxyFor(t *testing.T, backend *httptest.Server, rules ...*Rule) (*Proxy, *httptest.Server) {
+	t.Helper()
+	p, hs := Serve(backend.URL, rules...)
+	t.Cleanup(hs.Close)
+	return p, hs
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte, error) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp, body, err
+}
+
+// TestCleanForwarding: with no rules the proxy is transparent.
+func TestCleanForwarding(t *testing.T) {
+	be := testBackend(t)
+	p, hs := proxyFor(t, be)
+	resp, body, err := get(t, hs.URL+"/v1/anything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || len(body) != 1024 {
+		t.Fatalf("forwarded response: HTTP %d, %d bytes", resp.StatusCode, len(body))
+	}
+	if resp.Header.Get("X-Backend") != "real" {
+		t.Error("backend headers not forwarded")
+	}
+	if p.Requests() != 1 {
+		t.Errorf("proxy counted %d requests, want 1", p.Requests())
+	}
+}
+
+// TestDrop: a drop rule produces a transport-level failure, not an HTTP
+// error — indistinguishable from a crashed worker.
+func TestDrop(t *testing.T) {
+	be := testBackend(t)
+	_, hs := proxyFor(t, be, &Rule{Drop: true})
+	if _, _, err := get(t, hs.URL+"/"); err == nil {
+		t.Fatal("dropped request succeeded")
+	}
+}
+
+// TestStatusWithRetryAfter: a status rule short-circuits with the code
+// and shed schedule; Count bounds how many requests it harms.
+func TestStatusWithRetryAfter(t *testing.T) {
+	be := testBackend(t)
+	rule := &Rule{Status: http.StatusTooManyRequests, RetryAfter: 50 * time.Millisecond, Count: 2}
+	p, hs := proxyFor(t, be, rule)
+	for i := 0; i < 2; i++ {
+		resp, body, err := get(t, hs.URL+"/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("request %d: HTTP %d, want 429", i, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") != "1" {
+			t.Errorf("Retry-After = %q, want rounded-up seconds", resp.Header.Get("Retry-After"))
+		}
+		if !strings.Contains(string(body), "retry_after_ms") {
+			t.Errorf("429 body %q lacks retry_after_ms", body)
+		}
+	}
+	// The rule is consumed: the third request goes through.
+	resp, _, err := get(t, hs.URL+"/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("after Count consumed: HTTP %d, want 200", resp.StatusCode)
+	}
+	if got := p.Applied(rule); got != 2 {
+		t.Errorf("rule applied %d times, want 2", got)
+	}
+}
+
+// TestTruncate: a truncation rule cuts the body below Content-Length so
+// the client sees an incomplete read.
+func TestTruncate(t *testing.T) {
+	be := testBackend(t)
+	_, hs := proxyFor(t, be, &Rule{Truncate: 100})
+	resp, err := http.Get(hs.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err == nil && len(body) == 1024 {
+		t.Fatal("truncated response arrived complete")
+	}
+	if len(body) > 100 {
+		t.Fatalf("read %d bytes through a 100-byte truncation", len(body))
+	}
+}
+
+// TestPathAndMethodMatching: rules only harm the traffic they name —
+// here sweeps die while health checks stay clean, the shape of a
+// worker that is alive but failing its work.
+func TestPathAndMethodMatching(t *testing.T) {
+	be := testBackend(t)
+	_, hs := proxyFor(t, be, &Rule{Method: http.MethodPost, PathPrefix: "/v1/sweep/", Drop: true})
+	if resp, _, err := get(t, hs.URL+"/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("health check harmed: %v / %+v", err, resp)
+	}
+	if _, err := http.Post(hs.URL+"/v1/sweep/gradient", "application/json", strings.NewReader("{}")); err == nil {
+		t.Fatal("matched sweep POST not dropped")
+	}
+}
+
+// TestDropAllAndHeal: the kill/restart switch a flap test flips.
+func TestDropAllAndHeal(t *testing.T) {
+	be := testBackend(t)
+	p, hs := proxyFor(t, be)
+	p.DropAll()
+	if _, _, err := get(t, hs.URL+"/healthz"); err == nil {
+		t.Fatal("dropped-all request succeeded")
+	}
+	p.Heal()
+	if resp, _, err := get(t, hs.URL+"/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healed proxy still failing: %v", err)
+	}
+}
+
+// TestDelay: a latency rule delays but does not harm.
+func TestDelay(t *testing.T) {
+	be := testBackend(t)
+	_, hs := proxyFor(t, be, &Rule{Delay: 30 * time.Millisecond})
+	start := time.Now()
+	resp, _, err := get(t, hs.URL+"/")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("delayed request failed: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("request returned in %v, want >= 30ms", elapsed)
+	}
+}

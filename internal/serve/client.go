@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -22,9 +24,16 @@ import (
 // partitioned into contiguous chunks, chunks are assigned round-robin
 // across the workers and fetched concurrently, and each chunk's rows are
 // written at their absolute indices — so the merge is deterministic
-// whatever order responses arrive in. A chunk whose worker fails is
-// retried locally against a lazily built fallback Explorer, keeping the
-// whole sweep available through partial fleet outages.
+// whatever order responses arrive in.
+//
+// A chunk whose worker fails is first rerouted to the surviving workers
+// under capped exponential backoff with jitter; an admission shed (HTTP
+// 429) waits out the worker's advertised Retry-After/retry_after_ms
+// schedule instead of counting as a failure. Only when every attempt is
+// exhausted is the chunk retried locally against a lazily built fallback
+// Explorer, keeping the whole sweep available through total fleet
+// outages without stealing fleet-sized work back onto the client for a
+// single dead member.
 //
 // Exactness holds because every sweep cell is an independent
 // superposition evaluation and every stage of the solve pipeline
@@ -60,6 +69,17 @@ type ShardClient struct {
 	// fleet's rows at the solve tolerance, breaking the bit-identical
 	// merge guarantee.
 	ExpectSolver string
+	// ChunkAttempts bounds remote fetch attempts per chunk before the
+	// local fallback; 0 selects DefaultChunkAttempts. Transport and
+	// server-side (5xx) failures reroute the next attempt to the next
+	// worker; a 429 shed stays on its worker and waits at least the
+	// advertised schedule. Non-shed client errors (4xx) are permanent and
+	// never retried remotely.
+	ChunkAttempts int
+	// RetryBase and RetryMax shape the capped exponential backoff between
+	// attempts (base·2^n up to max, plus up to 50% jitter); 0 selects
+	// DefaultRetryBase/DefaultRetryMax.
+	RetryBase, RetryMax time.Duration
 
 	preOnce sync.Once
 	preErr  error
@@ -215,8 +235,19 @@ func (c *ShardClient) chunks(total int) []chunk {
 	return out
 }
 
+// workerHTTPError carries the status (and, for sheds, the advertised
+// retry schedule) of a worker's non-200 answer, so the retry loop can
+// tell permanent client errors from transient server-side failures.
+type workerHTTPError struct {
+	status     int
+	retryAfter time.Duration
+	err        error
+}
+
+func (e *workerHTTPError) Error() string { return e.err.Error() }
+
 // post sends one JSON request and decodes the response; non-200 answers
-// surface the server's error envelope.
+// surface the server's error envelope as a workerHTTPError.
 func (c *ShardClient) post(worker, path string, req, resp any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -228,28 +259,97 @@ func (c *ShardClient) post(worker, path string, req, resp any) error {
 	}
 	defer httpResp.Body.Close()
 	if httpResp.StatusCode != http.StatusOK {
+		we := &workerHTTPError{status: httpResp.StatusCode}
 		var eb errorBody
 		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 4096))
 		if json.Unmarshal(msg, &eb) == nil && eb.Error != "" {
-			return fmt.Errorf("serve: worker %s: %s (HTTP %d)", worker, eb.Error, httpResp.StatusCode)
+			we.err = fmt.Errorf("serve: worker %s: %s (HTTP %d)", worker, eb.Error, httpResp.StatusCode)
+		} else {
+			we.err = fmt.Errorf("serve: worker %s: HTTP %d", worker, httpResp.StatusCode)
 		}
-		return fmt.Errorf("serve: worker %s: HTTP %d", worker, httpResp.StatusCode)
+		// The shed schedule arrives twice; prefer the millisecond envelope
+		// field over the whole-second header.
+		if eb.RetryAfterMs > 0 {
+			we.retryAfter = time.Duration(eb.RetryAfterMs * float64(time.Millisecond))
+		} else if secs, err := strconv.Atoi(httpResp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			we.retryAfter = time.Duration(secs) * time.Second
+		}
+		return we
 	}
 	return json.NewDecoder(httpResp.Body).Decode(resp)
 }
 
-// scatter fans the chunks across the fleet and fills rows via fill;
-// failed chunks are recomputed locally via local. Both callbacks write
-// only their own chunk's rows, so no synchronisation is needed beyond
-// the fan-out join.
+// DefaultChunkAttempts is the remote attempts per chunk before the local
+// fallback: with the default one-reroute-then-once-more shape, a chunk
+// survives its worker dying and the replacement being busy.
+const DefaultChunkAttempts = 3
+
+// DefaultRetryBase and DefaultRetryMax shape the default backoff.
+const (
+	DefaultRetryBase = 250 * time.Millisecond
+	DefaultRetryMax  = 5 * time.Second
+)
+
+// fetchChunk runs one chunk's remote attempts: reroute-on-failure across
+// the worker ring starting at slot, capped exponential backoff with
+// jitter between attempts, shed schedules honoured. Returns nil on the
+// first success; fingerprint mismatches and non-shed 4xx answers return
+// immediately (retrying or falling back would mask misconfiguration).
+func (c *ShardClient) fetchChunk(slot int, ck chunk, fetch func(worker string, ck chunk) error) error {
+	attempts := c.ChunkAttempts
+	if attempts <= 0 {
+		attempts = DefaultChunkAttempts
+	}
+	base := c.RetryBase
+	if base <= 0 {
+		base = DefaultRetryBase
+	}
+	cap := c.RetryMax
+	if cap <= 0 {
+		cap = DefaultRetryMax
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = fetch(c.Workers[slot%len(c.Workers)], ck)
+		if err == nil || errors.Is(err, errFingerprint) {
+			return err
+		}
+		var we *workerHTTPError
+		shed := errors.As(err, &we) && we.status == http.StatusTooManyRequests
+		if !shed && we != nil && we.status < 500 {
+			return err // deterministic client error: no retry will change it
+		}
+		if attempt+1 >= attempts {
+			return err
+		}
+		delay := base << attempt
+		if delay > cap || delay <= 0 {
+			delay = cap
+		}
+		if shed {
+			// Honour the worker's schedule (it knows its bucket) and stay
+			// on it: admission pressure is not death.
+			if we.retryAfter > delay {
+				delay = we.retryAfter
+			}
+		} else {
+			slot++ // reroute: the next attempt goes to the next worker
+		}
+		time.Sleep(delay + time.Duration(rand.Int63n(int64(delay/2)+1)))
+	}
+}
+
+// scatter fans the chunks across the fleet and fills rows via fetch;
+// chunks whose remote attempts are exhausted are recomputed locally via
+// local. Both callbacks write only their own chunk's rows, so no
+// synchronisation is needed beyond the fan-out join.
 func (c *ShardClient) scatter(total int, fetch func(worker string, ck chunk) error, local func(ck chunk) error) error {
 	if err := c.preflight(); err != nil {
 		return err
 	}
 	cks := c.chunks(total)
 	return parallel.ForEach(len(c.Workers), len(cks), func(_, i int) error {
-		worker := c.Workers[i%len(c.Workers)]
-		err := fetch(worker, cks[i])
+		err := c.fetchChunk(i, cks[i], fetch)
 		if err == nil {
 			return nil
 		}

@@ -13,6 +13,7 @@ import (
 	"vcselnoc/internal/activity"
 	"vcselnoc/internal/core"
 	"vcselnoc/internal/dse"
+	"vcselnoc/internal/fleet/chaos"
 	"vcselnoc/internal/snr"
 	"vcselnoc/internal/thermal"
 )
@@ -116,9 +117,10 @@ func TestShardedSweepMatchesInProcess(t *testing.T) {
 	}
 }
 
-// TestShardLocalRetry: chunks landing on a dead worker are recomputed
-// locally and the merged grid stays exact.
-func TestShardLocalRetry(t *testing.T) {
+// TestShardRerouteToSurvivor: chunks landing on a dead worker are
+// rerouted to the surviving worker — not stolen back onto the local
+// fallback — and the merged grid stays exact.
+func TestShardRerouteToSurvivor(t *testing.T) {
 	skipShort(t)
 	spec := previewSpec(t)
 	ex := localExplorer(t, spec)
@@ -137,6 +139,51 @@ func TestShardLocalRetry(t *testing.T) {
 	patientClient(client)
 	// Two chunks of one row each: one lands on the dead worker.
 	client.ChunkRows = 1
+	client.RetryBase = time.Millisecond
+
+	chip := 25.0
+	lasers := []float64{2e-3, 4e-3}
+	heaters := []float64{0, 1e-3}
+	want, err := ex.SweepGradient(chip, lasers, heaters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.SweepGradient(chip, lasers, heaters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("grid with reroute differs from in-process grid")
+	}
+	if fallbacks.Load() != 0 {
+		t.Fatalf("fallback built %d times, want 0: a surviving worker should absorb the chunk", fallbacks.Load())
+	}
+}
+
+// TestShardLocalRetry: only when every worker is dead — all remote
+// attempts exhausted — does the chunk land on the local fallback, built
+// once.
+func TestShardLocalRetry(t *testing.T) {
+	skipShort(t)
+	spec := previewSpec(t)
+	ex := localExplorer(t, spec)
+	dead1 := httptest.NewServer(http.NotFoundHandler())
+	dead1.Close()
+	dead2 := httptest.NewServer(http.NotFoundHandler())
+	dead2.Close()
+
+	var fallbacks atomic.Int32
+	client, err := NewShardClient(dead1.URL+","+dead2.URL, Scenario{}, func() (*dse.Explorer, error) {
+		fallbacks.Add(1)
+		return ex, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	patientClient(client)
+	client.ChunkRows = 1
+	client.ChunkAttempts = 2
+	client.RetryBase = time.Millisecond
 
 	chip := 25.0
 	lasers := []float64{2e-3, 4e-3}
@@ -157,6 +204,62 @@ func TestShardLocalRetry(t *testing.T) {
 	}
 }
 
+// TestShardHonours429: an admission shed is waited out on its worker's
+// advertised schedule, not treated as a failure — no reroute, no
+// fallback, and the sweep still completes.
+func TestShardHonours429(t *testing.T) {
+	skipShort(t)
+	spec := previewSpec(t)
+	w := startWorker(t, spec)
+	rule := &chaos.Rule{Method: http.MethodPost, PathPrefix: "/v1/sweep/", Status: http.StatusTooManyRequests, RetryAfter: 30 * time.Millisecond, Count: 2}
+	proxy, ps := chaos.Serve(w.URL, rule)
+	t.Cleanup(ps.Close)
+
+	client, err := NewShardClient(ps.URL, Scenario{}, func() (*dse.Explorer, error) {
+		t.Error("429 pushed the chunk onto the local fallback")
+		return nil, fmt.Errorf("no fallback expected")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	patientClient(client)
+	client.ChunkAttempts = 4
+	client.RetryBase = time.Millisecond
+
+	start := time.Now()
+	if _, err := client.SweepGradient(25, []float64{1e-3}, []float64{0}); err != nil {
+		t.Fatalf("sweep through two sheds failed: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Errorf("sweep finished in %v: the two 30 ms shed schedules were not honoured", elapsed)
+	}
+	if got := proxy.Applied(rule); got != 2 {
+		t.Errorf("shed rule applied %d times, want 2", got)
+	}
+}
+
+// TestShardPermanentClientError: a non-shed 4xx is deterministic — it
+// must not burn retry attempts before surfacing.
+func TestShardPermanentClientError(t *testing.T) {
+	var hits atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"serve: bad request"}`, http.StatusBadRequest)
+	}))
+	t.Cleanup(hs.Close)
+	client, err := NewShardClient(hs.URL, Scenario{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.RetryBase = time.Millisecond
+	if _, err := client.SweepGradient(25, []float64{1e-3}, []float64{0}); err == nil {
+		t.Fatal("bad request accepted")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("worker hit %d times for a deterministic 400, want 1", hits.Load())
+	}
+}
+
 // TestShardNoFallbackPropagates: without a local fallback, a dead worker
 // fails the sweep with its error.
 func TestShardNoFallbackPropagates(t *testing.T) {
@@ -166,6 +269,7 @@ func TestShardNoFallbackPropagates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	client.RetryBase = time.Millisecond
 	if _, err := client.SweepGradient(25, []float64{1e-3}, []float64{0}); err == nil {
 		t.Fatal("sweep against a dead fleet succeeded")
 	}
@@ -308,6 +412,7 @@ func TestShardErrorNamesRows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	client.RetryBase = time.Millisecond
 	_, err = client.SweepGradient(25, []float64{1e-3}, []float64{0})
 	if err == nil || !strings.Contains(err.Error(), "rows [0,1)") {
 		t.Fatalf("error %v does not name the failed rows", err)

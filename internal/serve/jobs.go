@@ -20,9 +20,11 @@ import (
 	"path/filepath"
 	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vcselnoc/internal/fvm"
 	"vcselnoc/internal/thermal"
@@ -43,6 +45,7 @@ type jobManager struct {
 	every    int
 	maxJobs  int
 	maxSteps int
+	ttl      time.Duration
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -53,8 +56,9 @@ type jobManager struct {
 	jobs map[string]*transientJob
 
 	// stepsTotal counts integration steps executed across all jobs — a
-	// /metrics counter.
+	// /metrics counter. expired counts TTL garbage collections.
 	stepsTotal atomic.Int64
+	expired    atomic.Int64
 }
 
 // transientJob is one job's mutable state plus its stream subscribers.
@@ -65,6 +69,13 @@ type transientJob struct {
 	mu     sync.Mutex
 	status JobStatus
 	subs   map[chan JobStatus]struct{}
+	// lastCP is the most recent checkpoint (in memory even without a
+	// JobDir) — what GET /v1/jobs/{id}/checkpoint exports so a
+	// coordinator can migrate the job without filesystem access.
+	lastCP *fvm.TransientCheckpoint
+	// doneAt timestamps the terminal transition for TTL garbage
+	// collection.
+	doneAt time.Time
 }
 
 // snapshot returns a copy of the status under the job lock.
@@ -81,6 +92,9 @@ func (j *transientJob) update(fn func(*JobStatus)) {
 	fn(&j.status)
 	snap := j.status
 	terminal := snap.State == JobDone || snap.State == JobFailed
+	if terminal && j.doneAt.IsZero() {
+		j.doneAt = time.Now()
+	}
 	for ch := range j.subs {
 		select {
 		case ch <- snap:
@@ -120,6 +134,29 @@ func (j *transientJob) unsubscribe(ch chan JobStatus) {
 	j.mu.Unlock()
 }
 
+// setCheckpoint records the job's latest checkpoint for export.
+func (j *transientJob) setCheckpoint(cp *fvm.TransientCheckpoint) {
+	j.mu.Lock()
+	j.lastCP = cp
+	j.mu.Unlock()
+}
+
+// checkpoint returns the latest recorded checkpoint (nil before the
+// first cadence).
+func (j *transientJob) checkpoint() *fvm.TransientCheckpoint {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.lastCP
+}
+
+// expiredAt reports whether the job is terminal and older than the
+// cutoff.
+func (j *transientJob) expiredAt(cutoff time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return !j.doneAt.IsZero() && j.doneAt.Before(cutoff)
+}
+
 func newJobManager(s *Server, cfg Config) *jobManager {
 	every := cfg.JobCheckpointEvery
 	if every <= 0 {
@@ -137,6 +174,7 @@ func newJobManager(s *Server, cfg Config) *jobManager {
 	return &jobManager{
 		srv: s, dir: cfg.JobDir,
 		every: every, maxJobs: maxJobs, maxSteps: maxSteps,
+		ttl: cfg.JobTTL,
 		ctx: ctx, cancel: cancel,
 		sem:  make(chan struct{}, jobConcurrency),
 		jobs: make(map[string]*transientJob),
@@ -149,6 +187,56 @@ func newJobManager(s *Server, cfg Config) *jobManager {
 func (jm *jobManager) stop() {
 	jm.cancel()
 	jm.wg.Wait()
+}
+
+// startGC launches the age-based job garbage collector when a TTL is
+// configured: terminal jobs older than the TTL are dropped from the
+// registry (and their files removed) so long-lived daemons don't grow
+// unboundedly. Running and queued jobs are never collected.
+func (jm *jobManager) startGC() {
+	if jm.ttl <= 0 {
+		return
+	}
+	interval := jm.ttl / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	jm.wg.Add(1)
+	go func() {
+		defer jm.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-jm.ctx.Done():
+				return
+			case <-t.C:
+				jm.gcExpired(time.Now().Add(-jm.ttl))
+			}
+		}
+	}()
+}
+
+// gcExpired removes terminal jobs older than the cutoff.
+func (jm *jobManager) gcExpired(cutoff time.Time) {
+	jm.mu.Lock()
+	var drop []string
+	for id, j := range jm.jobs {
+		if j.expiredAt(cutoff) {
+			drop = append(drop, id)
+			delete(jm.jobs, id)
+		}
+	}
+	jm.mu.Unlock()
+	for _, id := range drop {
+		jm.expired.Add(1)
+		if jm.dir != "" {
+			os.Remove(filepath.Join(jm.dir, id+".json")) //nolint:errcheck // best-effort cleanup of already-forgotten jobs
+		}
+	}
 }
 
 func newJobID() string {
@@ -179,16 +267,39 @@ func (jm *jobManager) validate(req TransientRequest) error {
 	if req.CheckpointEvery < 0 {
 		return badRequest(fmt.Errorf("serve: negative checkpoint_every %d", req.CheckpointEvery))
 	}
+	if req.ID != "" && !jobIDPattern.MatchString(req.ID) {
+		return badRequest(fmt.Errorf("serve: job id %q must match %s", req.ID, jobIDPattern))
+	}
+	if req.Resume != nil {
+		if err := req.Resume.Validate(); err != nil {
+			return badRequest(fmt.Errorf("serve: resume checkpoint: %w", err))
+		}
+		if req.Resume.Step > req.Steps {
+			return badRequest(fmt.Errorf("serve: resume checkpoint is at step %d, beyond the job's %d steps", req.Resume.Step, req.Steps))
+		}
+	}
 	return nil
 }
 
-// submit registers a new job and starts its background run.
+// submit registers a new job and starts its background run. A request
+// carrying an ID keeps it (the coordinator's migration handoff relies on
+// a migrated job keeping its identity on the new worker); a request
+// carrying a Resume checkpoint continues from it instead of step 0.
 func (jm *jobManager) submit(req TransientRequest) (*transientJob, error) {
 	if err := jm.validate(req); err != nil {
 		return nil, err
 	}
+	id := req.ID
+	if id == "" {
+		id = newJobID()
+	}
+	// The checkpoint travels in the job file's Checkpoint slot (and the
+	// in-memory lastCP), not inside the stored request — persisting it
+	// twice would double every job file's dominant payload.
+	cp := req.Resume
+	req.Resume = nil
 	j := &transientJob{
-		id:  newJobID(),
+		id:  id,
 		req: req,
 		status: JobStatus{
 			Spec: req.specName(), State: JobQueued,
@@ -196,7 +307,19 @@ func (jm *jobManager) submit(req TransientRequest) (*transientJob, error) {
 		},
 	}
 	j.status.ID = j.id
+	if cp != nil {
+		j.lastCP = cp
+		j.status.Step = cp.Step
+		j.status.TimeS = float64(cp.Step) * req.TimeStepS
+	}
 	jm.mu.Lock()
+	if _, exists := jm.jobs[j.id]; exists {
+		jm.mu.Unlock()
+		return nil, &statusError{
+			code: http.StatusConflict,
+			err:  fmt.Errorf("serve: job id %q already exists", j.id),
+		}
+	}
 	if len(jm.jobs) >= jm.maxJobs {
 		jm.mu.Unlock()
 		return nil, &statusError{
@@ -206,7 +329,7 @@ func (jm *jobManager) submit(req TransientRequest) (*transientJob, error) {
 	}
 	jm.jobs[j.id] = j
 	jm.mu.Unlock()
-	if err := jm.persist(j, nil); err != nil {
+	if err := jm.persist(j, cp); err != nil {
 		// Unregister the never-started job: leaving it would hold a
 		// MaxJobs slot as a phantom "queued" entry forever.
 		jm.mu.Lock()
@@ -214,7 +337,7 @@ func (jm *jobManager) submit(req TransientRequest) (*transientJob, error) {
 		jm.mu.Unlock()
 		return nil, err
 	}
-	jm.start(j, nil)
+	jm.start(j, cp)
 	return j, nil
 }
 
@@ -313,8 +436,16 @@ func (jm *jobManager) run(j *transientJob, cp *fvm.TransientCheckpoint) {
 			})
 		},
 	}
-	if jm.dir != "" {
-		ts.Checkpoint = func(cp *fvm.TransientCheckpoint) error { return jm.persist(j, cp) }
+	// The cadence sink always records the checkpoint in memory (the
+	// export endpoint serves it to migrating coordinators even on
+	// diskless workers) and additionally persists it when a JobDir is
+	// configured.
+	ts.Checkpoint = func(cp *fvm.TransientCheckpoint) error {
+		j.setCheckpoint(cp)
+		if jm.dir == "" {
+			return nil
+		}
+		return jm.persist(j, cp)
 	}
 	run, err := meth.Model().NewTransientRun(powers, ts)
 	if err != nil {
@@ -333,8 +464,10 @@ func (jm *jobManager) run(j *transientJob, cp *fvm.TransientCheckpoint) {
 			// Interrupted (daemon shutdown): checkpoint the exact current
 			// step so the next start resumes bit-identically, and leave
 			// the persisted state non-terminal.
+			cp := run.Checkpoint()
+			j.setCheckpoint(cp)
 			if jm.dir != "" {
-				jm.persist(j, run.Checkpoint()) //nolint:errcheck // shutting down; the prior cadence checkpoint remains
+				jm.persist(j, cp) //nolint:errcheck // shutting down; the prior cadence checkpoint remains
 			}
 			return
 		default:
@@ -361,10 +494,14 @@ func (jm *jobManager) run(j *transientJob, cp *fvm.TransientCheckpoint) {
 	jm.persist(j, nil) //nolint:errcheck // completed in memory; persistence is best-effort at this point
 }
 
-// jobFile is the on-disk form of one job: the submission, the lifecycle
-// verdict, and (for unfinished jobs) the latest checkpoint to resume
-// from.
-type jobFile struct {
+// PersistedJob is the on-disk form of one job in a -job-dir: the
+// submission, the lifecycle verdict, and (for unfinished jobs) the
+// latest checkpoint to resume from. It is exported because it is also
+// the fleet coordinator's migration source: when a worker dies, the
+// coordinator reads `<job-dir>/<id>.json` off the dead worker's
+// directory and resubmits Request with Checkpoint as the Resume point on
+// a survivor.
+type PersistedJob struct {
 	ID         string                   `json:"id"`
 	Request    TransientRequest         `json:"request"`
 	State      string                   `json:"state"`
@@ -381,7 +518,7 @@ func (jm *jobManager) persist(j *transientJob, cp *fvm.TransientCheckpoint) erro
 		return nil
 	}
 	snap := j.snapshot()
-	jf := jobFile{
+	jf := PersistedJob{
 		ID: j.id, Request: j.req,
 		State: snap.State, Error: snap.Error, Result: snap.Result,
 	}
@@ -429,7 +566,7 @@ func (jm *jobManager) loadPersisted() error {
 			continue
 		}
 		data, err := os.ReadFile(filepath.Join(jm.dir, name))
-		var jf jobFile
+		var jf PersistedJob
 		if err == nil {
 			err = json.Unmarshal(data, &jf)
 		}
@@ -445,6 +582,7 @@ func (jm *jobManager) loadPersisted() error {
 				ID: id, State: JobFailed,
 				Error: fmt.Sprintf("serve: corrupt job file: %v", err),
 			}
+			j.doneAt = time.Now()
 			jm.jobs[id] = j
 			continue
 		}
@@ -453,6 +591,15 @@ func (jm *jobManager) loadPersisted() error {
 			ID: id, Spec: jf.Request.specName(), State: jf.State,
 			Steps: jf.Request.Steps, TimeStepS: jf.Request.TimeStepS,
 			Error: jf.Error, Result: jf.Result,
+		}
+		j.lastCP = jf.Checkpoint
+		// Terminal jobs age for the TTL collector from their file's
+		// mtime — the best persisted approximation of when they finished.
+		if jf.State == JobDone || jf.State == JobFailed {
+			j.doneAt = time.Now()
+			if info, err := e.Info(); err == nil {
+				j.doneAt = info.ModTime()
+			}
 		}
 		switch jf.State {
 		case JobDone:
@@ -478,11 +625,17 @@ func (jm *jobManager) loadPersisted() error {
 
 // --- HTTP handlers -----------------------------------------------------
 
+// maxTransientBodyBytes bounds transient submissions separately from the
+// general request cap: a migration handoff carries a full per-cell
+// checkpoint field (~20 MB of JSON at paper resolution), far beyond the
+// 1 MB that bounds every other endpoint.
+const maxTransientBodyBytes = 64 << 20
+
 // handleTransientSubmit accepts a transient job and returns its initial
 // status with 202 Accepted.
 func (s *Server) handleTransientSubmit(w http.ResponseWriter, r *http.Request) {
 	var req TransientRequest
-	if err := decode(r, &req); err != nil {
+	if err := decodeLimit(r, &req, maxTransientBodyBytes); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -497,9 +650,66 @@ func (s *Server) handleTransientSubmit(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(j.snapshot())
 }
 
-// handleJobs lists every retained job.
+// pageParam parses one non-negative pagination query parameter.
+func pageParam(r *http.Request, name string) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 {
+		return 0, badRequest(fmt.Errorf("serve: %s %q must be a non-negative integer", name, raw))
+	}
+	return n, nil
+}
+
+// handleJobs lists retained jobs, paginated: ?offset=N skips the first N
+// (id-sorted) jobs, ?limit=M caps the window (0 or absent returns the
+// rest). An offset beyond the end returns an empty window, not an error,
+// so pagination loops terminate cleanly.
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.jobs.list())
+	offset, err := pageParam(r, "offset")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	limit, err := pageParam(r, "limit")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	all := s.jobs.list()
+	lo := offset
+	if lo > len(all) {
+		lo = len(all)
+	}
+	hi := len(all)
+	if limit > 0 && lo+limit < hi {
+		hi = lo + limit
+	}
+	writeJSON(w, JobList{
+		Jobs:   all[lo:hi],
+		Total:  len(all),
+		Offset: offset,
+		More:   hi < len(all),
+	})
+}
+
+// handleJobCheckpoint exports a job's latest checkpoint — the
+// coordinator's migration source for workers running without a shared
+// job directory. 404 until the first cadence checkpoint exists.
+func (s *Server) handleJobCheckpoint(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, notFound(fmt.Errorf("serve: unknown job %q", r.PathValue("id"))))
+		return
+	}
+	cp := j.checkpoint()
+	if cp == nil {
+		writeErr(w, notFound(fmt.Errorf("serve: job %q has no checkpoint yet", j.id)))
+		return
+	}
+	writeJSON(w, cp)
 }
 
 // handleJob reports one job's progress (and result once done).

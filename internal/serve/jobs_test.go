@@ -176,8 +176,8 @@ func TestTransientJobLifecycle(t *testing.T) {
 	}
 
 	// The job list includes it.
-	list := decodeBody[[]JobStatus](t, getJSON(t, s, "/v1/jobs"))
-	if len(list) != 1 || list[0].ID != initial.ID {
+	list := decodeBody[JobList](t, getJSON(t, s, "/v1/jobs"))
+	if list.Total != 1 || len(list.Jobs) != 1 || list.Jobs[0].ID != initial.ID || list.More {
 		t.Errorf("job list %+v", list)
 	}
 }
@@ -274,7 +274,7 @@ func TestTransientJobSubmitRollsBackOnPersistFailure(t *testing.T) {
 	if w.Code != http.StatusInternalServerError {
 		t.Fatalf("submit with broken job dir: HTTP %d (%s)", w.Code, w.Body.String())
 	}
-	if list := decodeBody[[]JobStatus](t, getJSON(t, s, "/v1/jobs")); len(list) != 0 {
+	if list := decodeBody[JobList](t, getJSON(t, s, "/v1/jobs")); list.Total != 0 {
 		t.Errorf("phantom job retained after failed persist: %+v", list)
 	}
 }
@@ -369,7 +369,7 @@ func TestTransientJobCorruptCheckpoints(t *testing.T) {
 	if err := json.Unmarshal([]byte(strings.NewReplacer("%d", "4").Replace(transientBody)), &req); err != nil {
 		t.Fatal(err)
 	}
-	jf := jobFile{ID: "tj-mismatch", Request: req, State: JobRunning, Checkpoint: run.Checkpoint()}
+	jf := PersistedJob{ID: "tj-mismatch", Request: req, State: JobRunning, Checkpoint: run.Checkpoint()}
 	data, err := json.Marshal(jf)
 	if err != nil {
 		t.Fatal(err)
@@ -386,6 +386,189 @@ func TestTransientJobCorruptCheckpoints(t *testing.T) {
 	mismatch := pollJob(t, s, "tj-mismatch")
 	if mismatch.State != JobFailed || !strings.Contains(mismatch.Error, "fingerprint") {
 		t.Errorf("fingerprint mismatch surfaced as %+v", mismatch)
+	}
+}
+
+// submitSteps submits a transient job of n steps and returns its id.
+func submitSteps(t *testing.T, s *Server, n string) string {
+	t.Helper()
+	w := postJSON(t, s, "/v1/transient", strings.NewReplacer("%d", n).Replace(transientBody))
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d (%s)", w.Code, w.Body.String())
+	}
+	return decodeBody[JobStatus](t, w).ID
+}
+
+// TestJobListPagination: offset/limit windows are consistent with the
+// full id-sorted listing, out-of-range offsets return empty windows, and
+// malformed parameters are client errors.
+func TestJobListPagination(t *testing.T) {
+	skipShort(t)
+	s := jobServer(t, "")
+	for i := 0; i < 5; i++ {
+		pollJob(t, s, submitSteps(t, s, "1"))
+	}
+	full := decodeBody[JobList](t, getJSON(t, s, "/v1/jobs"))
+	if full.Total != 5 || len(full.Jobs) != 5 || full.More {
+		t.Fatalf("full listing %+v", full)
+	}
+	page := decodeBody[JobList](t, getJSON(t, s, "/v1/jobs?offset=1&limit=2"))
+	if page.Total != 5 || page.Offset != 1 || len(page.Jobs) != 2 || !page.More {
+		t.Fatalf("page %+v", page)
+	}
+	if page.Jobs[0].ID != full.Jobs[1].ID || page.Jobs[1].ID != full.Jobs[2].ID {
+		t.Errorf("page window %v misaligned with full listing", page.Jobs)
+	}
+	tail := decodeBody[JobList](t, getJSON(t, s, "/v1/jobs?offset=3"))
+	if len(tail.Jobs) != 2 || tail.More {
+		t.Errorf("tail window %+v", tail)
+	}
+	empty := decodeBody[JobList](t, getJSON(t, s, "/v1/jobs?offset=99"))
+	if len(empty.Jobs) != 0 || empty.More || empty.Total != 5 {
+		t.Errorf("past-the-end window %+v", empty)
+	}
+	for _, q := range []string{"?offset=-1", "?limit=x", "?offset=1.5"} {
+		if w := getJSON(t, s, "/v1/jobs"+q); w.Code != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400", q, w.Code)
+		}
+	}
+}
+
+// TestJobTTLGC: terminal jobs older than JobTTL are dropped from both
+// the listing and the job directory; the expired counter reaches
+// /metrics.
+func TestJobTTLGC(t *testing.T) {
+	skipShort(t)
+	dir := t.TempDir()
+	spec, err := thermal.PaperSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Res = thermal.PreviewResolution()
+	s, err := New(Config{
+		Specs:              map[string]thermal.Spec{DefaultSpec: spec},
+		BatchWindow:        -1,
+		JobDir:             dir,
+		JobCheckpointEvery: 2,
+		JobTTL:             50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	id := submitSteps(t, s, "2")
+	if st := pollJob(t, s, id); st.State != JobDone {
+		t.Fatalf("job failed: %+v", st)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if list := decodeBody[JobList](t, getJSON(t, s, "/v1/jobs")); list.Total == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("terminal job never garbage-collected")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := os.Stat(filepath.Join(dir, id+".json")); !os.IsNotExist(err) {
+		t.Errorf("job file survived GC: %v", err)
+	}
+	if w := getJSON(t, s, "/v1/jobs/"+id); w.Code != http.StatusNotFound {
+		t.Errorf("collected job still resolvable: HTTP %d", w.Code)
+	}
+	if body := getJSON(t, s, "/metrics").Body.String(); !strings.Contains(body, "vcseld_jobs_expired_total 1") {
+		t.Errorf("/metrics missing expired counter:\n%s", body)
+	}
+}
+
+// TestJobCheckpointExportAndHandoff is the worker-side half of fleet
+// migration: the checkpoint endpoint serves a running job's latest
+// in-memory checkpoint even on a diskless server, and resubmitting that
+// checkpoint (same id, resume field) to a second identical-spec server
+// finishes bit-identically to an uninterrupted run.
+func TestJobCheckpointExportAndHandoff(t *testing.T) {
+	skipShort(t)
+
+	// Uninterrupted reference.
+	ref := jobServer(t, "")
+	want := pollJob(t, ref, submitSteps(t, ref, "30"))
+	if want.State != JobDone {
+		t.Fatalf("reference failed: %+v", want)
+	}
+
+	// Diskless origin server: run past a checkpoint, export it.
+	s1 := jobServer(t, "")
+	id := submitSteps(t, s1, "30")
+	if w := getJSON(t, s1, "/v1/jobs/"+id+"/checkpoint"); w.Code == http.StatusOK {
+		// Plausible on a fast machine (first cadence hit already); fine.
+		t.Logf("checkpoint available immediately")
+	}
+	waitForStep(t, s1, id, 5)
+	cw := getJSON(t, s1, "/v1/jobs/"+id+"/checkpoint")
+	if cw.Code != http.StatusOK {
+		t.Fatalf("checkpoint export: HTTP %d (%s)", cw.Code, cw.Body.String())
+	}
+	s1.Close() // origin dies; its in-flight progress is abandoned
+
+	// Survivor: resume under the same id from the exported checkpoint.
+	s2 := jobServer(t, "")
+	var req TransientRequest
+	if err := json.Unmarshal([]byte(strings.NewReplacer("%d", "30").Replace(transientBody)), &req); err != nil {
+		t.Fatal(err)
+	}
+	req.ID = id
+	if err := json.Unmarshal(cw.Body.Bytes(), &req.Resume); err != nil {
+		t.Fatalf("exported checkpoint not JSON: %v", err)
+	}
+	if req.Resume.Step < 1 {
+		t.Fatalf("exported checkpoint at step %d", req.Resume.Step)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := postJSON(t, s2, "/v1/transient", string(body))
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("resume submit: HTTP %d (%s)", w.Code, w.Body.String())
+	}
+	st := pollJob(t, s2, id)
+	if st.State != JobDone || !st.Resumed {
+		t.Fatalf("migrated job: %+v", st)
+	}
+	if st.Result.FieldFingerprint != want.Result.FieldFingerprint {
+		t.Errorf("migrated fingerprint %s != uninterrupted %s",
+			st.Result.FieldFingerprint, want.Result.FieldFingerprint)
+	}
+	if !reflect.DeepEqual(st.Result.QueryResponse, want.Result.QueryResponse) {
+		t.Errorf("migrated summary %+v != uninterrupted %+v", st.Result.QueryResponse, want.Result.QueryResponse)
+	}
+
+	// The id is now taken: a duplicate submission conflicts.
+	if w := postJSON(t, s2, "/v1/transient", string(body)); w.Code != http.StatusConflict {
+		t.Errorf("duplicate id: HTTP %d, want 409", w.Code)
+	}
+	// Unknown job / bad ids on the checkpoint endpoint.
+	if w := getJSON(t, s2, "/v1/jobs/tj-nope/checkpoint"); w.Code != http.StatusNotFound {
+		t.Errorf("unknown job checkpoint: HTTP %d", w.Code)
+	}
+}
+
+// TestTransientJobBadResume pins the resume-field error surface: ids
+// must match the server's pattern, and a checkpoint beyond the requested
+// horizon is a client error.
+func TestTransientJobBadResume(t *testing.T) {
+	skipShort(t)
+	s := jobServer(t, "")
+	for _, tc := range []struct{ name, body string }{
+		{"bad id", `{"chip": 25, "time_step_s": 0.02, "steps": 4, "id": "../etc/passwd"}`},
+		{"resume past horizon", `{"chip": 25, "time_step_s": 0.02, "steps": 4, "resume": {"version": 1, "system_fingerprint": "x", "power_fingerprint": "x", "solver": "cg", "tolerance": 1e-9, "time_step_s": 0.02, "step": 9, "t_c": [25]}}`},
+		{"invalid resume", `{"chip": 25, "time_step_s": 0.02, "steps": 4, "resume": {"version": 99, "time_step_s": 0.02, "step": 1, "t_c": [25]}}`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if w := postJSON(t, s, "/v1/transient", tc.body); w.Code != http.StatusBadRequest {
+				t.Fatalf("HTTP %d, want 400 (%s)", w.Code, w.Body.String())
+			}
+		})
 	}
 }
 

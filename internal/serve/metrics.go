@@ -76,6 +76,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	counter("vcseld_job_steps_total", "Transient integration steps executed across all jobs.")
 	fmt.Fprintf(&b, "vcseld_job_steps_total %d\n", s.jobs.stepsTotal.Load())
+	counter("vcseld_jobs_expired_total", "Terminal transient jobs garbage-collected past their TTL.")
+	fmt.Fprintf(&b, "vcseld_jobs_expired_total %d\n", s.jobs.expired.Load())
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write(b.Bytes())

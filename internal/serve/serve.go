@@ -125,6 +125,11 @@ type Config struct {
 	// MaxJobSteps bounds one job's step count; 0 selects
 	// DefaultMaxJobSteps.
 	MaxJobSteps int
+	// JobTTL garbage-collects terminal (done/failed/cancelled) transient
+	// jobs this long after they finish, dropping both the in-memory record
+	// and the persisted job file; 0 retains them until MaxJobs pressure.
+	// Running jobs are never collected.
+	JobTTL time.Duration
 }
 
 // Server owns the warm per-spec state and implements http.Handler.
@@ -252,6 +257,7 @@ func New(cfg Config) (*Server, error) {
 	if err := s.jobs.loadPersisted(); err != nil {
 		return nil, err
 	}
+	s.jobs.startGC()
 	s.flushWG.Add(1)
 	go s.flusher()
 	return s, nil
@@ -272,6 +278,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/checkpoint", s.handleJobCheckpoint)
 }
 
 // ServeHTTP implements http.Handler.
@@ -410,7 +417,14 @@ func writeErr(w http.ResponseWriter, err error) {
 // decode strictly parses the request body into v: unknown fields and
 // trailing garbage are client errors, not silent drops.
 func decode(r *http.Request, v any) error {
-	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	return decodeLimit(r, v, maxBodyBytes)
+}
+
+// decodeLimit is decode with an explicit body cap, for the endpoints
+// (transient submit with a resume checkpoint) whose legitimate payloads
+// exceed the general bound.
+func decodeLimit(r *http.Request, v any, limit int64) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return badRequest(fmt.Errorf("serve: bad request body: %w", err))

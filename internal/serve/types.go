@@ -8,6 +8,7 @@ import (
 	"vcselnoc/internal/activity"
 	"vcselnoc/internal/core"
 	"vcselnoc/internal/dse"
+	"vcselnoc/internal/fvm"
 	"vcselnoc/internal/ornoc"
 	"vcselnoc/internal/thermal"
 )
@@ -227,6 +228,17 @@ type TransientRequest struct {
 	// CheckpointEvery overrides the server's checkpoint cadence for this
 	// job (steps); 0 keeps the server default.
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// ID, when set, is the client-chosen job id (lowercase alphanumerics
+	// and dashes, ≤ 64 chars). The fleet coordinator uses it to keep a
+	// migrated job's identity across workers; a colliding id is refused
+	// with HTTP 409. Empty lets the server mint one.
+	ID string `json:"id,omitempty"`
+	// Resume, when set, restores the job from this checkpoint instead of
+	// starting at step 0 — the job-handoff half of checkpoint-driven
+	// migration. The checkpoint's system fingerprint is hard-checked
+	// against the spec's mesh/operator/powers before any step runs, so a
+	// handoff to a worker with a different discretisation fails cleanly.
+	Resume *fvm.TransientCheckpoint `json:"resume,omitempty"`
 }
 
 // JobState names a transient job's lifecycle phase.
@@ -258,6 +270,19 @@ type JobStatus struct {
 	Error string `json:"error,omitempty"`
 	// Result is present once State is done.
 	Result *TransientJobResult `json:"result,omitempty"`
+}
+
+// JobList is the paginated GET /v1/jobs answer: the requested window of
+// jobs (sorted by id) plus enough bookkeeping to continue the walk —
+// long-lived daemons accumulate history, and an unpaginated list would
+// grow the response without bound.
+type JobList struct {
+	Jobs   []JobStatus `json:"jobs"`
+	Total  int         `json:"total"`
+	Offset int         `json:"offset"`
+	// More reports whether jobs beyond this window remain; continue with
+	// offset = Offset + len(Jobs).
+	More bool `json:"more"`
 }
 
 // TransientJobResult is a completed job's final state: the standard ONI
