@@ -811,6 +811,7 @@ func BenchmarkServeGradientQueries(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.Cleanup(srv.Close)
 			if err := srv.Warm(serve.DefaultSpec); err != nil {
 				b.Fatal(err)
 			}
@@ -820,6 +821,56 @@ func BenchmarkServeGradientQueries(b *testing.B) {
 				for pb.Next() {
 					// A fresh laser power per query defeats the LRU
 					// while staying on the same warm basis.
+					pv := 1e-3 + float64(seq.Add(1))*1e-9
+					body := fmt.Sprintf(`{"chip": 25, "pvcsel": %g, "pheater": 1e-3}`, pv)
+					req := httptest.NewRequest(http.MethodPost, "/v1/gradient", strings.NewReader(body))
+					w := httptest.NewRecorder()
+					srv.ServeHTTP(w, req)
+					if w.Code != http.StatusOK {
+						b.Fatalf("HTTP %d: %s", w.Code, w.Body.String())
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkServeTracing measures the request-tracing overhead on the hot
+// query path: identical unbatched /v1/gradient traffic with span
+// recording on (the default) and off (DisableTracing). The delta between
+// the modes is the per-request cost of trace-id minting, span
+// timestamping and ring publication — expected well under 2% of ns/op,
+// and held there by benchguard's ratio gate on both entries.
+func BenchmarkServeTracing(b *testing.B) {
+	spec, err := thermal.PaperSpec()
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.Res = benchResolution()
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{"on", false},
+		{"off", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			srv, err := serve.New(serve.Config{
+				Specs:          map[string]thermal.Spec{serve.DefaultSpec: spec},
+				BatchWindow:    -1,
+				DisableTracing: mode.disable,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(srv.Close)
+			if err := srv.Warm(serve.DefaultSpec); err != nil {
+				b.Fatal(err)
+			}
+			var seq atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
 					pv := 1e-3 + float64(seq.Add(1))*1e-9
 					body := fmt.Sprintf(`{"chip": 25, "pvcsel": %g, "pheater": 1e-3}`, pv)
 					req := httptest.NewRequest(http.MethodPost, "/v1/gradient", strings.NewReader(body))

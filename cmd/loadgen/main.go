@@ -1,8 +1,10 @@
 // Command loadgen drives a running vcseld with synthetic gradient-query
 // traffic and emits a loadreport.Report JSON artifact: latency
 // percentiles and histogram, client-observed outcome counts (200 / 429 /
-// 5xx), and server-side counter deltas (admitted, shed, coalesced,
-// solves, cache hits) scraped from /healthz around the run.
+// 5xx), server-side counter deltas (admitted, shed, coalesced, solves,
+// cache hits) scraped from /healthz around the run, and the server's own
+// latency-histogram delta with the client-vs-server percentile skew —
+// how much network and queueing the client pays on top of server time.
 //
 // Two traffic shapes:
 //
@@ -101,6 +103,11 @@ func main() {
 	}
 
 	rep := g.report(before, after)
+	if rep.Server != nil {
+		log.Printf("client p50/p99 %.2f/%.2f ms, server p50/p99 %.2f/%.2f ms, skew p50/p99 %+.2f/%+.2f ms",
+			rep.Latency.P50, rep.Latency.P99, rep.Server.P50, rep.Server.P99,
+			rep.Server.SkewP50, rep.Server.SkewP99)
+	}
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -251,6 +258,16 @@ func (g *generator) report(before, after serve.SpecInfo) loadreport.Report {
 	}
 	rep.Latency, rep.Hist = loadreport.Summarize(g.samples)
 	rep.Derive()
+	if delta := after.QueryLatency.Sub(before.QueryLatency); delta != nil && delta.Count > 0 {
+		rep.Server = &loadreport.ServerLatency{
+			P50:   delta.Quantile(0.50) * 1e3,
+			P90:   delta.Quantile(0.90) * 1e3,
+			P99:   delta.Quantile(0.99) * 1e3,
+			Count: delta.Count,
+		}
+		rep.Server.SkewP50 = rep.Latency.P50 - rep.Server.P50
+		rep.Server.SkewP99 = rep.Latency.P99 - rep.Server.P99
+	}
 	return rep
 }
 

@@ -14,6 +14,7 @@
 //	vcselctl [-addr :9090] [-workers http://h1:8080,http://h2:8080]
 //	         [-heartbeat 2s] [-suspect-after 2] [-evict-after 4]
 //	         [-job-poll 0] [-chunk-attempts 3]
+//	         [-log-level info] [-log-format text]
 //
 // Workers may also self-register at runtime: start vcseld with
 // -coordinator pointing here and it announces itself once its listener
@@ -42,11 +43,13 @@ import (
 	"flag"
 	"log"
 	"net"
+	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 
 	"vcselnoc/internal/fleet"
+	"vcselnoc/internal/obs"
 	"vcselnoc/internal/serve"
 )
 
@@ -59,10 +62,17 @@ func main() {
 	jobPoll := flag.Duration("job-poll", 0, "job status/migration poll cadence (0 follows -heartbeat)")
 	chunkAttempts := flag.Int("chunk-attempts", 0, "placement attempts per sweep chunk before the request fails (0 = default)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", serve.DefaultShutdownTimeout, "grace period for in-flight requests on shutdown")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn or error")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	flag.Parse()
 
 	log.SetFlags(0)
 	log.SetPrefix("vcselctl: ")
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	cfg := fleet.Config{
 		HeartbeatEvery: *heartbeat,
@@ -70,6 +80,7 @@ func main() {
 		EvictAfter:     *evictAfter,
 		JobPollEvery:   *jobPoll,
 		ChunkAttempts:  *chunkAttempts,
+		Logger:         logger,
 	}
 	if *workers != "" {
 		for _, w := range strings.Split(*workers, ",") {
@@ -87,12 +98,12 @@ func main() {
 	defer stop()
 	defer context.AfterFunc(ctx, c.Close)()
 	err = serve.ListenAndRun(ctx, *addr, c, *shutdownTimeout, func(a net.Addr) {
-		log.Printf("coordinating %d worker(s), listening on %s (heartbeat %s, suspect %d, evict %d)",
-			len(cfg.Workers), a, *heartbeat, *suspectAfter, *evictAfter)
+		logger.Info("coordinating", "workers", len(cfg.Workers), "addr", a.String(),
+			"heartbeat", heartbeat.String(), "suspect_after", *suspectAfter, "evict_after", *evictAfter)
 	})
 	c.Close()
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Print("shut down cleanly")
+	logger.Info("shut down cleanly")
 }

@@ -13,6 +13,7 @@
 //	       [-admit-rate 0] [-admit-burst 0] [-client-rate 0] [-client-burst 0]
 //	       [-job-dir /var/lib/vcseld/jobs] [-job-checkpoint-every 25]
 //	       [-job-ttl 0] [-coordinator http://ctl:9090] [-advertise host:port]
+//	       [-log-level info] [-log-format text] [-no-trace]
 //
 // With -admit-rate (spec-wide) or -client-rate (per X-Client-ID / remote
 // host) set, cheap superposition queries pass an O(1) atomic admission
@@ -23,7 +24,8 @@
 // Endpoints (all JSON unless noted):
 //
 //	GET  /healthz             liveness + warm-state statistics
-//	GET  /metrics             Prometheus text-format metrics
+//	GET  /metrics             Prometheus text-format metrics (latency histograms included)
+//	GET  /debug/requests      recent request traces with per-phase spans
 //	GET  /v1/specs            registered spec registry
 //	POST /v1/gradient         batched superposition gradient query
 //	POST /v1/feasibility      same body, 1 °C constraint verdict
@@ -53,12 +55,14 @@ import (
 	"flag"
 	"log"
 	"net"
+	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
 	"vcselnoc/internal/fleet"
+	"vcselnoc/internal/obs"
 	"vcselnoc/internal/serve"
 	"vcselnoc/internal/sparse"
 	"vcselnoc/internal/thermal"
@@ -99,10 +103,18 @@ func main() {
 	jobTTL := flag.Duration("job-ttl", 0, "garbage-collect finished transient jobs older than this (0 keeps them forever)")
 	coordinator := flag.String("coordinator", "", "vcselctl coordinator URL to announce this worker to")
 	advertise := flag.String("advertise", "", "URL the coordinator should reach this worker on (default derived from the bound address)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn or error (debug logs every query with its trace id)")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	noTrace := flag.Bool("no-trace", false, "disable per-request span recording (/debug/requests stops filling; trace ids still propagate)")
 	flag.Parse()
 
 	log.SetFlags(0)
 	log.SetPrefix("vcseld: ")
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	spec, err := thermal.PaperSpec()
 	if err != nil {
@@ -126,17 +138,19 @@ func main() {
 		JobDir:             *jobDir,
 		JobCheckpointEvery: *jobEvery,
 		JobTTL:             *jobTTL,
+		Logger:             logger,
+		DisableTracing:     *noTrace,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	if *warm {
-		log.Printf("warming %s spec (%s resolution, %s solver)...", serve.DefaultSpec, *res, spec.EffectiveSolver())
+		logger.Info("warming", "spec", serve.DefaultSpec, "res", *res, "solver", spec.EffectiveSolver())
 		start := time.Now()
 		if err := srv.Warm(serve.DefaultSpec); err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("warm in %.1f s", time.Since(start).Seconds())
+		logger.Info("warm", "duration_s", time.Since(start).Seconds())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -148,7 +162,7 @@ func main() {
 	// an open stream would hold the graceful drain for its full timeout.
 	defer context.AfterFunc(ctx, srv.Close)()
 	err = serve.ListenAndRun(ctx, *addr, srv, *shutdownTimeout, func(a net.Addr) {
-		log.Printf("listening on %s (%s resolution, %s solver)", a, *res, spec.EffectiveSolver())
+		logger.Info("listening", "addr", a.String(), "res", *res, "solver", spec.EffectiveSolver())
 		if *coordinator != "" {
 			self := *advertise
 			if self == "" {
@@ -156,9 +170,9 @@ func main() {
 			}
 			go func() {
 				if err := fleet.Announce(ctx, *coordinator, self, *jobDir); err != nil && ctx.Err() == nil {
-					log.Printf("fleet announce to %s failed: %v", *coordinator, err)
+					logger.Warn("fleet announce failed", "coordinator", *coordinator, "err", err)
 				} else if ctx.Err() == nil {
-					log.Printf("announced %s to coordinator %s", self, *coordinator)
+					logger.Info("announced", "self", self, "coordinator", *coordinator)
 				}
 			}()
 		}
@@ -168,5 +182,5 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Print("shut down cleanly")
+	logger.Info("shut down cleanly")
 }

@@ -21,12 +21,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"vcselnoc/internal/obs"
 	"vcselnoc/internal/serve"
 	"vcselnoc/internal/thermal"
 )
@@ -76,6 +78,10 @@ type Config struct {
 	// client's defaults.
 	ChunkAttempts       int
 	RetryBase, RetryMax time.Duration
+	// Logger receives structured coordinator logs: worker state
+	// transitions, job placements and migrations (trace-keyed), sweep
+	// scatters. Nil discards them.
+	Logger *slog.Logger
 }
 
 // Coordinator owns the fleet registry and job records and implements
@@ -85,8 +91,9 @@ type Coordinator struct {
 	mux   *http.ServeMux
 	start time.Time
 
-	reg  *registry
-	jobs *jobTracker
+	reg    *registry
+	jobs   *jobTracker
+	logger *slog.Logger
 
 	// scrapeClient does heartbeats (short timeout); chunkClient carries
 	// placed work (long timeout, in-flight counting transport).
@@ -122,15 +129,20 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.ScrapeTimeout <= 0 {
 		cfg.ScrapeTimeout = DefaultScrapeTimeout
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.Discard()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &Coordinator{
-		cfg:   cfg,
-		mux:   http.NewServeMux(),
-		start: time.Now(),
-		reg:   newRegistry(cfg.SuspectAfter, cfg.EvictAfter),
-		jobs:  newJobTracker(),
-		ctx:   ctx, cancel: cancel,
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+		reg:    newRegistry(cfg.SuspectAfter, cfg.EvictAfter),
+		jobs:   newJobTracker(),
+		logger: cfg.Logger,
+		ctx:    ctx, cancel: cancel,
 	}
+	c.reg.logger = cfg.Logger
 	c.scrapeClient = &http.Client{Timeout: cfg.ScrapeTimeout}
 	base := cfg.HTTPClient
 	if base == nil {
@@ -296,13 +308,24 @@ func (c *Coordinator) getJSONWith(client *http.Client, url string, v any) (int, 
 	return resp.StatusCode, nil
 }
 
-// postJSON POSTs req and decodes the response body into v.
-func (c *Coordinator) postJSON(url string, req, v any) (int, error) {
+// postJSON POSTs req and decodes the response body into v. A non-empty
+// traceID rides the request as X-Trace-ID so worker logs and envelopes
+// join the coordinator-side trace.
+func (c *Coordinator) postJSON(url, traceID string, req, v any) (int, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return 0, err
 	}
-	resp, err := c.chunkClient.Post(url, "application/json", bytes.NewReader(body))
+	httpReq, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		httpReq.Header.Set(obs.TraceHeader, traceID)
+		httpReq.Header.Set(obs.SpanHeader, obs.NewSpanID())
+	}
+	resp, err := c.chunkClient.Do(httpReq)
 	if err != nil {
 		return 0, err
 	}
@@ -336,8 +359,12 @@ func (c *Coordinator) routes() {
 	c.mux.HandleFunc("GET /v1/jobs/{id}", c.handleJob)
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Every request gets a trace id —
+// minted here when the client sent none — echoed in the response header
+// and propagated to the workers the request fans out to.
 func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := obs.EnsureRequest(r)
+	w.Header().Set(obs.TraceHeader, id)
 	c.mux.ServeHTTP(w, r)
 }
 
@@ -426,7 +453,7 @@ func (c *Coordinator) handleSpecs(w http.ResponseWriter, r *http.Request) {
 // shardClient builds the scatter client over the current placement
 // order, pinned to the consensus discretisation so a worker that came
 // back mid-sweep with a different mesh is refused per chunk.
-func (c *Coordinator) shardClient(sc serve.Scenario, spec serve.SpecInfo) (*serve.ShardClient, error) {
+func (c *Coordinator) shardClient(sc serve.Scenario, spec serve.SpecInfo, traceID string) (*serve.ShardClient, error) {
 	workers := c.reg.placement()
 	if len(workers) == 0 {
 		return nil, &httpError{code: 503, msg: "fleet: no alive workers"}
@@ -441,6 +468,7 @@ func (c *Coordinator) shardClient(sc serve.Scenario, spec serve.SpecInfo) (*serv
 		ChunkAttempts: c.cfg.ChunkAttempts,
 		RetryBase:     c.cfg.RetryBase,
 		RetryMax:      c.cfg.RetryMax,
+		TraceID:       traceID,
 	}, nil
 }
 
@@ -489,20 +517,24 @@ func (c *Coordinator) handleGradientSweep(w http.ResponseWriter, r *http.Request
 		writeErr(w, &httpError{code: 503, msg: err.Error()})
 		return
 	}
-	sc, err := c.shardClient(req.Scenario, spec)
+	traceID := r.Header.Get(obs.TraceHeader)
+	sc, err := c.shardClient(req.Scenario, spec, traceID)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
+	start := time.Now()
 	rows, err := sc.SweepGradient(req.Chip, req.Lasers[lo:hi], req.Heaters)
 	if err != nil {
 		writeErr(w, &httpError{code: 502, msg: err.Error()})
 		return
 	}
+	c.logger.Info("sweep scattered", "kind", "gradient", "trace_id", traceID,
+		"rows", hi-lo, "workers", len(sc.Workers), "duration_ms", time.Since(start).Seconds()*1e3)
 	writeJSON(w, serve.GradientSweepResponse{
 		RowStart: lo, TotalRows: len(req.Lasers), Rows: rows,
 		ONICell: spec.ONICell, DieCell: spec.DieCell, MaxZCell: spec.MaxZCell,
-		Solver: spec.Solver,
+		Solver: spec.Solver, TraceID: traceID,
 	})
 }
 
@@ -527,20 +559,24 @@ func (c *Coordinator) handleAvgTempSweep(w http.ResponseWriter, r *http.Request)
 		writeErr(w, &httpError{code: 503, msg: err.Error()})
 		return
 	}
-	sc, err := c.shardClient(req.Scenario, spec)
+	traceID := r.Header.Get(obs.TraceHeader)
+	sc, err := c.shardClient(req.Scenario, spec, traceID)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
+	start := time.Now()
 	rows, err := sc.SweepAvgTemp(req.Chips[lo:hi], req.Lasers)
 	if err != nil {
 		writeErr(w, &httpError{code: 502, msg: err.Error()})
 		return
 	}
+	c.logger.Info("sweep scattered", "kind", "avgtemp", "trace_id", traceID,
+		"rows", hi-lo, "workers", len(sc.Workers), "duration_ms", time.Since(start).Seconds()*1e3)
 	writeJSON(w, serve.AvgTempSweepResponse{
 		RowStart: lo, TotalRows: len(req.Chips), Rows: rows,
 		ONICell: spec.ONICell, DieCell: spec.DieCell, MaxZCell: spec.MaxZCell,
-		Solver: spec.Solver,
+		Solver: spec.Solver, TraceID: traceID,
 	})
 }
 
@@ -552,7 +588,7 @@ func (c *Coordinator) handleTransient(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	j, st, err := c.placeJob(req)
+	j, st, err := c.placeJob(req, r.Header.Get(obs.TraceHeader))
 	if err != nil {
 		writeErr(w, err)
 		return

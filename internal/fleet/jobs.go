@@ -42,6 +42,10 @@ type trackedJob struct {
 	// a job directory, or read from its job file at migration time.
 	cp         *fvm.TransientCheckpoint
 	migrations int
+	// traceID is the submission's request trace — it rides every
+	// placement and migration POST so the whole lifetime of the job joins
+	// one trace across coordinator and worker logs.
+	traceID string
 	// placing guards the window between tracker insertion and the initial
 	// placement landing: the poll loop must not mistake the still-empty
 	// worker field for a lost owner and "migrate" a job that was never
@@ -148,6 +152,9 @@ func (c *Coordinator) refreshJob(j *trackedJob, owner string) {
 	switch {
 	case err == nil && code == 200:
 		c.jobs.mu.Lock()
+		if st.TraceID == "" {
+			st.TraceID = j.traceID
+		}
 		j.status = st
 		c.jobs.mu.Unlock()
 		if st.State == serve.JobRunning && c.reg.jobDirOf(owner) == "" {
@@ -241,20 +248,30 @@ func (c *Coordinator) migrate(j *trackedJob) {
 	req := j.req
 	req.ID = j.id
 	req.Resume = cp
+	resumeStep := 0
+	if cp != nil {
+		resumeStep = cp.Step
+	}
 	for _, target := range c.placementTargets(oldOwner) {
 		var st serve.JobStatus
-		code, err := c.postJSON(target+"/v1/transient", req, &st)
+		code, err := c.postJSON(target+"/v1/transient", j.traceID, req, &st)
 		switch {
 		case err == nil && (code == 202 || code == 200):
 			c.jobs.mu.Lock()
 			j.worker = target
+			if st.TraceID == "" {
+				st.TraceID = j.traceID
+			}
 			j.status = st
 			j.migrations++
+			n := j.migrations
 			if cp != nil {
 				j.cp = cp
 			}
 			c.jobs.mu.Unlock()
 			c.migrations.Add(1)
+			c.logger.Info("job migrated", "job", j.id, "trace_id", j.traceID,
+				"from", oldOwner, "to", target, "resume_step", resumeStep, "migrations", n)
 			return
 		case err == nil && code == 409:
 			// The target already owns this id: a previous attempt landed
@@ -262,14 +279,19 @@ func (c *Coordinator) migrate(j *trackedJob) {
 			c.jobs.mu.Lock()
 			j.worker = target
 			j.migrations++
+			n := j.migrations
 			c.jobs.mu.Unlock()
 			c.migrations.Add(1)
+			c.logger.Info("job migrated", "job", j.id, "trace_id", j.traceID,
+				"from", oldOwner, "to", target, "resume_step", resumeStep, "migrations", n,
+				"adopted", true)
 			c.refreshJob(j, target)
 			return
 		}
 		// 4xx/5xx/transport error: try the next survivor this tick.
 	}
 	// No survivor took it; stay pending and retry next tick.
+	c.logger.Warn("job awaiting migration", "job", j.id, "trace_id", j.traceID, "from", oldOwner)
 }
 
 // placementTargets is the placement order minus one excluded worker.
@@ -287,7 +309,7 @@ func (c *Coordinator) placementTargets(exclude string) []string {
 // placeJob places a fresh submission on the least-loaded alive worker,
 // falling through the ranking on per-worker refusals (e.g. a full
 // MaxJobs table answers 429).
-func (c *Coordinator) placeJob(req serve.TransientRequest) (*trackedJob, serve.JobStatus, error) {
+func (c *Coordinator) placeJob(req serve.TransientRequest, traceID string) (*trackedJob, serve.JobStatus, error) {
 	id := req.ID
 	if id == "" {
 		id = newFleetJobID()
@@ -296,8 +318,8 @@ func (c *Coordinator) placeJob(req serve.TransientRequest) (*trackedJob, serve.J
 	cp := req.Resume
 	req.Resume = nil
 	j := &trackedJob{
-		id: id, req: req, cp: cp, placing: true,
-		status: serve.JobStatus{ID: id, State: serve.JobQueued, Steps: req.Steps, TimeStepS: req.TimeStepS},
+		id: id, req: req, cp: cp, placing: true, traceID: traceID,
+		status: serve.JobStatus{ID: id, State: serve.JobQueued, Steps: req.Steps, TimeStepS: req.TimeStepS, TraceID: traceID},
 	}
 	if !c.jobs.insert(j) {
 		return nil, serve.JobStatus{}, &httpError{code: 409, msg: fmt.Sprintf("fleet: job id %q already tracked", id)}
@@ -311,13 +333,18 @@ func (c *Coordinator) placeJob(req serve.TransientRequest) (*trackedJob, serve.J
 	var lastErr error
 	for _, target := range targets {
 		var st serve.JobStatus
-		code, err := c.postJSON(target+"/v1/transient", req, &st)
+		code, err := c.postJSON(target+"/v1/transient", traceID, req, &st)
 		if err == nil && code == 202 {
 			c.jobs.mu.Lock()
 			j.worker = target
+			if st.TraceID == "" {
+				st.TraceID = traceID
+			}
 			j.status = st
 			j.placing = false
 			c.jobs.mu.Unlock()
+			c.logger.Info("job placed", "job", id, "trace_id", traceID,
+				"worker", target, "steps", req.Steps)
 			return j, st, nil
 		}
 		if err == nil && code >= 400 && code < 500 && code != 429 {

@@ -12,11 +12,13 @@ package fleet
 import (
 	"bufio"
 	"fmt"
+	"log/slog"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"vcselnoc/internal/obs"
 	"vcselnoc/internal/serve"
 )
 
@@ -42,6 +44,9 @@ type workerState struct {
 	admitted  int64
 	shed      int64
 	warmBases int
+	// p99s is the worst observed query p99 (seconds) across the worker's
+	// specs, read from the latency histogram /healthz mirrors.
+	p99s float64
 
 	// inflight counts the coordinator's own outstanding requests to this
 	// worker — the freshest load signal available, ahead of any scrape.
@@ -59,6 +64,14 @@ func (w *workerState) score() float64 {
 	if total := w.admitted + w.shed; total > 0 {
 		s += 20 * float64(w.shed) / float64(total)
 	}
+	// Observed tail latency adds pressure — a worker answering slowly is
+	// already saturated even if its queues look empty. Capped at 500 ms
+	// (5 points) so one slow cold-start histogram cannot exile a worker.
+	p := w.p99s
+	if p > 0.5 {
+		p = 0.5
+	}
+	s += 10 * p
 	warm := w.warmBases
 	if warm > 4 {
 		warm = 4
@@ -80,13 +93,17 @@ type WorkerInfo struct {
 	WarmBases    int            `json:"warm_bases,omitempty"`
 	Admitted     int64          `json:"admitted,omitempty"`
 	Shed         int64          `json:"shed,omitempty"`
-	Score        float64        `json:"score"`
+	// P99S is the worst scraped query p99 across the worker's specs, in
+	// seconds (absent until latency histograms hold data).
+	P99S  float64 `json:"p99_s,omitempty"`
+	Score float64 `json:"score"`
 }
 
 // registry holds the worker set under one lock.
 type registry struct {
 	suspectAfter int
 	evictAfter   int
+	logger       *slog.Logger
 
 	mu      sync.Mutex
 	workers map[string]*workerState
@@ -96,6 +113,7 @@ func newRegistry(suspectAfter, evictAfter int) *registry {
 	return &registry{
 		suspectAfter: suspectAfter,
 		evictAfter:   evictAfter,
+		logger:       obs.Discard(),
 		workers:      make(map[string]*workerState),
 	}
 }
@@ -155,16 +173,30 @@ func (r *registry) seen(url string, specs []serve.SpecInfo, jobCounts map[string
 	if !ok {
 		return
 	}
+	prev := w.state
 	w.state = StateAlive
 	w.misses = 0
 	w.lastSeen = time.Now()
-	w.specs = specs
 	w.jobCounts = jobCounts
-	w.admitted, w.shed, w.warmBases = 0, 0, 0
-	for _, info := range specs {
+	w.admitted, w.shed, w.warmBases, w.p99s = 0, 0, 0, 0
+	for i := range specs {
+		info := &specs[i]
 		w.admitted += info.Admitted
 		w.shed += info.Shed
 		w.warmBases += info.WarmBases
+		// Extract the placement signal, then strip the histogram pointers:
+		// stored SpecInfos feed struct-equality consensus comparisons, and
+		// two workers' snapshot pointers would never compare equal.
+		if info.QueryLatency != nil {
+			if p := info.QueryLatency.Quantile(0.99); p > w.p99s {
+				w.p99s = p
+			}
+		}
+		info.QueryLatency, info.BatchSize = nil, nil
+	}
+	w.specs = specs
+	if prev != StateAlive {
+		r.logger.Info("worker alive", "url", url, "was", prev, "p99_s", w.p99s)
 	}
 }
 
@@ -177,11 +209,15 @@ func (r *registry) miss(url string) {
 		return
 	}
 	w.misses++
+	prev := w.state
 	switch {
 	case w.misses >= r.evictAfter:
 		w.state = StateDead
 	case w.misses >= r.suspectAfter:
 		w.state = StateSuspect
+	}
+	if w.state != prev {
+		r.logger.Warn("worker "+w.state, "url", url, "misses", w.misses, "was", prev)
 	}
 }
 
@@ -255,7 +291,7 @@ func (r *registry) snapshot() []WorkerInfo {
 			URL: w.url, State: w.state, Misses: w.misses, JobDir: w.jobDir,
 			Inflight: w.inflight, Jobs: w.jobCounts,
 			WarmBases: w.warmBases, Admitted: w.admitted, Shed: w.shed,
-			Score: w.score(),
+			P99S: w.p99s, Score: w.score(),
 		}
 		if !w.lastSeen.IsZero() {
 			info.LastSeenAgoS = time.Since(w.lastSeen).Seconds()

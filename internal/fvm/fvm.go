@@ -169,6 +169,9 @@ type System struct {
 	mgOnce sync.Once
 	mgHier *mg.Hierarchy
 	mgErr  error
+	// mgHierPub republishes mgHier for lock-free observability reads
+	// (PhaseStats) that must not trigger a hierarchy build.
+	mgHierPub atomic.Pointer[mg.Hierarchy]
 
 	// capOnce/capVol/capErr lazily cache the validated per-cell heat
 	// capacity C = ρc·V (J/K) transient operators scale by 1/dt.
@@ -467,8 +470,23 @@ func (o SolveOptions) newSolver() (sparse.Solver, error) {
 func (s *System) hierarchy() (*mg.Hierarchy, error) {
 	s.mgOnce.Do(func() {
 		s.mgHier, s.mgErr = mg.BuildHierarchy(s.matrix, s.hint, mg.Options{})
+		if s.mgErr == nil {
+			s.mgHierPub.Store(s.mgHier)
+		}
 	})
 	return s.mgHier, s.mgErr
+}
+
+// PhaseStats returns the cumulative V-cycle phase times of the system's
+// shared steady-state multigrid hierarchy, or the zero value when no
+// mg-cg solve has built one yet. Observability callers snapshot it
+// around a solve to attach per-phase fractions to request traces.
+func (s *System) PhaseStats() mg.PhaseStats {
+	h := s.mgHierPub.Load()
+	if h == nil {
+		return mg.PhaseStats{}
+	}
+	return h.PhaseStats()
 }
 
 // solverFor builds the backend described by the options and wires the

@@ -61,6 +61,24 @@ type Report struct {
 	CoalesceRate float64  `json:"coalesce_rate"`
 	Latency      Latency  `json:"latency"`
 	Hist         []Bucket `json:"hist,omitempty"`
+	// Server is the server's own view of the run, deltaed from the
+	// worker's /healthz latency histogram around it (absent against
+	// daemons that predate the histograms).
+	Server *ServerLatency `json:"server_latency,omitempty"`
+}
+
+// ServerLatency summarises the server-side latency histogram delta for a
+// run, with the client-vs-server percentile skew: the network, client
+// stack and accept-queue time the client pays that the server's own
+// timer never sees. A large skew with a small server p99 means the
+// bottleneck is in front of the daemon, not inside it.
+type ServerLatency struct {
+	P50     float64 `json:"p50_ms"`
+	P90     float64 `json:"p90_ms"`
+	P99     float64 `json:"p99_ms"`
+	Count   int64   `json:"count"`
+	SkewP50 float64 `json:"skew_p50_ms"`
+	SkewP99 float64 `json:"skew_p99_ms"`
 }
 
 // Derive fills the derived rate fields from the counts.

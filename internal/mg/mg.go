@@ -683,6 +683,11 @@ type Hierarchy struct {
 	// every solver of this hierarchy.
 	cholOnce sync.Once
 	chol     *sparse.BandCholesky
+	// phaseNanos accumulates per-phase V-cycle wall time for this
+	// hierarchy alone, so concurrently solving specs don't blend their
+	// phase fractions (the package-global aggregate is kept alongside
+	// for process-wide benchmark deltas).
+	phaseNanos [numPhases]atomic.Int64
 }
 
 // cholMaxEntries caps the packed band storage of the direct coarse
@@ -1319,8 +1324,12 @@ const (
 
 var phaseNanos [numPhases]atomic.Int64
 
-func phaseAdd(phase int, start time.Time) {
-	phaseNanos[phase].Add(int64(time.Since(start)))
+// phaseAdd charges the elapsed time since start to the phase, in both
+// this hierarchy's local accounting and the process-wide aggregate.
+func (h *Hierarchy) phaseAdd(phase int, start time.Time) {
+	d := int64(time.Since(start))
+	h.phaseNanos[phase].Add(d)
+	phaseNanos[phase].Add(d)
 }
 
 // PhaseStats is the cumulative process-wide wall time mg-cg V-cycles have
@@ -1342,6 +1351,18 @@ func ReadPhaseStats() PhaseStats {
 		Restrict: time.Duration(phaseNanos[phaseRestrict].Load()),
 		Prolong:  time.Duration(phaseNanos[phaseProlong].Load()),
 		Coarse:   time.Duration(phaseNanos[phaseCoarse].Load()),
+	}
+}
+
+// PhaseStats returns the cumulative per-phase V-cycle wall time spent on
+// this hierarchy alone, isolating one spec's solves from everything else
+// running in the process. Safe for concurrent use.
+func (h *Hierarchy) PhaseStats() PhaseStats {
+	return PhaseStats{
+		Smooth:   time.Duration(h.phaseNanos[phaseSmooth].Load()),
+		Restrict: time.Duration(h.phaseNanos[phaseRestrict].Load()),
+		Prolong:  time.Duration(h.phaseNanos[phaseProlong].Load()),
+		Coarse:   time.Duration(h.phaseNanos[phaseCoarse].Load()),
 	}
 }
 
@@ -1450,7 +1471,7 @@ func (h *Hierarchy) vcycle(ws *workspace, opts Options, l int, x, b []float64) {
 	if l == len(h.levels)-1 {
 		start := time.Now()
 		h.coarseSolve(ws, opts, b, x)
-		phaseAdd(phaseCoarse, start)
+		h.phaseAdd(phaseCoarse, start)
 		return
 	}
 	r, z := ws.r[l], ws.z[l]
@@ -1463,7 +1484,7 @@ func (h *Hierarchy) vcycle(ws *workspace, opts Options, l int, x, b []float64) {
 	// symmetric operation, keeping the V-cycle an SPD preconditioner.
 	smooth := func(first bool) {
 		start := time.Now()
-		defer phaseAdd(phaseSmooth, start)
+		defer h.phaseAdd(phaseSmooth, start)
 		for sweep := 0; sweep < opts.Smooth; sweep++ {
 			if opts.Smoother == SmootherZLine {
 				if opts.Ordering == OrderingLex {
@@ -1495,14 +1516,14 @@ func (h *Hierarchy) vcycle(ws *workspace, opts Options, l int, x, b []float64) {
 		start := time.Now()
 		lv.residual(r, b, x, opts.Workers)
 		lv.restrict(bc, r)
-		phaseAdd(phaseRestrict, start)
+		h.phaseAdd(phaseRestrict, start)
 		for i := range xc {
 			xc[i] = 0
 		}
 		h.vcycle(ws, opts, l+1, xc, bc)
 		start = time.Now()
 		lv.prolongAdd(x, xc)
-		phaseAdd(phaseProlong, start)
+		h.phaseAdd(phaseProlong, start)
 	}
 	smooth(false)
 }
@@ -1525,14 +1546,14 @@ func (h *Hierarchy) vcycle32(ws *workspace, opts Options, l int, x, b []float32)
 		for i, v := range ws.coarseX {
 			x[i] = float32(v)
 		}
-		phaseAdd(phaseCoarse, start)
+		h.phaseAdd(phaseCoarse, start)
 		return
 	}
 	lv, lv32 := h.levels[l], ws.l32[l]
 	r := ws.r32[l]
 	smooth := func() {
 		start := time.Now()
-		defer phaseAdd(phaseSmooth, start)
+		defer h.phaseAdd(phaseSmooth, start)
 		for sweep := 0; sweep < opts.Smooth; sweep++ {
 			if opts.Ordering == OrderingLex {
 				lv32.ls.sweepLex(x, b, ws.lineBuf32[0], false)
@@ -1552,14 +1573,14 @@ func (h *Hierarchy) vcycle32(ws *workspace, opts Options, l int, x, b []float32)
 			r[i] = b[i] - r[i]
 		}
 		lv.restrict32(bc, r)
-		phaseAdd(phaseRestrict, start)
+		h.phaseAdd(phaseRestrict, start)
 		for i := range xc {
 			xc[i] = 0
 		}
 		h.vcycle32(ws, opts, l+1, xc, bc)
 		start = time.Now()
 		lv.prolongAdd32(x, xc)
-		phaseAdd(phaseProlong, start)
+		h.phaseAdd(phaseProlong, start)
 	}
 	smooth()
 }

@@ -1,0 +1,59 @@
+package obs
+
+import "sync"
+
+// Recorder keeps the most recent finished traces in a bounded ring.
+// Publish is called after the HTTP response has been written, so the
+// short critical section here is never on a request's latency path.
+type Recorder struct {
+	mu   sync.Mutex
+	buf  []TraceRecord
+	next int // index of the slot Publish writes next
+	n    int // number of valid entries (<= len(buf))
+}
+
+// NewRecorder returns a ring holding up to capacity traces (min 1).
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{buf: make([]TraceRecord, capacity)}
+}
+
+// Publish appends a finished trace, evicting the oldest when full.
+// A nil Recorder drops the record.
+func (r *Recorder) Publish(rec TraceRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Recent returns up to limit traces, newest first, keeping only traces
+// at least slowerThanUS microseconds long (0 keeps everything).
+// limit <= 0 means no limit.
+func (r *Recorder) Recent(limit int, slowerThanUS int64) []TraceRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if limit <= 0 || limit > r.n {
+		limit = r.n
+	}
+	out := make([]TraceRecord, 0, limit)
+	for i := 1; i <= r.n && len(out) < limit; i++ {
+		idx := (r.next - i + len(r.buf)) % len(r.buf)
+		rec := r.buf[idx]
+		if rec.DurationUS >= slowerThanUS {
+			out = append(out, rec)
+		}
+	}
+	return out
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vcselnoc/internal/obs"
 	"vcselnoc/internal/parallel"
 	"vcselnoc/internal/thermal"
 )
@@ -31,6 +32,10 @@ type batcher struct {
 	pending []*evalJob
 
 	batches, queries atomic.Int64
+
+	// sizeHist, when set, observes the size of every flushed batch
+	// (nil-safe — the obs histogram ignores a nil receiver).
+	sizeHist *obs.Histogram
 }
 
 // evalJob is one queued evaluation. The basis rides along because a spec
@@ -40,7 +45,10 @@ type evalJob struct {
 	powers thermal.Powers
 	res    *thermal.Result
 	err    error
-	done   chan struct{}
+	// eval is the job's own evaluation time, written by flush before
+	// done closes so SubmitTimed can split wait from work.
+	eval time.Duration
+	done chan struct{}
 }
 
 func newBatcher(window time.Duration, workers int) *batcher {
@@ -54,12 +62,24 @@ func newBatcher(window time.Duration, workers int) *batcher {
 // Submit evaluates powers against basis, possibly sharing a batch with
 // concurrent submissions, and blocks until the result is ready.
 func (b *batcher) Submit(basis *thermal.Basis, powers thermal.Powers) (*thermal.Result, error) {
+	res, _, _, err := b.SubmitTimed(basis, powers)
+	return res, err
+}
+
+// SubmitTimed is Submit plus a split of the request's time into batch
+// wait (queueing until the flush reached this job) and evaluation time,
+// feeding per-request trace spans.
+func (b *batcher) SubmitTimed(basis *thermal.Basis, powers thermal.Powers) (res *thermal.Result, wait, eval time.Duration, err error) {
 	b.queries.Add(1)
 	if b.window <= 0 {
 		b.batches.Add(1)
-		return basis.Evaluate(powers)
+		b.sizeHist.Observe(1)
+		start := time.Now()
+		res, err = basis.Evaluate(powers)
+		return res, 0, time.Since(start), err
 	}
 	job := &evalJob{basis: basis, powers: powers, done: make(chan struct{})}
+	submitted := time.Now()
 	b.mu.Lock()
 	b.pending = append(b.pending, job)
 	n := len(b.pending)
@@ -75,7 +95,11 @@ func (b *batcher) Submit(basis *thermal.Basis, powers thermal.Powers) (*thermal.
 		b.flush()
 	}
 	<-job.done
-	return job.res, job.err
+	wait = time.Since(submitted) - job.eval
+	if wait < 0 {
+		wait = 0
+	}
+	return job.res, wait, job.eval, job.err
 }
 
 // flush drains the pending batch and evaluates it across the worker
@@ -90,13 +114,16 @@ func (b *batcher) flush() {
 		return
 	}
 	b.batches.Add(1)
+	b.sizeHist.Observe(float64(len(jobs)))
 	workers := b.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	// Errors are per-job, so ForEach itself never fails.
 	_ = parallel.ForEach(workers, len(jobs), func(_, i int) error {
+		start := time.Now()
 		jobs[i].res, jobs[i].err = jobs[i].basis.Evaluate(jobs[i].powers)
+		jobs[i].eval = time.Since(start)
 		close(jobs[i].done)
 		return nil
 	})

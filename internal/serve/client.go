@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"vcselnoc/internal/dse"
+	"vcselnoc/internal/obs"
 	"vcselnoc/internal/parallel"
 	"vcselnoc/internal/thermal"
 )
@@ -80,6 +81,11 @@ type ShardClient struct {
 	// attempts (base·2^n up to max, plus up to 50% jitter); 0 selects
 	// DefaultRetryBase/DefaultRetryMax.
 	RetryBase, RetryMax time.Duration
+	// TraceID, when set, rides every chunk request as the X-Trace-ID
+	// header (each attempt gets a fresh X-Span-ID), so a sweep scattered
+	// across the fleet carries one trace end to end — retries, reroutes
+	// and all.
+	TraceID string
 
 	preOnce sync.Once
 	preErr  error
@@ -253,7 +259,16 @@ func (c *ShardClient) post(worker, path string, req, resp any) error {
 	if err != nil {
 		return err
 	}
-	httpResp, err := c.httpClient().Post(worker+path, "application/json", bytes.NewReader(body))
+	httpReq, err := http.NewRequest(http.MethodPost, worker+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	if c.TraceID != "" {
+		httpReq.Header.Set(obs.TraceHeader, c.TraceID)
+		httpReq.Header.Set(obs.SpanHeader, obs.NewSpanID())
+	}
+	httpResp, err := c.httpClient().Do(httpReq)
 	if err != nil {
 		return err
 	}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"vcselnoc/internal/fvm"
+	"vcselnoc/internal/obs"
 	"vcselnoc/internal/thermal"
 )
 
@@ -285,7 +286,9 @@ func (jm *jobManager) validate(req TransientRequest) error {
 // carrying an ID keeps it (the coordinator's migration handoff relies on
 // a migrated job keeping its identity on the new worker); a request
 // carrying a Resume checkpoint continues from it instead of step 0.
-func (jm *jobManager) submit(req TransientRequest) (*transientJob, error) {
+// traceID is the submitting request's trace, carried on the job status
+// (and its persisted file) so migrated jobs keep one trace end to end.
+func (jm *jobManager) submit(req TransientRequest, traceID string) (*transientJob, error) {
 	if err := jm.validate(req); err != nil {
 		return nil, err
 	}
@@ -304,6 +307,7 @@ func (jm *jobManager) submit(req TransientRequest) (*transientJob, error) {
 		status: JobStatus{
 			Spec: req.specName(), State: JobQueued,
 			Steps: req.Steps, TimeStepS: req.TimeStepS,
+			TraceID: traceID,
 		},
 	}
 	j.status.ID = j.id
@@ -387,6 +391,9 @@ func (jm *jobManager) fail(j *transientJob, err error) {
 		s.Error = err.Error()
 	})
 	jm.persist(j, nil) //nolint:errcheck // the job state itself carries the error
+	snap := j.snapshot()
+	jm.srv.logger.Warn("job failed",
+		"job", j.id, "trace_id", snap.TraceID, "spec", snap.Spec, "err", err.Error())
 }
 
 // run integrates one job to completion (or interruption) in the
@@ -492,6 +499,10 @@ func (jm *jobManager) run(j *transientJob, cp *fvm.TransientCheckpoint) {
 		s.Result = result
 	})
 	jm.persist(j, nil) //nolint:errcheck // completed in memory; persistence is best-effort at this point
+	snap := j.snapshot()
+	jm.srv.logger.Info("job done",
+		"job", j.id, "trace_id", snap.TraceID, "spec", snap.Spec,
+		"steps", snap.Steps, "time_s", snap.TimeS)
 }
 
 // PersistedJob is the on-disk form of one job in a -job-dir: the
@@ -508,6 +519,9 @@ type PersistedJob struct {
 	Error      string                   `json:"error,omitempty"`
 	Result     *TransientJobResult      `json:"result,omitempty"`
 	Checkpoint *fvm.TransientCheckpoint `json:"checkpoint,omitempty"`
+	// TraceID is the submitting request's trace, restored on daemon
+	// restart so a resumed job keeps correlating with its original logs.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // persist atomically writes the job's file (tmp + rename). cp carries the
@@ -521,6 +535,7 @@ func (jm *jobManager) persist(j *transientJob, cp *fvm.TransientCheckpoint) erro
 	jf := PersistedJob{
 		ID: j.id, Request: j.req,
 		State: snap.State, Error: snap.Error, Result: snap.Result,
+		TraceID: snap.TraceID,
 	}
 	if snap.State != JobDone && snap.State != JobFailed {
 		jf.Checkpoint = cp
@@ -591,6 +606,7 @@ func (jm *jobManager) loadPersisted() error {
 			ID: id, Spec: jf.Request.specName(), State: jf.State,
 			Steps: jf.Request.Steps, TimeStepS: jf.Request.TimeStepS,
 			Error: jf.Error, Result: jf.Result,
+			TraceID: jf.TraceID,
 		}
 		j.lastCP = jf.Checkpoint
 		// Terminal jobs age for the TTL collector from their file's
@@ -634,20 +650,25 @@ const maxTransientBodyBytes = 64 << 20
 // handleTransientSubmit accepts a transient job and returns its initial
 // status with 202 Accepted.
 func (s *Server) handleTransientSubmit(w http.ResponseWriter, r *http.Request) {
+	traceID := r.Header.Get(obs.TraceHeader)
 	var req TransientRequest
 	if err := decodeLimit(r, &req, maxTransientBodyBytes); err != nil {
-		writeErr(w, err)
+		writeErrTrace(w, traceID, err)
 		return
 	}
-	j, err := s.jobs.submit(req)
+	j, err := s.jobs.submit(req, traceID)
 	if err != nil {
-		writeErr(w, err)
+		writeErrTrace(w, traceID, err)
 		return
 	}
+	snap := j.snapshot()
+	s.logger.Info("job accepted",
+		"job", j.id, "trace_id", traceID, "spec", snap.Spec,
+		"steps", snap.Steps, "resume_step", snap.Step)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Location", "/v1/jobs/"+j.id)
 	w.WriteHeader(http.StatusAccepted)
-	_ = json.NewEncoder(w).Encode(j.snapshot())
+	_ = json.NewEncoder(w).Encode(snap)
 }
 
 // pageParam parses one non-negative pagination query parameter.

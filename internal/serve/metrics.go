@@ -69,6 +69,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	histogram := func(name, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	}
+	histogram("vcseld_query_duration_seconds",
+		"Server-side request latency by spec and endpoint class (query = cheap superposition queries, sweep = DSE grid windows).")
+	for _, name := range names {
+		st := s.specs[name]
+		st.latQuery.WritePrometheus(&b, "vcseld_query_duration_seconds",
+			fmt.Sprintf("spec=%q,class=%q", name, "query"))
+		st.latSweep.WritePrometheus(&b, "vcseld_query_duration_seconds",
+			fmt.Sprintf("spec=%q,class=%q", name, "sweep"))
+	}
+	histogram("vcseld_batch_size", "Queries per micro-batch flush.")
+	for _, name := range names {
+		s.specs[name].batchSize.WritePrometheus(&b, "vcseld_batch_size", fmt.Sprintf("spec=%q", name))
+	}
+
 	gauge("vcseld_jobs", "Transient jobs by lifecycle state.")
 	states := s.jobs.stateCounts()
 	for _, state := range []string{JobQueued, JobRunning, JobDone, JobFailed} {

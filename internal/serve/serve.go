@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -34,6 +35,7 @@ import (
 	"vcselnoc/internal/activity"
 	"vcselnoc/internal/core"
 	"vcselnoc/internal/dse"
+	"vcselnoc/internal/obs"
 	"vcselnoc/internal/snr"
 	"vcselnoc/internal/stack"
 	"vcselnoc/internal/thermal"
@@ -130,7 +132,22 @@ type Config struct {
 	// and the persisted job file; 0 retains them until MaxJobs pressure.
 	// Running jobs are never collected.
 	JobTTL time.Duration
+	// DisableTracing turns off per-request span recording and the
+	// /debug/requests ring buffer. Trace-ID propagation, response-header
+	// echo and the /metrics histograms stay on — they are atomic-cheap
+	// and the fleet depends on them.
+	DisableTracing bool
+	// TraceBuffer bounds the recent-trace ring served by
+	// GET /debug/requests; 0 selects DefaultTraceBuffer.
+	TraceBuffer int
+	// Logger receives the server's structured logs (request completions
+	// at debug, basis builds / sweeps / job transitions at info); nil
+	// discards them.
+	Logger *slog.Logger
 }
+
+// DefaultTraceBuffer is the default /debug/requests ring capacity.
+const DefaultTraceBuffer = 256
 
 // Server owns the warm per-spec state and implements http.Handler.
 type Server struct {
@@ -150,6 +167,11 @@ type Server struct {
 	flushStop chan struct{}
 	flushWG   sync.WaitGroup
 	closeOnce sync.Once
+	// tracing gates span recording; recorder keeps recent finished
+	// traces for GET /debug/requests; logger receives structured logs.
+	tracing  bool
+	recorder *obs.Recorder
+	logger   *slog.Logger
 }
 
 // specState is one registered spec's warm state. The Methodology (model,
@@ -182,6 +204,14 @@ type specState struct {
 	basisIdx       map[string]*list.Element
 	maxBases       int
 	basisEvictions atomic.Int64
+
+	// latQuery/latSweep/batchSize are the always-on server-side
+	// histograms behind /metrics and the /healthz snapshots: request
+	// latency by endpoint class, and flushed micro-batch sizes.
+	latQuery  *obs.Histogram
+	latSweep  *obs.Histogram
+	batchSize *obs.Histogram
+	logger    *slog.Logger
 }
 
 // basisSlot is one warm activity shape in the basis LRU; the resolved
@@ -225,12 +255,21 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBases <= 0 {
 		cfg.MaxBases = DefaultMaxBases
 	}
+	if cfg.TraceBuffer <= 0 {
+		cfg.TraceBuffer = DefaultTraceBuffer
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.Discard()
+	}
 	s := &Server{
 		mux:       http.NewServeMux(),
 		specs:     make(map[string]*specState, len(cfg.Specs)),
 		start:     time.Now(),
 		sweepSem:  make(chan struct{}, 2),
 		flushStop: make(chan struct{}),
+		tracing:   !cfg.DisableTracing,
+		recorder:  obs.NewRecorder(cfg.TraceBuffer),
+		logger:    cfg.Logger,
 	}
 	for name, spec := range cfg.Specs {
 		if name == "" {
@@ -239,7 +278,7 @@ func New(cfg Config) (*Server, error) {
 		if err := spec.Validate(); err != nil {
 			return nil, fmt.Errorf("serve: spec %q: %w", name, err)
 		}
-		s.specs[name] = &specState{
+		st := &specState{
 			name:       name,
 			spec:       spec,
 			snrCfg:     cfg.SNR,
@@ -250,7 +289,13 @@ func New(cfg Config) (*Server, error) {
 			basisOrder: list.New(),
 			basisIdx:   make(map[string]*list.Element),
 			maxBases:   cfg.MaxBases,
+			latQuery:   obs.NewHistogram(obs.LatencyBuckets),
+			latSweep:   obs.NewHistogram(obs.LatencyBuckets),
+			batchSize:  obs.NewHistogram(obs.BatchSizeBuckets),
+			logger:     cfg.Logger,
 		}
+		st.batch.sizeHist = st.batchSize
+		s.specs[name] = st
 	}
 	s.jobs = newJobManager(s, cfg)
 	s.routes()
@@ -279,11 +324,33 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/checkpoint", s.handleJobCheckpoint)
+	s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Every request — whatever the
+// endpoint — gets a trace ID (propagated from X-Trace-ID or minted
+// here) echoed back as a response header before the handler runs.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := obs.EnsureRequest(r)
+	w.Header().Set(obs.TraceHeader, id)
 	s.mux.ServeHTTP(w, r)
+}
+
+// trace starts a span timeline for the request, or returns nil (inert)
+// when tracing is disabled.
+func (s *Server) trace(r *http.Request, endpoint string) *obs.Trace {
+	if !s.tracing {
+		return nil
+	}
+	return obs.NewTrace(r.Header.Get(obs.TraceHeader), endpoint, "")
+}
+
+// publish seals the trace into the /debug/requests ring.
+func (s *Server) publish(tr *obs.Trace, status int) {
+	if tr == nil {
+		return
+	}
+	s.recorder.Publish(tr.Finish(status))
 }
 
 // Close stops the server's background work: every running transient job
@@ -345,7 +412,15 @@ func (st *specState) basisFor(act activity.Scenario, slot string) (*thermal.Basi
 			st.basisEvictions.Add(1)
 		}
 	}
+	buildsBefore := meth.BasisBuilds()
 	b, err := meth.BasisFor(act)
+	if err == nil && meth.BasisBuilds() > buildsBefore {
+		bs := b.BuildStats()
+		st.logger.Info("basis built",
+			"spec", st.name, "slot", slot,
+			"duration_ms", float64(bs.Wall.Microseconds())/1000,
+			"mg_iters", bs.Iterations)
+	}
 	if err != nil {
 		// Release the slot: failed builds are not cached by the
 		// methodology either, so a later request may retry.
@@ -398,8 +473,15 @@ func writeJSON(w http.ResponseWriter, v any) {
 // off at least as long as asked) and retry_after_ms in the envelope for
 // clients that pace tighter than a second.
 func writeErr(w http.ResponseWriter, err error) {
+	writeErrTrace(w, "", err)
+}
+
+// writeErrTrace is writeErr with the request's trace ID stamped into the
+// envelope; it returns the status code written so callers can seal the
+// request's trace with it.
+func writeErrTrace(w http.ResponseWriter, traceID string, err error) int {
 	code := http.StatusInternalServerError
-	body := errorBody{Error: err.Error()}
+	body := errorBody{Error: err.Error(), TraceID: traceID}
 	var se *statusError
 	if errors.As(err, &se) {
 		code = se.code
@@ -412,6 +494,7 @@ func writeErr(w http.ResponseWriter, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(body)
+	return code
 }
 
 // decode strictly parses the request body into v: unknown fields and
@@ -469,48 +552,106 @@ func (st *specState) resolveBasis(sc Scenario) (*thermal.Basis, error) {
 // query-granularity single-flight around a micro-batched basis
 // evaluation so identical in-flight scenarios share one solve.
 func (s *Server) handleGradient(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	traceID := r.Header.Get(obs.TraceHeader)
+	tr := s.trace(r, r.URL.Path)
+	var st *specState
+	fail := func(err error) {
+		if st != nil {
+			st.latQuery.Observe(time.Since(start).Seconds())
+		}
+		code := writeErrTrace(w, traceID, err)
+		s.publish(tr, code)
+		s.logger.Debug("query failed",
+			"trace_id", traceID, "endpoint", r.URL.Path, "status", code, "err", err.Error())
+	}
 	var sc Scenario
 	if err := decode(r, &sc); err != nil {
-		writeErr(w, err)
+		fail(err)
 		return
 	}
-	st, err := s.state(sc.specName())
+	var err error
+	st, err = s.state(sc.specName())
 	if err != nil {
-		writeErr(w, notFound(err))
+		fail(notFound(err))
 		return
 	}
-	if ok, retry := st.adm.admit(clientID(r), time.Now().UnixNano()); !ok {
-		writeErr(w, shedError(st.name, retry))
+	tr.SetSpec(st.name)
+	sp := tr.StartSpan("admission")
+	ok, retry := st.adm.admit(clientID(r), time.Now().UnixNano())
+	sp.End()
+	if !ok {
+		fail(shedError(st.name, retry))
 		return
 	}
+	sp = tr.StartSpan("basis")
 	basis, err := st.resolveBasis(sc)
+	sp.End()
 	if err != nil {
-		writeErr(w, err)
+		fail(err)
 		return
 	}
+	// The basis span carries the mg cost of the build that produced this
+	// basis (zero/near-zero duration when it was already warm).
+	bs := basis.BuildStats()
+	sp.SetAttr("mg_iters", float64(bs.Iterations))
+	if total := bs.Phases.Total(); total > 0 {
+		sp.SetAttr("build_smoothfrac", float64(bs.Phases.Smooth)/float64(total))
+		sp.SetAttr("build_coarsefrac", float64(bs.Phases.Coarse)/float64(total))
+	}
+	sp = tr.StartSpan("cache")
 	key := sc.cacheKey()
-	if resp, ok := st.cache.Get(key); ok {
-		resp.Cached = true
-		writeJSON(w, resp)
+	cached, hit := st.cache.Get(key)
+	sp.End()
+	if hit {
+		cached.Cached = true
+		cached.TraceID = traceID
+		writeJSON(w, cached)
+		st.latQuery.Observe(time.Since(start).Seconds())
+		s.publish(tr, http.StatusOK)
+		s.logger.Debug("query",
+			"trace_id", traceID, "spec", st.name, "cached", true,
+			"duration_ms", msSince(start))
 		return
 	}
 	// The scenario was fully validated above, so an evaluation error
 	// here is the server's fault, not the client's. Identical scenarios
-	// racing this one wait for — and share — this evaluation.
-	resp, _, err := st.flights.do(key, func() (QueryResponse, error) {
-		res, err := st.batch.Submit(basis, sc.powers())
+	// racing this one wait for — and share — this evaluation; only the
+	// leader's goroutine runs the closure, so the leader's trace gets the
+	// batch_wait/solve split and followers record one coalesce_wait.
+	flightStart := time.Now()
+	resp, shared, err := st.flights.do(key, func() (QueryResponse, error) {
+		subStart := time.Now()
+		res, wait, eval, err := st.batch.SubmitTimed(basis, sc.powers())
 		if err != nil {
 			return QueryResponse{}, err
 		}
+		tr.AddSpan("batch_wait", subStart, wait)
+		solve := tr.AddSpan("solve", subStart.Add(wait), eval)
+		solve.SetAttr("mg_iters", float64(bs.Iterations))
 		resp := summarise(res)
 		st.cache.Add(key, resp)
 		return resp, nil
 	})
 	if err != nil {
-		writeErr(w, err)
+		fail(err)
 		return
 	}
+	if shared {
+		tr.AddSpan("coalesce_wait", flightStart, time.Since(flightStart))
+	}
+	resp.TraceID = traceID
 	writeJSON(w, resp)
+	st.latQuery.Observe(time.Since(start).Seconds())
+	s.publish(tr, http.StatusOK)
+	s.logger.Debug("query",
+		"trace_id", traceID, "spec", st.name, "cached", false, "shared", shared,
+		"duration_ms", msSince(start))
+}
+
+// msSince renders an elapsed time in fractional milliseconds for logs.
+func msSince(start time.Time) float64 {
+	return float64(time.Since(start).Microseconds()) / 1000
 }
 
 // summarise reduces a full evaluation to the cacheable query answer.
@@ -672,85 +813,133 @@ func rowWindow(total, start, count int) (lo, hi int, err error) {
 // are bit-identical to the same rows of a full in-process sweep — the
 // property the sharded scatter/gather relies on.
 func (s *Server) handleGradientSweep(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	traceID := r.Header.Get(obs.TraceHeader)
+	tr := s.trace(r, r.URL.Path)
+	var st *specState
+	fail := func(err error) {
+		if st != nil {
+			st.latSweep.Observe(time.Since(start).Seconds())
+		}
+		code := writeErrTrace(w, traceID, err)
+		s.publish(tr, code)
+	}
 	var req GradientSweepRequest
 	if err := decode(r, &req); err != nil {
-		writeErr(w, err)
+		fail(err)
 		return
 	}
 	if len(req.Lasers) == 0 || len(req.Heaters) == 0 {
-		writeErr(w, badRequest(fmt.Errorf("serve: empty sweep axes")))
+		fail(badRequest(fmt.Errorf("serve: empty sweep axes")))
 		return
 	}
+	sp := tr.StartSpan("basis")
 	st, basis, err := s.resolve(req.Scenario)
+	sp.End()
 	if err != nil {
-		writeErr(w, err)
+		fail(err)
 		return
 	}
+	tr.SetSpec(st.name)
 	lo, hi, err := rowWindow(len(req.Lasers), req.RowStart, req.RowCount)
 	if err != nil {
-		writeErr(w, badRequest(err))
+		fail(badRequest(err))
 		return
 	}
 	ex, err := dse.NewExplorer(basis)
 	if err != nil {
-		writeErr(w, err)
+		fail(err)
 		return
 	}
 	ex.SetWorkers(st.spec.Workers)
+	sp = tr.StartSpan("sweep_wait")
 	s.sweepSem <- struct{}{}
+	sp.End()
+	sp = tr.StartSpan("solve")
 	rows, err := ex.SweepGradient(req.Chip, req.Lasers[lo:hi], req.Heaters)
+	sp.End()
 	<-s.sweepSem
 	if err != nil {
-		writeErr(w, err)
+		fail(err)
 		return
 	}
 	writeJSON(w, GradientSweepResponse{
 		RowStart: lo, TotalRows: len(req.Lasers), Rows: rows,
 		ONICell: st.spec.Res.ONICell, DieCell: st.spec.Res.DieCell, MaxZCell: st.spec.Res.MaxZCell,
-		Solver: st.spec.EffectiveSolver(),
+		Solver:  st.spec.EffectiveSolver(),
+		TraceID: traceID,
 	})
+	st.latSweep.Observe(time.Since(start).Seconds())
+	s.publish(tr, http.StatusOK)
+	s.logger.Info("sweep",
+		"trace_id", traceID, "spec", st.name, "kind", "gradient",
+		"rows", hi-lo, "cols", len(req.Heaters), "duration_ms", msSince(start))
 }
 
 // handleAvgTempSweep evaluates a chip × laser mean-temperature grid row
 // window.
 func (s *Server) handleAvgTempSweep(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	traceID := r.Header.Get(obs.TraceHeader)
+	tr := s.trace(r, r.URL.Path)
+	var st *specState
+	fail := func(err error) {
+		if st != nil {
+			st.latSweep.Observe(time.Since(start).Seconds())
+		}
+		code := writeErrTrace(w, traceID, err)
+		s.publish(tr, code)
+	}
 	var req AvgTempSweepRequest
 	if err := decode(r, &req); err != nil {
-		writeErr(w, err)
+		fail(err)
 		return
 	}
 	if len(req.Chips) == 0 || len(req.Lasers) == 0 {
-		writeErr(w, badRequest(fmt.Errorf("serve: empty sweep axes")))
+		fail(badRequest(fmt.Errorf("serve: empty sweep axes")))
 		return
 	}
+	sp := tr.StartSpan("basis")
 	st, basis, err := s.resolve(req.Scenario)
+	sp.End()
 	if err != nil {
-		writeErr(w, err)
+		fail(err)
 		return
 	}
+	tr.SetSpec(st.name)
 	lo, hi, err := rowWindow(len(req.Chips), req.RowStart, req.RowCount)
 	if err != nil {
-		writeErr(w, badRequest(err))
+		fail(badRequest(err))
 		return
 	}
 	ex, err := dse.NewExplorer(basis)
 	if err != nil {
-		writeErr(w, err)
+		fail(err)
 		return
 	}
 	ex.SetWorkers(st.spec.Workers)
+	sp = tr.StartSpan("sweep_wait")
 	s.sweepSem <- struct{}{}
+	sp.End()
+	sp = tr.StartSpan("solve")
 	rows, err := ex.SweepAvgTemp(req.Chips[lo:hi], req.Lasers)
+	sp.End()
 	<-s.sweepSem
 	if err != nil {
-		writeErr(w, err)
+		fail(err)
 		return
 	}
 	writeJSON(w, AvgTempSweepResponse{
 		RowStart: lo, TotalRows: len(req.Chips), Rows: rows,
 		ONICell: st.spec.Res.ONICell, DieCell: st.spec.Res.DieCell, MaxZCell: st.spec.Res.MaxZCell,
-		Solver: st.spec.EffectiveSolver(),
+		Solver:  st.spec.EffectiveSolver(),
+		TraceID: traceID,
 	})
+	st.latSweep.Observe(time.Since(start).Seconds())
+	s.publish(tr, http.StatusOK)
+	s.logger.Info("sweep",
+		"trace_id", traceID, "spec", st.name, "kind", "avgtemp",
+		"rows", hi-lo, "cols", len(req.Lasers), "duration_ms", msSince(start))
 }
 
 // handleHealth reports liveness plus per-spec warm-state statistics.
@@ -784,6 +973,8 @@ func (s *Server) specInfos() []SpecInfo {
 		info.Admitted, info.Shed, info.Clients = st.adm.stats()
 		info.CoalescedQueries = st.flights.Coalesced()
 		info.BasisEvictions = st.basisEvictions.Load()
+		info.QueryLatency = st.latQuery.Snapshot()
+		info.BatchSize = st.batchSize.Snapshot()
 		st.basisMu.Lock()
 		info.WarmBases = st.basisOrder.Len()
 		st.basisMu.Unlock()

@@ -174,6 +174,7 @@ func TestBasisEvictionLRU(t *testing.T) {
 		t.Fatalf("evicted shape rebuild = %d (%s)", w.Code, w.Body.String())
 	}
 	rebuilt := decodeBody[QueryResponse](t, w)
+	rebuilt.TraceID = firstSeed1.TraceID // per-request id, not part of the determinism pin
 	if rebuilt != firstSeed1 {
 		t.Fatalf("rebuilt basis answered differently:\nfirst   %+v\nrebuilt %+v", firstSeed1, rebuilt)
 	}

@@ -9,6 +9,7 @@ import (
 	"vcselnoc/internal/core"
 	"vcselnoc/internal/dse"
 	"vcselnoc/internal/fvm"
+	"vcselnoc/internal/obs"
 	"vcselnoc/internal/ornoc"
 	"vcselnoc/internal/thermal"
 )
@@ -108,6 +109,9 @@ type QueryResponse struct {
 	ChipAvg float64 `json:"chip_avg"`
 	// Cached marks answers served from the query LRU.
 	Cached bool `json:"cached"`
+	// TraceID echoes the request's X-Trace-ID (set per request, never
+	// cached or shared between coalesced callers' envelopes).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // HeaterRequest asks for the gradient-minimising heater power.
@@ -190,6 +194,8 @@ type GradientSweepResponse struct {
 	DieCell   float64               `json:"die_cell_m"`
 	MaxZCell  float64               `json:"max_z_cell_m"`
 	Solver    string                `json:"solver"`
+	// TraceID echoes the request's X-Trace-ID.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // AvgTempSweepRequest is a (paginated) Fig. 9-a grid: rows iterate chip
@@ -212,6 +218,8 @@ type AvgTempSweepResponse struct {
 	DieCell   float64              `json:"die_cell_m"`
 	MaxZCell  float64              `json:"max_z_cell_m"`
 	Solver    string               `json:"solver"`
+	// TraceID echoes the request's X-Trace-ID.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // TransientRequest submits an asynchronous transient (warm-up) job: the
@@ -270,6 +278,10 @@ type JobStatus struct {
 	Error string `json:"error,omitempty"`
 	// Result is present once State is done.
 	Result *TransientJobResult `json:"result,omitempty"`
+	// TraceID is the trace that submitted the job, carried across
+	// checkpoint-driven migrations so one ID follows the job between
+	// workers.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // JobList is the paginated GET /v1/jobs answer: the requested window of
@@ -334,6 +346,12 @@ type SpecInfo struct {
 	// WarmBases and BasisEvictions describe the bounded basis LRU.
 	WarmBases      int   `json:"warm_bases"`
 	BasisEvictions int64 `json:"basis_evictions"`
+	// QueryLatency and BatchSize mirror the server's /metrics histograms
+	// in compact form so fleet placement can score workers by observed
+	// tail latency. Pointer fields keep SpecInfo comparable (and are
+	// stripped before mesh-fingerprint consensus comparisons).
+	QueryLatency *obs.HistSnapshot `json:"query_latency,omitempty"`
+	BatchSize    *obs.HistSnapshot `json:"batch_size,omitempty"`
 }
 
 // Health is the /healthz body.
@@ -349,6 +367,9 @@ type Health struct {
 type errorBody struct {
 	Error        string  `json:"error"`
 	RetryAfterMs float64 `json:"retry_after_ms,omitempty"`
+	// TraceID echoes the request's X-Trace-ID so failures correlate with
+	// logs and /debug/requests.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // parseCase maps the wire case number onto the placement enum.

@@ -15,12 +15,14 @@ package thermal
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"vcselnoc/internal/activity"
 	"vcselnoc/internal/fvm"
 	"vcselnoc/internal/geom"
 	"vcselnoc/internal/materials"
 	"vcselnoc/internal/mesh"
+	"vcselnoc/internal/mg"
 	"vcselnoc/internal/oni"
 	"vcselnoc/internal/scc"
 	"vcselnoc/internal/sparse"
@@ -840,7 +842,25 @@ type Basis struct {
 	activity activity.Scenario
 	// unit responses: temperature rise fields for 1 W in each group.
 	chip, vcsel, driver, heater []float64
+	stats                       BasisBuildStats
 }
+
+// BasisBuildStats describes what the four unit solves behind a basis
+// cost, for attachment to request traces and structured logs.
+type BasisBuildStats struct {
+	// Iterations is the largest outer iteration count across the four
+	// unit solves (under mg-cg's block solve they advance together, so
+	// this is the shared count).
+	Iterations int
+	// Wall is the end-to-end build time including operator assembly.
+	Wall time.Duration
+	// Phases is the V-cycle phase time the build spent on this model's
+	// hierarchy (zero for non-mg backends).
+	Phases mg.PhaseStats
+}
+
+// BuildStats returns how much the basis cost to build.
+func (b *Basis) BuildStats() BasisBuildStats { return b.stats }
 
 // BuildBasis performs the four unit solves for the given activity shape.
 // The solves share the model's cached operator. Under the mg-cg backend
@@ -871,9 +891,18 @@ func (m *Model) BuildBasis(act activity.Scenario) (*Basis, error) {
 		}
 		batch[i] = power
 	}
+	buildStart := time.Now()
+	phasesBefore := m.sys.PhaseStats()
 	sols, err := m.sys.SolveSteadyBlock(batch, m.solveOptions())
 	if err != nil {
 		return nil, fmt.Errorf("thermal: basis solves: %w", err)
+	}
+	b.stats.Wall = time.Since(buildStart)
+	b.stats.Phases = m.sys.PhaseStats().Sub(phasesBefore)
+	for _, sol := range sols {
+		if sol.Stats.Iterations > b.stats.Iterations {
+			b.stats.Iterations = sol.Stats.Iterations
+		}
 	}
 	for i, g := range groups {
 		// Store the rise relative to ambient.
