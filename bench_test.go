@@ -57,11 +57,20 @@ func benchResolution() thermal.Resolution {
 
 // benchMGKnobs reads the cmd/perfab sweep axes from the environment:
 // VCSELNOC_MG_ORDERING and VCSELNOC_MG_PRECISION tune the mg-cg V-cycle,
+// VCSELNOC_MG_COARSE forces a coarse-solve tier (sparse|band|iterative)
+// with VCSELNOC_MG_COARSE_BUDGET capping the direct factorisation, and
 // VCSELNOC_WORKERS caps solver goroutines. Empty variables leave the
-// defaults (red-black ordering, auto precision, GOMAXPROCS workers).
+// defaults (red-black ordering, auto precision, auto coarse ladder,
+// GOMAXPROCS workers).
 func benchMGKnobs(opts fvm.SolveOptions) fvm.SolveOptions {
 	opts.MGOrdering = os.Getenv("VCSELNOC_MG_ORDERING")
 	opts.MGPrecision = os.Getenv("VCSELNOC_MG_PRECISION")
+	opts.MGCoarseSolver = os.Getenv("VCSELNOC_MG_COARSE")
+	if v := os.Getenv("VCSELNOC_MG_COARSE_BUDGET"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n != 0 {
+			opts.MGCoarseBudget = n
+		}
+	}
 	if w := os.Getenv("VCSELNOC_WORKERS"); w != "" {
 		if n, err := strconv.Atoi(w); err == nil && n > 0 {
 			opts.Workers = n
@@ -655,6 +664,53 @@ func BenchmarkSolverBackends(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkCoarseSolve isolates the coarsest-level direct solve the
+// V-cycle leans on, splitting the one-off cost from the recurring one:
+// "factor" is the sparse-Cholesky setup (symbolic analysis plus numeric
+// factorisation under the fill-reducing nested-dissection ordering) paid
+// once per hierarchy, "solve" the permuted triangular solve every
+// V-cycle buys with it. Read them against the coarsefrac metric of
+// BenchmarkSolverBackends/mg-cg: factor amortises across the whole
+// basis build, solve is the term that replaced the coarse-grid PCG
+// iterations.
+func BenchmarkCoarseSolve(b *testing.B) {
+	m := benchMethodology(b).Model()
+	h, err := m.System().Hierarchy()
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := h.CoarseOperator()
+	perm := h.CoarseOrdering()
+	b.Run("factor", func(b *testing.B) {
+		var nnz int
+		for i := 0; i < b.N; i++ {
+			c, err := sparse.NewSparseCholesky(a, perm, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nnz = c.Nnz()
+		}
+		b.ReportMetric(float64(a.N()), "cells")
+		b.ReportMetric(float64(nnz), "entries")
+	})
+	b.Run("solve", func(b *testing.B) {
+		c, err := sparse.NewSparseCholesky(a, perm, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rhs := make([]float64, a.N())
+		for i := range rhs {
+			rhs[i] = 1 + float64(i%7)
+		}
+		x := make([]float64, a.N())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			copy(x, rhs)
+			c.SolveInPlace(x)
+		}
+	})
 }
 
 // BenchmarkBuildBasis contrasts the seed's basis-construction path (a

@@ -1,8 +1,8 @@
 // Command perfab is the A/B performance harness for the mg-cg hot loop:
 // it runs named benchmarks across a configuration sweep (smoother
-// ordering × V-cycle precision × worker count), optionally captures CPU
-// and heap profiles per configuration, and emits one benchmark artifact
-// per configuration plus a markdown delta report. The artifacts are the
+// ordering × V-cycle precision × worker count × coarse-solve tier),
+// optionally captures CPU and heap profiles per configuration, and emits
+// one benchmark artifact per configuration plus a markdown delta report. The artifacts are the
 // same JSON format cmd/benchguard consumes, so any pair can be diffed
 // later with `benchguard -compare old.json new.json`; the first
 // configuration of the sweep (by default lex × float64 × 1 worker, the
@@ -17,9 +17,14 @@
 //
 // Each configuration runs `go test -run '^$' -bench ...` in a child
 // process with the sweep axes passed through the VCSELNOC_MG_ORDERING,
-// VCSELNOC_MG_PRECISION and VCSELNOC_WORKERS environment variables the
-// root-package benchmarks honour, and VCSELNOC_BENCH_RES selecting the
-// mesh tier. With -profiles the child also writes <config>.cpu.pprof and
+// VCSELNOC_MG_PRECISION, VCSELNOC_MG_COARSE and VCSELNOC_WORKERS
+// environment variables the root-package benchmarks honour, and
+// VCSELNOC_BENCH_RES selecting the mesh tier. The -coarse axis defaults
+// to the empty auto ladder only, so existing configuration names (and
+// any compare gates keyed on them) are untouched unless a sweep opts
+// in, e.g. -coarse ,sparse,band,iterative. When the sweep includes
+// BenchmarkCoarseSolve the report additionally splits the one-off
+// factorisation cost from the recurring per-cycle coarse solve. With -profiles the child also writes <config>.cpu.pprof and
 // <config>.mem.pprof next to the artifacts, along with the test binary
 // (<config>.test) needed to symbolise them:
 //
@@ -45,10 +50,15 @@ type config struct {
 	ordering  string
 	precision string
 	workers   string
+	coarse    string // coarse-solve tier; "" = auto ladder
 }
 
 func (c config) name() string {
-	return fmt.Sprintf("%s-%s-w%s", c.ordering, c.precision, c.workers)
+	n := fmt.Sprintf("%s-%s-w%s", c.ordering, c.precision, c.workers)
+	if c.coarse != "" {
+		n += "-" + c.coarse
+	}
+	return n
 }
 
 func main() {
@@ -60,17 +70,21 @@ func main() {
 	orderings := flag.String("orderings", "lex,redblack", "comma-separated smoother orderings to sweep")
 	precisions := flag.String("precisions", "float64,float32", "comma-separated V-cycle precisions to sweep")
 	workers := flag.String("workers", "1,4", "comma-separated worker counts to sweep")
+	coarse := flag.String("coarse", "", "comma-separated coarse-solve tiers to sweep (empty entry = auto ladder; e.g. ',sparse,band,iterative')")
 	outDir := flag.String("out", "perfab_out", "directory for artifacts, profiles and the report")
 	profiles := flag.Bool("profiles", false, "capture CPU and heap profiles per configuration")
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("perfab: ")
 
+	coarseTiers := splitListKeepEmpty(*coarse)
 	var configs []config
 	for _, o := range splitList(*orderings) {
 		for _, p := range splitList(*precisions) {
 			for _, w := range splitList(*workers) {
-				configs = append(configs, config{ordering: o, precision: p, workers: w})
+				for _, ct := range coarseTiers {
+					configs = append(configs, config{ordering: o, precision: p, workers: w, coarse: ct})
+				}
 			}
 		}
 	}
@@ -122,6 +136,21 @@ func splitList(s string) []string {
 	return out
 }
 
+// splitListKeepEmpty is splitList for axes where the empty string is a
+// meaningful value (the auto coarse ladder): ",sparse" yields ["", "sparse"].
+// An empty flag yields the single auto entry.
+func splitListKeepEmpty(s string) []string {
+	if s == "" {
+		return []string{""}
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, len(parts))
+	for i, v := range parts {
+		out[i] = strings.TrimSpace(v)
+	}
+	return out
+}
+
 // runConfig runs one benchmark child process and parses its output.
 func runConfig(c config, pkg, bench, res, benchtime string, count int, absOut string, profiles bool) (*benchfmt.Artifact, error) {
 	args := []string{"test", "-run", "^$", "-bench", bench,
@@ -140,6 +169,7 @@ func runConfig(c config, pkg, bench, res, benchtime string, count int, absOut st
 		"VCSELNOC_BENCH_RES="+res,
 		"VCSELNOC_MG_ORDERING="+c.ordering,
 		"VCSELNOC_MG_PRECISION="+c.precision,
+		"VCSELNOC_MG_COARSE="+c.coarse,
 		"VCSELNOC_WORKERS="+c.workers,
 	)
 	out, err := cmd.CombinedOutput()
@@ -198,9 +228,55 @@ func writeReport(w *bytes.Buffer, configs []config, arts map[string]*benchfmt.Ar
 	}
 	fmt.Fprintln(w)
 
+	writeCoarseSplit(w, configs, arts)
+
 	for _, c := range configs[1:] {
 		fmt.Fprintf(w, "## %s vs %s\n\n", base.name(), c.name())
 		benchfmt.Markdown(w, benchfmt.Compare(baseArt, arts[c.name()]), base.name(), c.name())
 		fmt.Fprintln(w)
 	}
+}
+
+// writeCoarseSplit separates the one-off coarse factorisation cost from
+// the recurring per-cycle solve when the sweep ran BenchmarkCoarseSolve:
+// the factor is paid once per hierarchy, so what matters for the hot
+// loop is the solve column and how many V-cycles amortise the factor.
+func writeCoarseSplit(w *bytes.Buffer, configs []config, arts map[string]*benchfmt.Artifact) {
+	const (
+		factorName = "BenchmarkCoarseSolve/factor"
+		solveName  = "BenchmarkCoarseSolve/solve"
+	)
+	ran := false
+	for _, art := range arts {
+		if _, ok := art.Benchmarks[factorName]; ok {
+			ran = true
+			break
+		}
+		if _, ok := art.Benchmarks[solveName]; ok {
+			ran = true
+			break
+		}
+	}
+	if !ran {
+		return
+	}
+	fmt.Fprintf(w, "## Coarse solve: one-off factor vs per-cycle solve\n\n")
+	fmt.Fprintf(w, "| config | factor (ms, once per hierarchy) | solve (ms, per V-cycle) | cycles to amortise factor |\n|---|---|---|---|\n")
+	for _, c := range configs {
+		art := arts[c.name()]
+		f, okF := art.Benchmarks[factorName]
+		s, okS := art.Benchmarks[solveName]
+		row := func(e benchfmt.Entry, ok bool) string {
+			if !ok {
+				return "—"
+			}
+			return fmt.Sprintf("%.2f", e.NsPerOp/1e6)
+		}
+		amort := "—"
+		if okF && okS && s.NsPerOp > 0 {
+			amort = fmt.Sprintf("%.0f", f.NsPerOp/s.NsPerOp)
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s |\n", c.name(), row(f, okF), row(s, okS), amort)
+	}
+	fmt.Fprintln(w)
 }

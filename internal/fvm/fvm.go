@@ -447,6 +447,18 @@ type SolveOptions struct {
 	// "float64"); empty auto-selects per mg.Options.Precision. Ignored by
 	// other backends.
 	MGPrecision string
+	// MGCoarseSolver forces an mg-cg coarse-solve tier ("sparse", "band",
+	// "iterative"); empty tries sparse Cholesky, then banded, then the
+	// measured iterative fallback. Ignored by other backends.
+	MGCoarseSolver string
+	// MGCoarseBudget caps the mg-cg direct coarse factorisation in stored
+	// entries; 0 means the mg default, negative disables the direct tiers.
+	// Ignored by other backends.
+	MGCoarseBudget int
+	// MGCoarseRebalance opts into appending aggressively merged coarse
+	// levels until the direct factorisation fits MGCoarseBudget. Ignored
+	// by other backends.
+	MGCoarseRebalance bool
 }
 
 // newSolver builds the sparse backend described by the options.
@@ -456,12 +468,15 @@ func (o SolveOptions) newSolver() (sparse.Solver, error) {
 		tol = 1e-8
 	}
 	return sparse.Config{
-		Backend:       o.Solver,
-		Tolerance:     tol,
-		MaxIterations: o.MaxIterations,
-		Workers:       o.Workers,
-		MGOrdering:    o.MGOrdering,
-		MGPrecision:   o.MGPrecision,
+		Backend:           o.Solver,
+		Tolerance:         tol,
+		MaxIterations:     o.MaxIterations,
+		Workers:           o.Workers,
+		MGOrdering:        o.MGOrdering,
+		MGPrecision:       o.MGPrecision,
+		MGCoarseSolver:    o.MGCoarseSolver,
+		MGCoarseBudget:    o.MGCoarseBudget,
+		MGCoarseRebalance: o.MGCoarseRebalance,
 	}.New()
 }
 
@@ -476,6 +491,11 @@ func (s *System) hierarchy() (*mg.Hierarchy, error) {
 	})
 	return s.mgHier, s.mgErr
 }
+
+// Hierarchy returns the system's shared steady-state multigrid
+// hierarchy, building it on first call. Benchmarks and diagnostics use
+// it to reach the coarsest-level operator and ordering directly.
+func (s *System) Hierarchy() (*mg.Hierarchy, error) { return s.hierarchy() }
 
 // PhaseStats returns the cumulative V-cycle phase times of the system's
 // shared steady-state multigrid hierarchy, or the zero value when no
@@ -832,10 +852,14 @@ type TransientOptions struct {
 	// Workers caps the goroutines used for matrix-vector products; 0 means
 	// GOMAXPROCS.
 	Workers int
-	// MGOrdering and MGPrecision tune the mg-cg backend exactly as the
-	// fields of the same name on SolveOptions; ignored by other backends.
-	MGOrdering  string
-	MGPrecision string
+	// MGOrdering, MGPrecision and the MGCoarse* knobs tune the mg-cg
+	// backend exactly as the fields of the same name on SolveOptions;
+	// ignored by other backends.
+	MGOrdering        string
+	MGPrecision       string
+	MGCoarseSolver    string
+	MGCoarseBudget    int
+	MGCoarseRebalance bool
 	// Snapshot, if non-nil, is called after every step with the step index
 	// (1-based), the simulated time and a fresh copy of the current field,
 	// which the callback may retain.

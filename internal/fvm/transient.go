@@ -297,11 +297,14 @@ func (s *System) NewTransientStepper(power []float64, opts TransientOptions) (*T
 		tol = 1e-8
 	}
 	solver, err := sparse.Config{
-		Backend:     opts.Solver,
-		Tolerance:   tol,
-		Workers:     opts.Workers,
-		MGOrdering:  opts.MGOrdering,
-		MGPrecision: opts.MGPrecision,
+		Backend:           opts.Solver,
+		Tolerance:         tol,
+		Workers:           opts.Workers,
+		MGOrdering:        opts.MGOrdering,
+		MGPrecision:       opts.MGPrecision,
+		MGCoarseSolver:    opts.MGCoarseSolver,
+		MGCoarseBudget:    opts.MGCoarseBudget,
+		MGCoarseRebalance: opts.MGCoarseRebalance,
 	}.New()
 	if err != nil {
 		return nil, err

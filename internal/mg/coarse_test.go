@@ -1,0 +1,307 @@
+package mg
+
+import (
+	"sync"
+	"testing"
+
+	"vcselnoc/internal/sparse"
+)
+
+// TestCoarseSolverAgreement checks the three tiers of the coarse-solve
+// ladder against each other on a graded floorplan mesh: the sparse
+// Cholesky, the banded Cholesky and the tightly converged iterative
+// reference must agree on the coarsest-level solution.
+func TestCoarseSolverAgreement(t *testing.T) {
+	h, _, _ := testHierarchy(t)
+	lv := h.levels[len(h.levels)-1]
+	b := randRHS(lv.n(), 41)
+
+	sp, err := sparse.NewSparseCholesky(lv.a, coarseNDOrder(lv), defaultCoarseBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := append([]float64(nil), b...)
+	sp.SolveInPlace(xs)
+
+	bd, err := sparse.NewBandCholesky(lv.a, defaultCoarseBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xb := append([]float64(nil), b...)
+	bd.SolveInPlace(xb)
+
+	ref := make([]float64, lv.n())
+	ssor := &sparse.SSORCG{Tolerance: 1e-13, MaxIterations: 100 * lv.n()}
+	if _, err := ssor.Solve(lv.a, b, ref); err != nil {
+		t.Fatal(err)
+	}
+
+	if rd := relDiff(xs, xb); rd > 1e-9 {
+		t.Fatalf("sparse and band coarse solutions differ: rel diff %g", rd)
+	}
+	if rd := relDiff(xs, ref); rd > 1e-8 {
+		t.Fatalf("sparse and iterative coarse solutions differ: rel diff %g", rd)
+	}
+}
+
+// TestCoarseOrderingRoundTrip validates the nested-dissection ordering:
+// a genuine permutation whose factorisation solves back in original cell
+// order, and with no more fill than the natural ordering.
+func TestCoarseOrderingRoundTrip(t *testing.T) {
+	h, _, _ := testHierarchy(t)
+	lv := h.levels[len(h.levels)-1]
+	perm := h.CoarseOrdering()
+	seen := make([]bool, lv.n())
+	if len(perm) != lv.n() {
+		t.Fatalf("ordering has %d entries, want %d", len(perm), lv.n())
+	}
+	for _, o := range perm {
+		if o < 0 || int(o) >= lv.n() || seen[o] {
+			t.Fatalf("ordering is not a permutation (entry %d)", o)
+		}
+		seen[o] = true
+	}
+	ident := make([]int32, lv.n())
+	for i := range ident {
+		ident[i] = int32(i)
+	}
+	nd, err := sparse.NewSparseCholesky(lv.a, perm, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat, err := sparse.NewSparseCholesky(lv.a, ident, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randRHS(lv.n(), 43)
+	xnd := append([]float64(nil), b...)
+	xnat := append([]float64(nil), b...)
+	nd.SolveInPlace(xnd)
+	nat.SolveInPlace(xnat)
+	if rd := relDiff(xnd, xnat); rd > 1e-9 {
+		t.Fatalf("ND-ordered and naturally ordered solutions differ: rel diff %g", rd)
+	}
+}
+
+// TestCoarseNDOrderingReducesFill pins the point of the fill-reducing
+// ordering: on a realistically sized coarse level (large lateral plane,
+// short z) nested dissection must produce strictly less fill than the
+// natural z-major ordering. (On tiny lateral planes the natural band
+// ordering can win — that is fine; the direct tiers fit either way.)
+func TestCoarseNDOrderingReducesFill(t *testing.T) {
+	xl := uniformLines(48, 2)
+	yl := uniformLines(40, 2)
+	zl := uniformLines(9, 3)
+	a, hint := buildHeatSystem(t, xl, yl, zl)
+	h, err := BuildHierarchy(a, hint, Options{Levels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := h.levels[len(h.levels)-1]
+	perm := coarseNDOrder(lv)
+	ndFill, err := sparse.SparseCholeskyCount(lv.a, perm, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ident := make([]int32, lv.n())
+	for i := range ident {
+		ident[i] = int32(i)
+	}
+	natFill, err := sparse.SparseCholeskyCount(lv.a, ident, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("coarse level n=%d: ND fill %d vs natural fill %d", lv.n(), ndFill, natFill)
+	if ndFill >= natFill {
+		t.Fatalf("nested-dissection fill %d does not beat natural-ordering fill %d on a %d-cell coarse level", ndFill, natFill, lv.n())
+	}
+}
+
+// TestCoarseFactorSharedOnce hammers the factorisation latch: many
+// goroutines racing coarseDirect on one hierarchy must all observe the
+// same single factorisation (run under -race in CI).
+func TestCoarseFactorSharedOnce(t *testing.T) {
+	h, _, _ := testHierarchy(t)
+	opts := Options{}.withDefaults()
+	const goroutines = 16
+	factors := make([]coarseFactor, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			factors[g] = h.coarseDirect(opts)
+		}(g)
+	}
+	wg.Wait()
+	if factors[0] == nil {
+		t.Fatal("coarse factorisation unexpectedly unavailable")
+	}
+	for g := 1; g < goroutines; g++ {
+		if factors[g] != factors[0] {
+			t.Fatalf("goroutine %d saw a different factorisation", g)
+		}
+	}
+	if mode := h.CoarseMode(); mode != "sparse-chol" {
+		t.Fatalf("latched coarse mode %q, want sparse-chol", mode)
+	}
+}
+
+// TestCoarseSolversShareFactorisation runs concurrent full solves
+// against one shared hierarchy and checks they all land on the same
+// latched tier with identical solutions (the -race hammer for the
+// solver-facing path).
+func TestCoarseSolversShareFactorisation(t *testing.T) {
+	h, a, hint := testHierarchy(t)
+	b := randRHS(a.N(), 47)
+	const goroutines = 8
+	sols := make([][]float64, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := New(Options{Workers: 2})
+			s.SetGridHint(hint)
+			s.SetHierarchy(h)
+			x := make([]float64, a.N())
+			_, errs[g] = s.Solve(a, b, x)
+			sols[g] = x
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+	}
+	if mode := h.CoarseMode(); mode != "sparse-chol" {
+		t.Fatalf("latched coarse mode %q, want sparse-chol", mode)
+	}
+	for g := 1; g < goroutines; g++ {
+		if rd := relDiff(sols[g], sols[0]); rd > 1e-7 {
+			t.Fatalf("goroutine %d solution differs: rel diff %g", g, rd)
+		}
+	}
+}
+
+// TestCoarseSolverForced pins the CoarseSolver knob: each forced tier
+// must latch its own mode and still converge to the same solution.
+func TestCoarseSolverForced(t *testing.T) {
+	_, a, hint := testHierarchy(t)
+	b := randRHS(a.N(), 53)
+	var ref []float64
+	for _, tc := range []struct {
+		force string
+		mode  string
+	}{
+		{CoarseSolverSparse, "sparse-chol"},
+		{CoarseSolverBand, "band-chol"},
+		{CoarseSolverIterative, "zline"},
+	} {
+		s := New(Options{CoarseSolver: tc.force})
+		s.SetGridHint(hint)
+		x := make([]float64, a.N())
+		res, err := s.Solve(a, b, x)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.force, err)
+		}
+		if !res.Converged {
+			t.Fatalf("%s: solve did not converge", tc.force)
+		}
+		if mode := s.hier.CoarseMode(); mode != tc.mode {
+			t.Fatalf("%s: latched coarse mode %q, want %q", tc.force, mode, tc.mode)
+		}
+		if ref == nil {
+			ref = x
+		} else if rd := relDiff(x, ref); rd > 1e-7 {
+			t.Fatalf("%s: solution differs from sparse tier: rel diff %g", tc.force, rd)
+		}
+	}
+}
+
+// TestCoarseBudgetKnob pins the CoarseDirectBudget plumbing: a negative
+// budget disables the direct tiers, a tiny one refuses both
+// factorisations, and the default accepts.
+func TestCoarseBudgetKnob(t *testing.T) {
+	h, a, hint := testHierarchy(t)
+	if f := h.coarseDirect(Options{CoarseDirectBudget: -1}.withDefaults()); f != nil {
+		t.Fatal("negative budget should disable the direct tiers")
+	}
+	if mode := h.CoarseMode(); mode != "" {
+		t.Fatalf("mode latched to %q before any solve", mode)
+	}
+	h2, err := BuildHierarchy(a, hint, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := h2.coarseDirect(Options{CoarseDirectBudget: 10}.withDefaults()); f != nil {
+		t.Fatal("a 10-entry budget should refuse both factorisations")
+	}
+	h3, err := BuildHierarchy(a, hint, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := h3.coarseDirect(Options{}.withDefaults()); f == nil {
+		t.Fatal("default budget should factor the test hierarchy")
+	}
+}
+
+// TestCoarseRebalance pins the opt-in extra-coarsening knob: with a
+// budget too small for the regular coarsest level, rebalancing must
+// append aggressively merged levels until the factorisation fits, and
+// the solve must still converge quickly to the right answer.
+func TestCoarseRebalance(t *testing.T) {
+	_, a, hint := testHierarchy(t)
+	base, err := BuildHierarchy(a, hint, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := base.levels[len(base.levels)-1]
+	fill, err := sparse.SparseCholeskyCount(lv.a, coarseNDOrder(lv), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := fill / 2 // too small for the regular coarsest level
+	opts := Options{CoarseDirectBudget: budget, CoarseRebalance: true}
+	reb, err := BuildHierarchy(a, hint, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reb.Depth() <= base.Depth() {
+		t.Fatalf("rebalance did not deepen the hierarchy (depth %d vs %d)", reb.Depth(), base.Depth())
+	}
+	if f := reb.coarseDirect(opts.withDefaults()); f == nil {
+		t.Fatal("rebalanced coarsest level still over budget")
+	}
+	if mode := reb.CoarseMode(); mode != "sparse-chol" {
+		t.Fatalf("latched coarse mode %q, want sparse-chol", mode)
+	}
+	// The rebalanced hierarchy must still precondition well.
+	b := randRHS(a.N(), 59)
+	s := New(opts)
+	s.SetGridHint(hint)
+	s.SetHierarchy(reb)
+	x := make([]float64, a.N())
+	res, err := s.Solve(a, b, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("rebalanced solve did not converge")
+	}
+	sRef := New(Options{})
+	sRef.SetGridHint(hint)
+	xRef := make([]float64, a.N())
+	resRef, err := sRef.Solve(a, b, xRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd := relDiff(x, xRef); rd > 1e-7 {
+		t.Fatalf("rebalanced solution differs: rel diff %g", rd)
+	}
+	if res.Iterations > 2*resRef.Iterations+2 {
+		t.Fatalf("rebalanced solve needs %d iterations vs %d baseline — coarse level too weak", res.Iterations, resRef.Iterations)
+	}
+}

@@ -31,8 +31,10 @@ package mg
 import (
 	"fmt"
 	"math"
+	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,15 +46,18 @@ import (
 func init() {
 	sparse.RegisterBackend(sparse.BackendMGCG, func(c sparse.Config) (sparse.Solver, error) {
 		return New(Options{
-			Tolerance:     c.Tolerance,
-			MaxIterations: c.MaxIterations,
-			Workers:       c.Workers,
-			Omega:         c.Omega,
-			Levels:        c.MGLevels,
-			Smooth:        c.MGSmooth,
-			CoarseTol:     c.MGCoarseTol,
-			Ordering:      c.MGOrdering,
-			Precision:     c.MGPrecision,
+			Tolerance:          c.Tolerance,
+			MaxIterations:      c.MaxIterations,
+			Workers:            c.Workers,
+			Omega:              c.Omega,
+			Levels:             c.MGLevels,
+			Smooth:             c.MGSmooth,
+			CoarseTol:          c.MGCoarseTol,
+			Ordering:           c.MGOrdering,
+			Precision:          c.MGPrecision,
+			CoarseSolver:       c.MGCoarseSolver,
+			CoarseDirectBudget: c.MGCoarseBudget,
+			CoarseRebalance:    c.MGCoarseRebalance,
 		}), nil
 	})
 }
@@ -116,10 +121,37 @@ type Options struct {
 	// at most autoFloat32MaxCells unknowns — past that, accumulated
 	// single-precision rounding weakens the preconditioner enough to
 	// cost an extra outer iteration, which is dearest exactly on the
-	// largest systems. The coarsest-level
-	// solve always runs in float64 — it is tiny and anchors the cycle.
-	// The SSOR smoother has no float32 path and forces float64.
+	// largest systems. The coarsest-level solve runs in float64 — it
+	// anchors the cycle — except when the sparse-Cholesky tier is
+	// latched, whose float32 factor mirror is accurate enough to solve
+	// in-cycle without the conversion round trip. The SSOR smoother has
+	// no float32 path and forces float64.
 	Precision string
+	// CoarseSolver forces one tier of the coarsest-level solve ladder:
+	// CoarseSolverSparse (fill-reducing sparse Cholesky),
+	// CoarseSolverBand (dense-band Cholesky) or CoarseSolverIterative
+	// (measured zline-vs-SSOR PCG trial). Empty walks the ladder in that
+	// order, falling through when a direct tier exceeds the budget, and
+	// honours the VCSELNOC_MG_COARSE environment override (how perfab
+	// sweeps the axis across child processes).
+	CoarseSolver string
+	// CoarseDirectBudget caps the stored entries (float64 values) of the
+	// direct coarsest-level factorisation — packed band entries for the
+	// banded tier, factor nonzeros for the sparse tier. 0 means the
+	// VCSELNOC_MG_COARSE_BUDGET environment override when set, else
+	// defaultCoarseBudget; negative disables the direct tiers. The first
+	// solver to factor a shared Hierarchy latches its budget for
+	// everyone.
+	CoarseDirectBudget int
+	// CoarseRebalance opts into appending extra aggressively rebalanced
+	// coarsening levels (plain pairwise lateral merges, ignoring the
+	// size-adaptive pair cap) until the coarsest level's predicted
+	// factorisation fits CoarseDirectBudget. Off by default: the
+	// aggressive merge trades coarse-grid quality for size, which is only
+	// worth it when the budget would otherwise force an iterative coarse
+	// solve. Honours the VCSELNOC_MG_COARSE_REBALANCE environment
+	// override ("1"/"true").
+	CoarseRebalance bool
 }
 
 // Smoother names accepted by Options.Smoother.
@@ -138,6 +170,13 @@ const (
 const (
 	PrecisionFloat64 = "float64"
 	PrecisionFloat32 = "float32"
+)
+
+// Coarse-solver tier names accepted by Options.CoarseSolver.
+const (
+	CoarseSolverSparse    = "sparse"
+	CoarseSolverBand      = "band"
+	CoarseSolverIterative = "iterative"
 )
 
 // autoFloat32Tol is the loosest outer tolerance at which an empty
@@ -203,7 +242,31 @@ func (o Options) withDefaults() Options {
 	if o.Levels <= 0 {
 		o.Levels = 64 // effectively unlimited; coarsening stops geometrically
 	}
+	if o.CoarseSolver == "" {
+		o.CoarseSolver = os.Getenv("VCSELNOC_MG_COARSE")
+	}
+	if o.CoarseDirectBudget == 0 {
+		if v, err := strconv.Atoi(os.Getenv("VCSELNOC_MG_COARSE_BUDGET")); err == nil && v != 0 {
+			o.CoarseDirectBudget = v
+		}
+	}
+	if !o.CoarseRebalance {
+		switch os.Getenv("VCSELNOC_MG_COARSE_REBALANCE") {
+		case "1", "true":
+			o.CoarseRebalance = true
+		}
+	}
 	return o
+}
+
+// effectiveCoarseBudget resolves CoarseDirectBudget (already env-resolved
+// by withDefaults) to a concrete entry cap: ≤ 0 after defaulting means
+// the direct tiers are disabled.
+func (o Options) effectiveCoarseBudget() int {
+	if o.CoarseDirectBudget == 0 {
+		return defaultCoarseBudget
+	}
+	return o.CoarseDirectBudget
 }
 
 // minCoarsenCells is the per-axis cell count below which an axis is no
@@ -482,6 +545,88 @@ func colorLines(adj [][]int32, stride int) [][]int32 {
 	return classes
 }
 
+// coarseNDOrder builds the fill-reducing cell ordering the sparse
+// Cholesky tier factors a level under: nested dissection on the level's
+// lateral line-coupling graph — the same graph the red-black smoother
+// colours — with each lateral line's nz cells kept consecutive. Because
+// z is never coarsened, the level's cell graph is the lateral line graph
+// with every vertex blown up into a densely chained z-line; dissecting
+// the lateral plane and numbering each separator's lines last confines
+// fill to the separator blocks (O(m·log m) line-blocks on an m-line
+// plane instead of the O(m^1.5) a band ordering stores), while the
+// z-contiguous numbering keeps the per-line blocks dense and
+// cache-friendly. The separator thickness adapts to the widest lateral
+// reach of the level's stencil (1 for the 9-point Galerkin stencils), so
+// a separator genuinely separates and correctness never depends on it —
+// a too-thin separator would only cost extra fill.
+func coarseNDOrder(lv *level) []int32 {
+	nx, ny, nz := lv.nx, lv.ny, lv.nz
+	stride := nx * ny
+	// Widest lateral reach of any stencil entry, from the operator itself.
+	reach := 1
+	for i := 0; i < lv.n(); i++ {
+		li, lj := i%stride%nx, i%stride/nx
+		cols, _ := lv.a.Row(i)
+		for _, c := range cols {
+			ci, cj := int(c)%stride%nx, int(c)%stride/nx
+			if d := li - ci; d > reach || -d > reach {
+				reach = max(d, -d)
+			}
+			if d := lj - cj; d > reach || -d > reach {
+				reach = max(d, -d)
+			}
+		}
+	}
+	lines := make([]int32, 0, stride)
+	var dissect func(x0, x1, y0, y1 int)
+	dissect = func(x0, x1, y0, y1 int) {
+		w, ht := x1-x0, y1-y0
+		if w <= 0 || ht <= 0 {
+			return
+		}
+		if w*ht <= ndLeafLines || (w <= 2*reach && ht <= 2*reach) {
+			for j := y0; j < y1; j++ {
+				for i := x0; i < x1; i++ {
+					lines = append(lines, int32(j*nx+i))
+				}
+			}
+			return
+		}
+		if w >= ht {
+			mid := (x0 + x1 - reach) / 2
+			dissect(x0, mid, y0, y1)
+			dissect(mid+reach, x1, y0, y1)
+			for i := mid; i < mid+reach && i < x1; i++ {
+				for j := y0; j < y1; j++ {
+					lines = append(lines, int32(j*nx+i))
+				}
+			}
+			return
+		}
+		mid := (y0 + y1 - reach) / 2
+		dissect(x0, x1, y0, mid)
+		dissect(x0, x1, mid+reach, y1)
+		for j := mid; j < mid+reach && j < y1; j++ {
+			for i := x0; i < x1; i++ {
+				lines = append(lines, int32(j*nx+i))
+			}
+		}
+	}
+	dissect(0, nx, 0, ny)
+	perm := make([]int32, 0, stride*nz)
+	for _, l := range lines {
+		for k := 0; k < nz; k++ {
+			perm = append(perm, int32(k*stride)+l)
+		}
+	}
+	return perm
+}
+
+// ndLeafLines is the lateral box size below which nested dissection
+// stops splitting and numbers lines lexicographically: tiny boxes
+// factor densely anyway and the recursion overhead stops paying.
+const ndLeafLines = 8
+
 // solveLine relaxes lateral line l exactly: forward elimination builds the
 // line right-hand side on the fly (off-line couplings at their current x
 // values) into scratch d (length nz), back substitution writes straight
@@ -675,14 +820,25 @@ type Hierarchy struct {
 	f32Once sync.Once
 	f32     []*level32
 	// coarseMode latches, across every solver sharing this hierarchy, the
-	// iterative coarse preconditioner the first solve's measured trial
-	// selected: coarseAuto (not yet decided), coarseZLine or coarseSSOR.
+	// coarsest-solve tier actually in use: coarseAuto (not yet decided),
+	// coarseSparseChol or coarseBandChol when a direct factorisation was
+	// built, coarseZLine or coarseSSOR when the first iterative solve's
+	// measured trial picked a preconditioner.
 	coarseMode atomic.Int32
 	// chol holds the lazily built direct factorisation of the coarsest
-	// level (nil when its bandwidth makes one too expensive), shared by
-	// every solver of this hierarchy.
-	cholOnce sync.Once
-	chol     *sparse.BandCholesky
+	// level (nil when the budget or a numerical failure rules the direct
+	// tiers out), shared race-free by every solver of this hierarchy. The
+	// first solver to reach the latch factors with its own options;
+	// cholSparse additionally keeps the concrete sparse factor for the
+	// float32 mirror below.
+	cholOnce   sync.Once
+	chol       coarseFactor
+	cholSparse *sparse.SparseCholesky
+	// chol32 mirrors the sparse factor in float32 for the float32
+	// V-cycle, which then solves the coarsest level in-cycle instead of
+	// staging through float64.
+	chol32Once sync.Once
+	chol32     *sparse.SparseCholesky32
 	// phaseNanos accumulates per-phase V-cycle wall time for this
 	// hierarchy alone, so concurrently solving specs don't blend their
 	// phase fractions (the package-global aggregate is kept alongside
@@ -690,24 +846,63 @@ type Hierarchy struct {
 	phaseNanos [numPhases]atomic.Int64
 }
 
-// cholMaxEntries caps the packed band storage of the direct coarse
-// factorisation at 8·10⁶ float64s (64 MB). Graded meshes stall the
-// lateral semicoarsening with O(10³)-unknown coarsest levels whose
-// near-exact SSOR-CG solve costs hundreds of iterations per V-cycle and
-// dominates the whole mg-cg solve; within this cap a banded Cholesky
-// solves them exactly in two O(n·bw) sweeps. Beyond it (paper-scale
-// coarse levels) the factor/storage cost stops paying and the iterative
-// fallback stays.
-const cholMaxEntries = 8 << 20
+// coarseFactor is a direct coarsest-level factorisation tier: both the
+// sparse and the banded Cholesky solve in place and are immutable after
+// construction.
+type coarseFactor interface {
+	SolveInPlace(b []float64)
+}
 
-// coarseCholesky builds (once) and returns the direct factorisation of
-// the coarsest level, or nil when the bandwidth cap or a numerical
-// failure rules it out. Safe for concurrent use.
-func (h *Hierarchy) coarseCholesky() *sparse.BandCholesky {
+// defaultCoarseBudget is the default Options.CoarseDirectBudget: 8·10⁶
+// stored float64 entries (64 MB). Graded meshes stall the lateral
+// semicoarsening with large coarsest levels whose near-exact iterative
+// solve costs hundreds of iterations per V-cycle and dominates the whole
+// mg-cg solve; within this budget a direct factorisation reduces the
+// coarse solve to two triangular sweeps. The fill-reducing sparse tier
+// keeps paper-scale coarse levels within it where the dense band blew
+// past it.
+const defaultCoarseBudget = 8 << 20
+
+// coarseDirect builds (once) and returns the direct factorisation of the
+// coarsest level — the ladder's sparse-Cholesky tier first, the banded
+// tier as fallback — or nil when the budget, a forced iterative tier or
+// a numerical failure rules the direct tiers out. The first caller's
+// options decide the budget and tier for every solver sharing the
+// hierarchy. Safe for concurrent use.
+func (h *Hierarchy) coarseDirect(opts Options) coarseFactor {
 	h.cholOnce.Do(func() {
-		h.chol, _ = sparse.NewBandCholesky(h.levels[len(h.levels)-1].a, cholMaxEntries)
+		budget := opts.effectiveCoarseBudget()
+		if budget <= 0 || opts.CoarseSolver == CoarseSolverIterative {
+			return
+		}
+		lv := h.levels[len(h.levels)-1]
+		if opts.CoarseSolver == "" || opts.CoarseSolver == CoarseSolverSparse {
+			if sc, err := sparse.NewSparseCholesky(lv.a, coarseNDOrder(lv), budget); err == nil {
+				h.chol, h.cholSparse = sc, sc
+				h.latchCoarseMode(coarseSparseChol)
+				return
+			}
+		}
+		if opts.CoarseSolver == "" || opts.CoarseSolver == CoarseSolverBand {
+			if bc, err := sparse.NewBandCholesky(lv.a, budget); err == nil {
+				h.chol = bc
+				h.latchCoarseMode(coarseBandChol)
+			}
+		}
 	})
 	return h.chol
+}
+
+// coarseDirect32 builds (once) and returns the float32 mirror of the
+// sparse coarse factor, or nil when the latched direct tier is not the
+// sparse one (the banded factor stays float64-staged). Safe for
+// concurrent use.
+func (h *Hierarchy) coarseDirect32(opts Options) *sparse.SparseCholesky32 {
+	if h.coarseDirect(opts) == nil || h.cholSparse == nil {
+		return nil
+	}
+	h.chol32Once.Do(func() { h.chol32 = h.cholSparse.Mirror32() })
+	return h.chol32
 }
 
 // float32Levels builds (once) and returns the single-precision mirrors of
@@ -747,19 +942,13 @@ func BuildHierarchy(a *sparse.CSR, hint sparse.GridHint, opts Options) (*Hierarc
 	xl, yl, zl := hint.X, hint.Y, hint.Z
 	cur := a
 	for {
-		lv := &level{a: cur, diag: cur.Diag(), nx: len(xl) - 1, ny: len(yl) - 1, nz: len(zl) - 1}
-		for i, d := range lv.diag {
-			if d <= 0 {
-				return nil, fmt.Errorf("mg: non-positive diagonal %g at row %d of level %d (matrix not SPD?)", d, i, len(h.levels))
-			}
-		}
-		// The z-line factorisation is cheap (one matrix pass) and always
-		// built, so solvers sharing this hierarchy may pick either smoother.
-		ls, err := newLineSmoother(cur, lv.nx, lv.ny, lv.nz)
+		// The z-line factorisation inside newLevel is cheap (one matrix
+		// pass) and always built, so solvers sharing this hierarchy may
+		// pick either smoother.
+		lv, err := newLevel(cur, xl, yl, zl, len(h.levels))
 		if err != nil {
-			return nil, fmt.Errorf("mg: level %d: %w", len(h.levels), err)
+			return nil, err
 		}
-		lv.ls = ls
 		h.levels = append(h.levels, lv)
 		if len(h.levels) >= opts.Levels || lv.nx*lv.ny <= lateralTargetCells {
 			break
@@ -782,17 +971,106 @@ func BuildHierarchy(a *sparse.CSR, hint sparse.GridHint, opts Options) (*Hierarc
 			// deepen, so the current level becomes the coarsest.
 			break
 		}
-		lv.ix = newAxisInterp(xl, cxl)
-		lv.iy = newAxisInterp(yl, cyl)
-		lv.iz = newAxisInterp(zl, zl) // z stack kept at full resolution
-		coarse, err := galerkin(lv)
+		cur, err = h.coarsenTo(lv, xl, yl, zl, cxl, cyl)
 		if err != nil {
-			return nil, fmt.Errorf("mg: level %d Galerkin product: %w", len(h.levels), err)
+			return nil, err
 		}
-		cur = coarse
 		xl, yl = cxl, cyl
 	}
+	if opts.CoarseRebalance {
+		if err := h.rebalanceCoarse(opts, xl, yl, zl); err != nil {
+			return nil, err
+		}
+	}
 	return h, nil
+}
+
+// newLevel assembles one hierarchy level for operator a on the given
+// axis line sets: diagonal validation plus the always-built z-line
+// factorisation.
+func newLevel(a *sparse.CSR, xl, yl, zl []float64, depth int) (*level, error) {
+	lv := &level{a: a, diag: a.Diag(), nx: len(xl) - 1, ny: len(yl) - 1, nz: len(zl) - 1}
+	for i, d := range lv.diag {
+		if d <= 0 {
+			return nil, fmt.Errorf("mg: non-positive diagonal %g at row %d of level %d (matrix not SPD?)", d, i, depth)
+		}
+	}
+	ls, err := newLineSmoother(a, lv.nx, lv.ny, lv.nz)
+	if err != nil {
+		return nil, fmt.Errorf("mg: level %d: %w", depth, err)
+	}
+	lv.ls = ls
+	return lv, nil
+}
+
+// coarsenTo wires the transfer operators from lv's axes to the coarser
+// line sets and assembles the Galerkin coarse operator.
+func (h *Hierarchy) coarsenTo(lv *level, xl, yl, zl, cxl, cyl []float64) (*sparse.CSR, error) {
+	lv.ix = newAxisInterp(xl, cxl)
+	lv.iy = newAxisInterp(yl, cyl)
+	lv.iz = newAxisInterp(zl, zl) // z stack kept at full resolution
+	coarse, err := galerkin(lv)
+	if err != nil {
+		return nil, fmt.Errorf("mg: level %d Galerkin product: %w", len(h.levels)-1, err)
+	}
+	return coarse, nil
+}
+
+// rebalanceCoarse implements the opt-in CoarseRebalance knob: while the
+// coarsest level's predicted sparse-Cholesky fill exceeds the
+// factorisation budget, append one more coarsening level built with
+// plain pairwise lateral merges — ignoring the size-adaptive pair cap
+// that (rightly) stalls the regular coarsening on graded meshes. The
+// aggressive merge degrades coarse-grid quality, but below an already
+// stalled level the extra rung only has to make the direct coarse solve
+// affordable, not carry smoothing; the levels above keep their
+// size-adaptive grids. The symbolic analysis alone decides fit, so each
+// probe costs one structure pass, never a factorisation.
+func (h *Hierarchy) rebalanceCoarse(opts Options, xl, yl, zl []float64) error {
+	budget := opts.effectiveCoarseBudget()
+	for budget > 0 && len(h.levels) < opts.Levels {
+		lv := h.levels[len(h.levels)-1]
+		if _, err := sparse.SparseCholeskyCount(lv.a, coarseNDOrder(lv), budget); err == nil {
+			break // the factorisation fits — stop shrinking
+		}
+		cxl, cyl := xl, yl
+		if lv.nx > 1 {
+			cxl = aggressiveCoarsenLines(xl)
+		}
+		if lv.ny > 1 {
+			cyl = aggressiveCoarsenLines(yl)
+		}
+		if len(cxl) == len(xl) && len(cyl) == len(yl) {
+			break // single lateral cell left on both axes
+		}
+		coarse, err := h.coarsenTo(lv, xl, yl, zl, cxl, cyl)
+		if err != nil {
+			return err
+		}
+		nlv, err := newLevel(coarse, cxl, cyl, zl, len(h.levels))
+		if err != nil {
+			return err
+		}
+		h.levels = append(h.levels, nlv)
+		xl, yl = cxl, cyl
+	}
+	return nil
+}
+
+// aggressiveCoarsenLines merges adjacent cells pairwise unconditionally
+// — the rebalance-only variant of coarsenLines without the size-ratio
+// cap. Coarse lines stay a subset of fine ones.
+func aggressiveCoarsenLines(lines []float64) []float64 {
+	n := len(lines) - 1
+	out := make([]float64, 0, n/2+2)
+	out = append(out, lines[0])
+	for i := 2; i <= n; i += 2 {
+		out = append(out, lines[i])
+	}
+	if n%2 == 1 {
+		out = append(out, lines[n])
+	}
+	return out
 }
 
 // Shifted derives the hierarchy for the diagonally shifted operator
@@ -1193,7 +1471,7 @@ func newWorkspace(h *Hierarchy, opts Options) *workspace {
 		MaxIterations: 20 * coarseN,
 		Workers:       opts.Workers,
 	}
-	if h.coarseCholesky() == nil && opts.Smoother == SmootherZLine {
+	if h.coarseDirect(opts) == nil && opts.Smoother == SmootherZLine {
 		ws.coarseWS = sparse.NewWorkspace(coarseN)
 	}
 	if ws.prec == PrecisionFloat32 {
@@ -1341,16 +1619,22 @@ type PhaseStats struct {
 	// full-weighting restriction, Prolong the interpolation of coarse
 	// corrections, Coarse the near-exact coarsest-level solves.
 	Smooth, Restrict, Prolong, Coarse time.Duration
+	// CoarseMode names the latched coarsest-solve tier ("sparse-chol",
+	// "band-chol", "zline", "ssor"; "" while undecided) — the hierarchy's
+	// own latch for Hierarchy.PhaseStats, the most recently latched one
+	// process-wide for ReadPhaseStats.
+	CoarseMode string
 }
 
 // ReadPhaseStats returns the current cumulative phase times. Safe for
 // concurrent use.
 func ReadPhaseStats() PhaseStats {
 	return PhaseStats{
-		Smooth:   time.Duration(phaseNanos[phaseSmooth].Load()),
-		Restrict: time.Duration(phaseNanos[phaseRestrict].Load()),
-		Prolong:  time.Duration(phaseNanos[phaseProlong].Load()),
-		Coarse:   time.Duration(phaseNanos[phaseCoarse].Load()),
+		Smooth:     time.Duration(phaseNanos[phaseSmooth].Load()),
+		Restrict:   time.Duration(phaseNanos[phaseRestrict].Load()),
+		Prolong:    time.Duration(phaseNanos[phaseProlong].Load()),
+		Coarse:     time.Duration(phaseNanos[phaseCoarse].Load()),
+		CoarseMode: coarseModeNames[lastCoarseMode.Load()],
 	}
 }
 
@@ -1359,21 +1643,28 @@ func ReadPhaseStats() PhaseStats {
 // running in the process. Safe for concurrent use.
 func (h *Hierarchy) PhaseStats() PhaseStats {
 	return PhaseStats{
-		Smooth:   time.Duration(h.phaseNanos[phaseSmooth].Load()),
-		Restrict: time.Duration(h.phaseNanos[phaseRestrict].Load()),
-		Prolong:  time.Duration(h.phaseNanos[phaseProlong].Load()),
-		Coarse:   time.Duration(h.phaseNanos[phaseCoarse].Load()),
+		Smooth:     time.Duration(h.phaseNanos[phaseSmooth].Load()),
+		Restrict:   time.Duration(h.phaseNanos[phaseRestrict].Load()),
+		Prolong:    time.Duration(h.phaseNanos[phaseProlong].Load()),
+		Coarse:     time.Duration(h.phaseNanos[phaseCoarse].Load()),
+		CoarseMode: h.CoarseMode(),
 	}
 }
 
 // Sub returns the per-phase difference p − q, for deltas across a timed
-// region.
+// region. The latched coarse mode is not a counter: the receiver's wins
+// when set (it reflects the state at snapshot p).
 func (p PhaseStats) Sub(q PhaseStats) PhaseStats {
+	mode := p.CoarseMode
+	if mode == "" {
+		mode = q.CoarseMode
+	}
 	return PhaseStats{
-		Smooth:   p.Smooth - q.Smooth,
-		Restrict: p.Restrict - q.Restrict,
-		Prolong:  p.Prolong - q.Prolong,
-		Coarse:   p.Coarse - q.Coarse,
+		Smooth:     p.Smooth - q.Smooth,
+		Restrict:   p.Restrict - q.Restrict,
+		Prolong:    p.Prolong - q.Prolong,
+		Coarse:     p.Coarse - q.Coarse,
+		CoarseMode: mode,
 	}
 }
 
@@ -1382,12 +1673,57 @@ func (p PhaseStats) Total() time.Duration {
 	return p.Smooth + p.Restrict + p.Prolong + p.Coarse
 }
 
-// Iterative coarse-solve preconditioner choices (Hierarchy.coarseMode).
+// Coarse-solve tier choices (Hierarchy.coarseMode).
 const (
-	coarseAuto  int32 = iota // undecided — first solve runs the measured trial
-	coarseZLine              // CG preconditioned by the coarse level's line relaxation
-	coarseSSOR               // plain SSOR-CG
+	coarseAuto       int32 = iota // undecided — no solve has reached the coarse level yet
+	coarseZLine                   // CG preconditioned by the coarse level's line relaxation
+	coarseSSOR                    // plain SSOR-CG
+	coarseSparseChol              // direct fill-reducing sparse Cholesky
+	coarseBandChol                // direct dense-band Cholesky
 )
+
+// coarseModeNames maps the latched tier to its observable name, as
+// surfaced by Hierarchy.CoarseMode, PhaseStats.CoarseMode and the serve
+// layer's trace attributes.
+var coarseModeNames = [...]string{
+	coarseAuto:       "",
+	coarseZLine:      "zline",
+	coarseSSOR:       "ssor",
+	coarseSparseChol: "sparse-chol",
+	coarseBandChol:   "band-chol",
+}
+
+// lastCoarseMode records, process-wide, the most recently latched coarse
+// tier for ReadPhaseStats (whose phase times are process aggregates too).
+var lastCoarseMode atomic.Int32
+
+// latchCoarseMode publishes the tier the first coarse solve (or factor
+// build) settled on, hierarchy-wide and process-wide.
+func (h *Hierarchy) latchCoarseMode(mode int32) {
+	h.coarseMode.CompareAndSwap(coarseAuto, mode)
+	lastCoarseMode.Store(h.coarseMode.Load())
+}
+
+// CoarseMode returns the coarse-solve tier this hierarchy has latched
+// ("sparse-chol", "band-chol", "zline", "ssor"), or "" while no solve
+// has decided yet. Safe for concurrent use.
+func (h *Hierarchy) CoarseMode() string {
+	return coarseModeNames[h.coarseMode.Load()]
+}
+
+// CoarseOperator returns the coarsest-level matrix (read-only; shared
+// with the hierarchy's own solves). Benchmarks factor it directly to
+// split factor time from per-solve time.
+func (h *Hierarchy) CoarseOperator() *sparse.CSR {
+	return h.levels[len(h.levels)-1].a
+}
+
+// CoarseOrdering returns the fill-reducing nested-dissection ordering
+// the sparse-Cholesky tier uses for this hierarchy's coarsest level
+// (perm[k] = cell index at permuted position k).
+func (h *Hierarchy) CoarseOrdering() []int32 {
+	return coarseNDOrder(h.levels[len(h.levels)-1])
+}
 
 // coarseTrialTol is the intermediate residual target of the first coarse
 // solve's preconditioner race. A fixed-iteration race would mis-rank the
@@ -1399,8 +1735,10 @@ const (
 const coarseTrialTol = 1e-6
 
 // coarseSolve solves the coarsest-level system (near-)exactly, keeping
-// the V-cycle a fixed SPD operator: a direct banded Cholesky solve where
-// the factorisation is affordable; otherwise CG at CoarseTol. Which
+// the V-cycle a fixed SPD operator, walking the coarse-solve ladder:
+// a direct sparse-Cholesky solve under the fill-reducing ordering where
+// that factorisation fits the budget, a banded Cholesky where only the
+// dense band does; otherwise CG at CoarseTol. Which
 // preconditioner that CG uses under the z-line smoother — the coarse
 // level's own symmetric line relaxation, or plain SSOR — depends on how
 // much vertical coupling survives the lateral coarsening: on mid-size
@@ -1417,12 +1755,13 @@ const coarseTrialTol = 1e-6
 // deliberately dropped. x must arrive zeroed.
 func (h *Hierarchy) coarseSolve(ws *workspace, opts Options, b, x []float64) {
 	lv := h.levels[len(h.levels)-1]
-	if chol := h.coarseCholesky(); chol != nil {
+	if chol := h.coarseDirect(opts); chol != nil {
 		copy(x, b)
 		chol.SolveInPlace(x)
 		return
 	}
 	if ws.coarseWS == nil {
+		h.latchCoarseMode(coarseSSOR)
 		ws.coarse.Solve(lv.a, b, x) //nolint:errcheck
 		return
 	}
@@ -1455,7 +1794,7 @@ func (h *Hierarchy) coarseSolve(ws *workspace, opts Options, b, x []float64) {
 		// the trial; any winner is a sound choice). This call proceeds on
 		// its own verdict either way, warm-started from the winner's
 		// iterate.
-		h.coarseMode.CompareAndSwap(coarseAuto, mode)
+		h.latchCoarseMode(mode)
 	}
 	if mode == coarseZLine {
 		sparse.PCG(lv.a, b, x, ws.coarseWS, precond, opts.CoarseTol, 20*lv.n(), opts.Workers) //nolint:errcheck
@@ -1529,12 +1868,22 @@ func (h *Hierarchy) vcycle(ws *workspace, opts Options, l int, x, b []float64) {
 }
 
 // vcycle32 is the single-precision V-cycle: smoothing, residuals and
-// transfers run in float32 on the mirrored levels; only the tiny
-// coarsest-level solve stays float64 (staged through ws.coarseB/coarseX),
-// anchoring the cycle. Only the z-line smoother has a float32 path —
-// effectivePrecision forces float64 for SSOR.
+// transfers run in float32 on the mirrored levels. When the
+// sparse-Cholesky tier is latched its float32 factor mirror solves the
+// coarsest level in-cycle (the factor is exact, so the mirror's rounding
+// matches the rest of the float32 cycle); the banded and iterative tiers
+// stay float64, staged through ws.coarseB/coarseX, anchoring the cycle.
+// Only the z-line smoother has a float32 path — effectivePrecision
+// forces float64 for SSOR.
 func (h *Hierarchy) vcycle32(ws *workspace, opts Options, l int, x, b []float32) {
 	if l == len(h.levels)-1 {
+		if c32 := h.coarseDirect32(opts); c32 != nil {
+			start := time.Now()
+			copy(x, b)
+			c32.SolveInPlace(x)
+			h.phaseAdd(phaseCoarse, start)
+			return
+		}
 		start := time.Now()
 		for i, v := range b {
 			ws.coarseB[i] = float64(v)

@@ -272,9 +272,9 @@ func TestCoarseWorkersPlumbed(t *testing.T) {
 func TestCoarseCholeskyMatchesIterative(t *testing.T) {
 	h, _, _ := testHierarchy(t)
 	lv := h.levels[len(h.levels)-1]
-	chol := h.coarseCholesky()
+	chol := h.coarseDirect(Options{}.withDefaults())
 	if chol == nil {
-		t.Fatalf("coarsest level (n=%d) unexpectedly over the band cap", lv.n())
+		t.Fatalf("coarsest level (n=%d) unexpectedly over the factorisation budget", lv.n())
 	}
 	b := randRHS(lv.n(), 23)
 	x := append([]float64(nil), b...)

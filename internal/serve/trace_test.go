@@ -12,12 +12,28 @@ import (
 	"testing"
 
 	"vcselnoc/internal/obs"
+	"vcselnoc/internal/sparse"
 	"vcselnoc/internal/thermal"
 )
 
 func TestTraceEndToEnd(t *testing.T) {
 	skipShort(t)
-	s := testServer(t, -1)
+	// Force the mg-cg backend (preview resolution auto-selects jacobi-cg)
+	// so the basis span carries the coarse-solve mode attribute.
+	spec, err := thermal.PaperSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Res = thermal.PreviewResolution()
+	spec.Solver = sparse.BackendMGCG
+	s, err := New(Config{
+		Specs:       map[string]thermal.Spec{DefaultSpec: spec},
+		BatchWindow: -1,
+		CacheSize:   64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(s.Close)
 
 	const traceID = "feedc0de00000001"
@@ -105,6 +121,11 @@ func TestTraceEndToEnd(t *testing.T) {
 	if sp := spans["basis"]; !hasAttr(sp, "mg_iters") {
 		t.Errorf("basis span has no mg_iters attribute (attrs %v)", sp.Attrs)
 	}
+	if mode := strAttr(spans["basis"], "coarse_mode"); mode == "" {
+		t.Errorf("basis span has no coarse_mode attribute (str attrs %v)", spans["basis"].StrAttrs)
+	} else if mode != "sparse-chol" && mode != "band-chol" && mode != "zline" && mode != "ssor" {
+		t.Errorf("coarse_mode = %q, not a known coarse tier", mode)
+	}
 
 	// The ?slow= filter with an absurd threshold drops everything.
 	sreq := httptest.NewRequest(http.MethodGet, "/debug/requests?slow=10m", nil)
@@ -130,6 +151,15 @@ func hasAttr(sp obs.SpanRec, key string) bool {
 		}
 	}
 	return false
+}
+
+func strAttr(sp obs.SpanRec, key string) string {
+	for _, a := range sp.StrAttrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
 }
 
 // TestTracingDisabled pins the -no-trace path: ids still mint and echo,

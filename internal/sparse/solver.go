@@ -167,6 +167,21 @@ type Config struct {
 	// forces double precision, and "" auto-selects float32 when the outer
 	// tolerance permits it. Ignored by non-multigrid backends.
 	MGPrecision string
+	// MGCoarseSolver forces one tier of the multigrid coarse-solve
+	// ladder: "sparse" (fill-reducing sparse Cholesky), "band" (dense-band
+	// Cholesky), "iterative" (measured zline-vs-SSOR PCG trial); empty
+	// walks the ladder in that order. Ignored by non-multigrid backends.
+	MGCoarseSolver string
+	// MGCoarseBudget caps the stored entries (float64 values) of the
+	// direct coarsest-level factorisation; 0 means the mg package default
+	// (or the VCSELNOC_MG_COARSE_BUDGET environment override), negative
+	// disables the direct tiers entirely. Ignored by non-multigrid
+	// backends.
+	MGCoarseBudget int
+	// MGCoarseRebalance opts into appending extra aggressively rebalanced
+	// coarsening levels until the coarsest level fits the factorisation
+	// budget. Ignored by non-multigrid backends.
+	MGCoarseRebalance bool
 }
 
 // Validate checks the configuration without building a solver: the backend
@@ -215,6 +230,11 @@ func (c Config) Validate() error {
 	case "", "float32", "float64":
 	default:
 		return fmt.Errorf("sparse: unknown V-cycle precision %q (have float32, float64)", c.MGPrecision)
+	}
+	switch c.MGCoarseSolver {
+	case "", "sparse", "band", "iterative":
+	default:
+		return fmt.Errorf("sparse: unknown coarse solver %q (have sparse, band, iterative)", c.MGCoarseSolver)
 	}
 	return nil
 }
